@@ -1,0 +1,28 @@
+//! One Criterion benchmark per paper artifact.
+//!
+//! Each bench prints the regenerated series once (so `cargo bench`
+//! regenerates every table and figure of the paper) and then times the
+//! regeneration at quick scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ebrc_bench::print_once;
+use ebrc_experiments::{all_experiments, Scale};
+
+fn bench_figures(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for e in all_experiments() {
+        // Regenerate and print the artifact once, outside the timer.
+        print_once(e.as_ref(), scale);
+        group.bench_function(e.id(), |b| b.iter(|| e.run(scale)));
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_figures
+}
+criterion_main!(benches);

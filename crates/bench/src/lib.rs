@@ -1,0 +1,28 @@
+//! Bench support: shared helpers for the figure-regeneration benches.
+//!
+//! The actual benchmarks live in `benches/`:
+//!
+//! * `figures` — one Criterion group per paper artifact (every figure
+//!   and table); each group *prints the regenerated series once* and
+//!   then times the regeneration, so `cargo bench` doubles as the
+//!   reproduction run.
+//! * `substrates` — microbenchmarks of the hot kernels: event
+//!   dispatching, RED enqueue, the control recursions, convex closure.
+
+#![forbid(unsafe_code)]
+
+use ebrc_experiments::{Experiment, Scale};
+
+/// Runs an experiment once and prints its tables (called outside the
+/// timing loop so benches also serve as figure regeneration).
+pub fn print_once(e: &dyn Experiment, scale: Scale) {
+    println!(
+        "### {} — {} ({})",
+        e.id(),
+        e.title(),
+        e.paper_ref()
+    );
+    for t in e.run(scale) {
+        println!("{}", t.render());
+    }
+}

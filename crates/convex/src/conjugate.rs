@@ -1,0 +1,118 @@
+//! Discrete Legendre–Fenchel conjugation.
+//!
+//! The paper defines the convex closure as the biconjugate: "it is
+//! obtained by applying convex conjugation twice" (citing Rockafellar). This
+//! module implements the conjugation route directly —
+//! `g*(s) = sup_x { s·x − g(x) }` over the sampled points, then conjugate
+//! again — and serves as an independent cross-check of the hull-based
+//! [`crate::convex_closure`]: the two must agree to grid resolution.
+
+use crate::grid::SampledFunction;
+
+/// Discrete Legendre–Fenchel conjugate `g*(s) = max_i { s·x_i − g(x_i) }`,
+/// evaluated on a slope grid.
+///
+/// The slope grid spans the range of chord slopes of `g` (padded by one
+/// step on each side), which is where the conjugate carries information
+/// for the biconjugate on `[lo, hi]`.
+pub fn legendre_conjugate(g: &SampledFunction, slopes: usize) -> SampledFunction {
+    assert!(slopes >= 2, "need at least two slope samples");
+    // Slope range: min and max of one-step chord slopes.
+    let mut s_min = f64::INFINITY;
+    let mut s_max = f64::NEG_INFINITY;
+    for i in 1..g.len() {
+        let s = (g.y(i) - g.y(i - 1)) / (g.x(i) - g.x(i - 1));
+        s_min = s_min.min(s);
+        s_max = s_max.max(s);
+    }
+    if s_min == s_max {
+        // Affine g: widen artificially so the grid is valid.
+        s_min -= 1.0;
+        s_max += 1.0;
+    }
+    let pad = (s_max - s_min) / (slopes as f64 - 1.0);
+    let (lo, hi) = (s_min - pad, s_max + pad);
+    SampledFunction::sample(lo, hi, slopes, |s| {
+        g.points()
+            .map(|(x, y)| s * x - y)
+            .fold(f64::NEG_INFINITY, f64::max)
+    })
+}
+
+/// Biconjugate `g**` computed by conjugating twice, evaluated back on the
+/// original grid of `g`.
+///
+/// `slopes` controls the resolution of the intermediate conjugate; a few
+/// times the grid size of `g` is plenty.
+pub fn biconjugate(g: &SampledFunction, slopes: usize) -> SampledFunction {
+    let conj = legendre_conjugate(g, slopes);
+    let values = (0..g.len())
+        .map(|i| {
+            let x = g.x(i);
+            conj.points()
+                .map(|(s, c)| s * x - c)
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .collect();
+    SampledFunction::from_values(g.lo(), g.hi(), values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hull::convex_closure;
+
+    #[test]
+    fn conjugate_of_quadratic_is_quadratic() {
+        // g(x) = x²/2 has g*(s) = s²/2 (on slopes within range).
+        let g = SampledFunction::sample(-5.0, 5.0, 2001, |x| 0.5 * x * x);
+        let c = legendre_conjugate(&g, 801);
+        for i in 0..c.len() {
+            let s = c.x(i);
+            if s.abs() <= 4.0 {
+                assert!(
+                    (c.y(i) - 0.5 * s * s).abs() < 5e-3,
+                    "s = {s}: {} vs {}",
+                    c.y(i),
+                    0.5 * s * s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn biconjugate_recovers_convex_function() {
+        let g = SampledFunction::sample(0.5, 3.0, 501, |x| x.exp());
+        let b = biconjugate(&g, 2001);
+        for i in 0..g.len() {
+            assert!((b.y(i) - g.y(i)).abs() < 2e-2, "i = {i}");
+        }
+    }
+
+    #[test]
+    fn biconjugate_agrees_with_hull_closure() {
+        // Non-convex test function: the two independent routes to g**
+        // must coincide to grid resolution.
+        let g = SampledFunction::sample(0.0, 6.0, 601, |x| (x - 3.0).powi(2) + (2.0 * x).sin());
+        let hull = convex_closure(&g);
+        let bi = biconjugate(&g, 4001);
+        for i in 0..g.len() {
+            assert!(
+                (hull.y(i) - bi.y(i)).abs() < 2e-2,
+                "x = {}: hull {} vs biconj {}",
+                g.x(i),
+                hull.y(i),
+                bi.y(i)
+            );
+        }
+    }
+
+    #[test]
+    fn biconjugate_never_exceeds_g() {
+        let g = SampledFunction::sample(0.0, 4.0, 301, |x| 1.0 + (x * 2.0).cos().abs());
+        let b = biconjugate(&g, 1501);
+        for i in 0..g.len() {
+            assert!(b.y(i) <= g.y(i) + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Convex analysis toolkit for the `ebrc` workspace.
+//!
+//! The conservativeness theory of the paper is driven by convexity
+//! properties of two functionals of the throughput formula `f`:
+//!
+//! * `g(x) = 1 / f(1/x)` — condition (F1) of Theorem 1 requires `g`
+//!   convex; Figure 2 measures how far PFTK-standard deviates from
+//!   convexity via the ratio `r = sup_x g(x)/g**(x)` to its *convex
+//!   closure* `g**` (the biconjugate), finding `r ≈ 1.0026`;
+//! * `h(x) = f(1/x)` — conditions (F2)/(F2c) of Theorem 2 ask whether `h`
+//!   is concave (SQRT: everywhere) or strictly convex (PFTK at heavy
+//!   loss).
+//!
+//! This crate computes all of that numerically:
+//!
+//! * [`grid`] — functions sampled on a grid;
+//! * [`hull`] — the convex closure `g**` on an interval (lower convex hull
+//!   of the graph, which equals the biconjugate for continuous functions
+//!   on a compact interval);
+//! * [`conjugate`] — the discrete Legendre–Fenchel transform, used to
+//!   cross-check the hull-based closure (applying it twice must agree);
+//! * [`regions`] — second-difference classification of where a function
+//!   is convex or concave.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conjugate;
+pub mod grid;
+pub mod hull;
+pub mod regions;
+
+pub use conjugate::{biconjugate, legendre_conjugate};
+pub use grid::SampledFunction;
+pub use hull::{convex_closure, deviation_ratio};
+pub use regions::{classify_regions, is_concave_on, is_convex_on, Curvature, Region};

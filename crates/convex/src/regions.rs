@@ -1,0 +1,196 @@
+//! Convexity / concavity classification of sampled functions.
+//!
+//! Claims 1 and 2 of the paper are phrased over "the region where the
+//! loss-event interval estimator takes its values": whether `1/f(1/x)` is
+//! convex there, whether `f(1/x)` is concave or strictly convex there.
+//! This module classifies a sampled function into maximal intervals of
+//! consistent curvature using centered second differences with a relative
+//! tolerance band, and answers interval queries.
+
+use crate::grid::SampledFunction;
+
+/// Local curvature classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Curvature {
+    /// Second difference significantly positive.
+    Convex,
+    /// Second difference significantly negative.
+    Concave,
+    /// Second difference within tolerance of zero (affine or noise).
+    Flat,
+}
+
+/// A maximal grid interval of consistent curvature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Region {
+    /// Left abscissa of the region.
+    pub lo: f64,
+    /// Right abscissa of the region.
+    pub hi: f64,
+    /// The curvature over the region.
+    pub curvature: Curvature,
+}
+
+fn second_differences(f: &SampledFunction) -> Vec<f64> {
+    let h = f.step();
+    (1..f.len() - 1)
+        .map(|i| (f.y(i + 1) - 2.0 * f.y(i) + f.y(i - 1)) / (h * h))
+        .collect()
+}
+
+fn classify_one(d2: f64, scale: f64, rel_tol: f64) -> Curvature {
+    if d2 > rel_tol * scale {
+        Curvature::Convex
+    } else if d2 < -rel_tol * scale {
+        Curvature::Concave
+    } else {
+        Curvature::Flat
+    }
+}
+
+/// Characteristic curvature scale: the curvature a function of this
+/// magnitude would have if it bent across the whole domain once. Using it
+/// (rather than the max observed second difference) keeps floating-point
+/// noise on affine functions classified as flat.
+fn curvature_scale(f: &SampledFunction, d2: &[f64]) -> f64 {
+    let width = f.hi() - f.lo();
+    let y_mag = f.values().iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+    let magnitude_scale = (y_mag.max(1e-300)) / (width * width);
+    let observed = d2.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+    observed.max(magnitude_scale)
+}
+
+/// Splits the domain of `f` into maximal regions of consistent curvature.
+///
+/// `rel_tol` is the fraction of the maximum |second difference| below
+/// which curvature is treated as flat; `1e-9` is a good default for
+/// analytic formulae.
+pub fn classify_regions(f: &SampledFunction, rel_tol: f64) -> Vec<Region> {
+    let d2 = second_differences(f);
+    if d2.is_empty() {
+        return vec![Region {
+            lo: f.lo(),
+            hi: f.hi(),
+            curvature: Curvature::Flat,
+        }];
+    }
+    let scale = curvature_scale(f, &d2);
+    let mut regions: Vec<Region> = Vec::new();
+    // d2[i-1] corresponds to interior grid point i.
+    for (k, &v) in d2.iter().enumerate() {
+        let c = classify_one(v, scale, rel_tol);
+        let x = f.x(k + 1);
+        match regions.last_mut() {
+            Some(r) if r.curvature == c => r.hi = x,
+            _ => regions.push(Region {
+                lo: x,
+                hi: x,
+                curvature: c,
+            }),
+        }
+    }
+    // Extend the first and last regions to the domain endpoints.
+    if let Some(first) = regions.first_mut() {
+        first.lo = f.lo();
+    }
+    if let Some(last) = regions.last_mut() {
+        last.hi = f.hi();
+    }
+    regions
+}
+
+/// Whether `f` is convex (in the weak sense: no significantly negative
+/// second difference) over `[lo, hi] ∩ domain`.
+pub fn is_convex_on(f: &SampledFunction, lo: f64, hi: f64, rel_tol: f64) -> bool {
+    curvature_ok_on(f, lo, hi, rel_tol, Curvature::Concave)
+}
+
+/// Whether `f` is concave (no significantly positive second difference)
+/// over `[lo, hi] ∩ domain`.
+pub fn is_concave_on(f: &SampledFunction, lo: f64, hi: f64, rel_tol: f64) -> bool {
+    curvature_ok_on(f, lo, hi, rel_tol, Curvature::Convex)
+}
+
+fn curvature_ok_on(
+    f: &SampledFunction,
+    lo: f64,
+    hi: f64,
+    rel_tol: f64,
+    forbidden: Curvature,
+) -> bool {
+    let d2 = second_differences(f);
+    if d2.is_empty() {
+        return true;
+    }
+    let scale = curvature_scale(f, &d2);
+    for (k, &v) in d2.iter().enumerate() {
+        let x = f.x(k + 1);
+        if x < lo || x > hi {
+            continue;
+        }
+        if classify_one(v, scale, rel_tol) == forbidden {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_is_one_convex_region() {
+        let f = SampledFunction::sample(-1.0, 1.0, 101, |x| x * x);
+        let rs = classify_regions(&f, 1e-9);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].curvature, Curvature::Convex);
+        assert_eq!(rs[0].lo, -1.0);
+        assert_eq!(rs[0].hi, 1.0);
+    }
+
+    #[test]
+    fn cubic_splits_at_inflection() {
+        let f = SampledFunction::sample(-1.0, 1.0, 201, |x| x * x * x);
+        let rs = classify_regions(&f, 1e-6);
+        // Concave for x<0, convex for x>0 (possibly a flat sliver at 0).
+        assert!(rs.len() >= 2);
+        assert_eq!(rs.first().unwrap().curvature, Curvature::Concave);
+        assert_eq!(rs.last().unwrap().curvature, Curvature::Convex);
+        let split = rs.first().unwrap().hi;
+        assert!(split.abs() < 0.05, "inflection near 0, got {split}");
+    }
+
+    #[test]
+    fn affine_is_flat() {
+        let f = SampledFunction::sample(0.0, 1.0, 50, |x| 3.0 * x + 2.0);
+        let rs = classify_regions(&f, 1e-9);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].curvature, Curvature::Flat);
+    }
+
+    #[test]
+    fn interval_queries() {
+        let f = SampledFunction::sample(-2.0, 2.0, 401, |x| x * x * x);
+        assert!(is_concave_on(&f, -2.0, -0.1, 1e-6));
+        assert!(is_convex_on(&f, 0.1, 2.0, 1e-6));
+        assert!(!is_convex_on(&f, -2.0, 2.0, 1e-6));
+        assert!(!is_concave_on(&f, -2.0, 2.0, 1e-6));
+        // Affine functions count as both convex and concave.
+        let a = SampledFunction::sample(0.0, 1.0, 30, |x| x);
+        assert!(is_convex_on(&a, 0.0, 1.0, 1e-9));
+        assert!(is_concave_on(&a, 0.0, 1.0, 1e-9));
+    }
+
+    #[test]
+    fn sqrt_g_is_convex_preview() {
+        // g(x) = 1/f(1/x) with f = SQRT is c·√x · r … here a plain √x
+        // stand-in: x → √x is concave, so 1/f(1/x) = √x·const is concave?
+        // No: for SQRT, f(p) = 1/(c√p), so f(1/x) = √x/c and
+        // g(x) = 1/f(1/x) = c/√x — convex. Verify that shape here.
+        let g = SampledFunction::sample(0.5, 40.0, 800, |x| 1.0 / x.sqrt());
+        assert!(is_convex_on(&g, 0.5, 40.0, 1e-9));
+        let h = SampledFunction::sample(0.5, 40.0, 800, |x| x.sqrt());
+        assert!(is_concave_on(&h, 0.5, 40.0, 1e-9));
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests: the convex closure is a closure operator.
+
+use ebrc_convex::{convex_closure, deviation_ratio, SampledFunction};
+use proptest::prelude::*;
+
+/// Random piecewise-smooth positive functions on [1, 10].
+fn random_function() -> impl Strategy<Value = SampledFunction> {
+    (
+        0.1_f64..5.0,
+        -2.0_f64..2.0,
+        0.0_f64..3.0,
+        0.5_f64..6.0,
+        10_usize..400,
+    )
+        .prop_map(|(a, b, amp, freq, n)| {
+            SampledFunction::sample(1.0, 10.0, n.max(2), move |x| {
+                // positive by construction
+                a * x + b * x.ln() + amp * (freq * x).sin() + 20.0
+            })
+        })
+}
+
+proptest! {
+    #[test]
+    fn closure_lower_bounds_and_is_convex(g in random_function()) {
+        let c = convex_closure(&g);
+        for i in 0..g.len() {
+            prop_assert!(c.y(i) <= g.y(i) + 1e-9, "closure above g at {i}");
+        }
+        for i in 1..c.len() - 1 {
+            let d2 = c.y(i + 1) - 2.0 * c.y(i) + c.y(i - 1);
+            prop_assert!(d2 >= -1e-7 * c.y(i).abs().max(1.0), "non-convex at {i}");
+        }
+        // Endpoints are always on the hull.
+        prop_assert!((c.y(0) - g.y(0)).abs() < 1e-9);
+        prop_assert!((c.y(g.len() - 1) - g.y(g.len() - 1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closure_is_idempotent(g in random_function()) {
+        let once = convex_closure(&g);
+        let twice = convex_closure(&once);
+        for i in 0..once.len() {
+            prop_assert!((once.y(i) - twice.y(i)).abs() < 1e-7 * once.y(i).abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn deviation_ratio_at_least_one(g in random_function()) {
+        prop_assert!(deviation_ratio(&g) >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn affine_functions_are_their_own_closure(a in -5.0_f64..5.0, b in 10.0_f64..100.0) {
+        let g = SampledFunction::sample(0.0, 5.0, 100, |x| a * x + b + 30.0);
+        let c = convex_closure(&g);
+        for i in 0..g.len() {
+            prop_assert!((c.y(i) - g.y(i)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Claim 4's fixed-capacity-link analysis (Section IV-A.2).
+//!
+//! One sender alone on a link of capacity `c` with round-trip time 1,
+//! experiencing a loss event exactly when its rate reaches `c`:
+//!
+//! * an **AIMD** sender (increase `α`, decrease factor `β`) sees
+//!   `p' = 2α / ((1 − β²) · c²)`;
+//! * an **equation-based** sender using the matching AIMD
+//!   loss-throughput formula, converged to its fixed point, sees
+//!   `p = α(1 + β) / (2(1 − β) · c²)`;
+//! * the ratio is `p'/p = 4 / (1 + β)²` — **16/9 ≈ 1.78** for the
+//!   TCP-like `β = 1/2`, i.e. TCP experiences a markedly larger
+//!   loss-event rate than the smoother equation-based control in the
+//!   few-flows regime. This is the analytical heart of Claim 4.
+//!
+//! *Erratum.* The paper's text displays the ratio as `4/(1−β)²`, but its
+//! own expressions for `p'` and `p` divide to `4/(1+β)²`, and only the
+//! latter reproduces the stated value 16/9 at `β = 1/2`
+//! (`4/(1−1/2)² = 16`, not 16/9). We implement the consistent form.
+//!
+//! Derivations: an AIMD cycle ramps from `βc` to `c` in `(1 − β)c/α`
+//! RTTs, sending `(1+β)(1−β)c²/(2α)` packets ⇒ one loss event per that
+//! many packets. The equation-based sender at its fixed point sends at
+//! `≈ c` and accumulates `1/p` packets per loss event with
+//! `f(p) = √(α(1+β)/(2(1−β)))/√p = c`.
+
+/// AIMD loss-event rate on a fixed-capacity link:
+/// `p' = 2α / ((1 − β²)·c²)`.
+///
+/// # Panics
+/// Panics unless `α > 0`, `0 < β < 1`, `c > 0`.
+pub fn aimd_loss_event_rate(alpha: f64, beta: f64, capacity: f64) -> f64 {
+    validate(alpha, beta, capacity);
+    2.0 * alpha / ((1.0 - beta * beta) * capacity * capacity)
+}
+
+/// Equation-based sender's loss-event rate at its fixed point on the
+/// same link: `p = α(1 + β) / (2(1 − β)·c²)`.
+///
+/// # Panics
+/// Panics unless `α > 0`, `0 < β < 1`, `c > 0`.
+pub fn ebrc_loss_event_rate(alpha: f64, beta: f64, capacity: f64) -> f64 {
+    validate(alpha, beta, capacity);
+    alpha * (1.0 + beta) / (2.0 * (1.0 - beta) * capacity * capacity)
+}
+
+/// The loss-event-rate ratio `p'/p = 4 / (1 + β)²`, independent of `α`
+/// and `c` (see the module erratum: the paper's display says `(1 − β)²`
+/// but its numbers and derivation give `(1 + β)²`).
+///
+/// # Panics
+/// Panics unless `0 < β < 1`.
+pub fn loss_event_rate_ratio(beta: f64) -> f64 {
+    assert!(beta > 0.0 && beta < 1.0, "beta must be in (0, 1)");
+    4.0 / ((1.0 + beta) * (1.0 + beta))
+}
+
+fn validate(alpha: f64, beta: f64, capacity: f64) {
+    assert!(alpha > 0.0, "alpha must be positive");
+    assert!(beta > 0.0 && beta < 1.0, "beta must be in (0, 1)");
+    assert!(capacity > 0.0, "capacity must be positive");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn tcp_like_ratio_is_sixteen_ninths() {
+        assert_close(loss_event_rate_ratio(0.5), 16.0 / 9.0, 1e-12);
+    }
+
+    #[test]
+    fn ratio_equals_quotient_of_rates() {
+        for &beta in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+            for &(alpha, c) in &[(1.0, 10.0), (0.5, 100.0), (2.0, 3.0)] {
+                let ratio = aimd_loss_event_rate(alpha, beta, c)
+                    / ebrc_loss_event_rate(alpha, beta, c);
+                assert_close(ratio, loss_event_rate_ratio(beta), 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn aimd_rate_from_cycle_geometry() {
+        // Direct cycle computation: window ramps βc → c at α per RTT
+        // (RTT = 1), packets per cycle = ∫ rate dt.
+        let (alpha, beta, c) = (1.0, 0.5, 20.0);
+        let ramp_time = (1.0 - beta) * c / alpha;
+        let packets = 0.5 * (beta * c + c) * ramp_time;
+        assert_close(aimd_loss_event_rate(alpha, beta, c), 1.0 / packets, 1e-12);
+    }
+
+    #[test]
+    fn more_aggressive_decrease_widens_the_gap() {
+        // Smaller β (deeper backoff) → larger ratio.
+        assert!(loss_event_rate_ratio(0.3) > loss_event_rate_ratio(0.5));
+        assert!(loss_event_rate_ratio(0.5) > loss_event_rate_ratio(0.8));
+    }
+
+    #[test]
+    fn ebrc_rate_consistent_with_aimd_formula_fixed_point() {
+        // At the fixed point x = f(p) = c: p = coeff²/c² with
+        // coeff² = α(1+β)/(2(1−β)).
+        use crate::formula::{AimdFormula, ThroughputFormula};
+        let (alpha, beta, c) = (1.0, 0.5, 50.0);
+        let p = ebrc_loss_event_rate(alpha, beta, c);
+        let f = AimdFormula::new(alpha, beta);
+        assert_close(f.rate(p), c, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn beta_one_rejected() {
+        loss_event_rate_ratio(1.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Moving-average weight profiles for the loss-interval estimator.
+//!
+//! Equation (2) defines `θ̂_n = Σ_{l=1}^{L} w_l · θ_{n−l}` with positive
+//! weights summing to one (assumption (E): the estimator is unbiased).
+//! TFRC's profile keeps `w_l` equal for `l ≤ L/2` and decreases linearly
+//! after; the RFC 3448 instance for `L = 8` is
+//! `(1, 1, 1, 1, 0.8, 0.6, 0.4, 0.2) / 5`.
+
+/// A normalized weight vector `(w_1, …, w_L)`, most recent interval
+/// first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightProfile {
+    weights: Vec<f64>,
+}
+
+impl WeightProfile {
+    /// TFRC's weight profile for window `L ≥ 1`: flat over the first half
+    /// (`w_l = 1` for `l ≤ ⌈L/2⌉… `), linearly decaying after, then
+    /// normalized. For `L = 8` this reproduces RFC 3448's
+    /// `(1,1,1,1,0.8,0.6,0.4,0.2)/5`.
+    ///
+    /// # Panics
+    /// Panics if `L == 0`.
+    pub fn tfrc(l: usize) -> Self {
+        assert!(l > 0, "window must be at least 1");
+        if l == 1 {
+            return Self::custom(vec![1.0]);
+        }
+        let half = (l / 2).max(1);
+        // Tail decays linearly from 1 down to 1/(tail+1), staying positive
+        // for both even and odd L (for even L this is the familiar
+        // L/2 + 1 denominator of RFC 3448).
+        let denom = (l - half + 1) as f64;
+        let raw: Vec<f64> = (1..=l)
+            .map(|i| {
+                if i <= half {
+                    1.0
+                } else {
+                    1.0 - (i - half) as f64 / denom
+                }
+            })
+            .collect();
+        Self::custom(raw)
+    }
+
+    /// Uniform weights `w_l = 1/L`.
+    ///
+    /// # Panics
+    /// Panics if `L == 0`.
+    pub fn uniform(l: usize) -> Self {
+        assert!(l > 0, "window must be at least 1");
+        Self::custom(vec![1.0; l])
+    }
+
+    /// Arbitrary positive weights, normalized to sum to one.
+    ///
+    /// # Panics
+    /// Panics if the vector is empty, any weight is non-positive, or the
+    /// sum is not finite.
+    pub fn custom(raw: Vec<f64>) -> Self {
+        assert!(!raw.is_empty(), "at least one weight required");
+        assert!(
+            raw.iter().all(|&w| w > 0.0 && w.is_finite()),
+            "weights must be positive and finite"
+        );
+        let sum: f64 = raw.iter().sum();
+        assert!(sum.is_finite() && sum > 0.0);
+        Self {
+            weights: raw.into_iter().map(|w| w / sum).collect(),
+        }
+    }
+
+    /// Window length `L`.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the window is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// The normalized weights, most recent first.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// `w_1`, the weight of the most recent interval (and of the open
+    /// interval in the comprehensive control's virtual estimate).
+    pub fn w1(&self) -> f64 {
+        self.weights[0]
+    }
+
+    /// Effective sample size `1 / Σ w_l²` — a smoothing measure: equals
+    /// `L` for uniform weights, smaller for decaying profiles. Claim 1
+    /// predicts less conservativeness as this grows.
+    pub fn effective_window(&self) -> f64 {
+        1.0 / self.weights.iter().map(|w| w * w).sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        for l in 1..=20 {
+            let p = WeightProfile::tfrc(l);
+            assert_close(p.as_slice().iter().sum::<f64>(), 1.0, 1e-12);
+            let u = WeightProfile::uniform(l);
+            assert_close(u.as_slice().iter().sum::<f64>(), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn rfc3448_profile_for_l8() {
+        let p = WeightProfile::tfrc(8);
+        let expected = [1.0, 1.0, 1.0, 1.0, 0.8, 0.6, 0.4, 0.2];
+        let sum: f64 = expected.iter().sum();
+        for (w, e) in p.as_slice().iter().zip(&expected) {
+            assert_close(*w, e / sum, 1e-12);
+        }
+    }
+
+    #[test]
+    fn l1_is_identity() {
+        let p = WeightProfile::tfrc(1);
+        assert_eq!(p.as_slice(), &[1.0]);
+        assert_eq!(p.w1(), 1.0);
+    }
+
+    #[test]
+    fn l2_profile() {
+        // half = 1, denom = 2: raw (1, 0.5) → (2/3, 1/3).
+        let p = WeightProfile::tfrc(2);
+        assert_close(p.as_slice()[0], 2.0 / 3.0, 1e-12);
+        assert_close(p.as_slice()[1], 1.0 / 3.0, 1e-12);
+    }
+
+    #[test]
+    fn weights_are_non_increasing() {
+        for l in 1..=32 {
+            let p = WeightProfile::tfrc(l);
+            for w in p.as_slice().windows(2) {
+                assert!(w[0] >= w[1] - 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn effective_window_grows_with_l() {
+        let mut prev = 0.0;
+        for l in [1, 2, 4, 8, 16] {
+            let e = WeightProfile::tfrc(l).effective_window();
+            assert!(e > prev, "L = {l}: {e} <= {prev}");
+            prev = e;
+        }
+        // Uniform is the maximum-entropy profile: largest effective window.
+        assert_close(WeightProfile::uniform(8).effective_window(), 8.0, 1e-12);
+        assert!(WeightProfile::tfrc(8).effective_window() < 8.0);
+    }
+
+    #[test]
+    fn custom_normalizes() {
+        let p = WeightProfile::custom(vec![2.0, 2.0, 4.0]);
+        assert_eq!(p.as_slice(), &[0.25, 0.25, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_rejected() {
+        WeightProfile::custom(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn empty_window_rejected() {
+        WeightProfile::tfrc(0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Reproduction CLI: regenerate any table/figure of the paper.
+//!
+//! ```text
+//! repro --list                 # catalogue
+//! repro fig03                  # one experiment, quick scale
+//! repro fig03 --scale paper    # paper-comparable effort
+//! repro all                    # everything (quick)
+//! repro fig05 --json           # machine-readable output
+//! repro all --out results/     # one JSON file per table, for plotting
+//! ```
+
+use ebrc_experiments::{all_experiments, find_experiment, Experiment, Scale};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro (--list | <experiment-id> | all) [--scale quick|paper] [--json] [--out DIR]"
+    );
+    ExitCode::from(2)
+}
+
+fn run_one(exp: &dyn Experiment, scale: Scale, json: bool, out: Option<&PathBuf>) {
+    eprintln!(
+        "# {} — {} ({})",
+        exp.id(),
+        exp.title(),
+        exp.paper_ref()
+    );
+    let start = std::time::Instant::now();
+    let tables = exp.run(scale);
+    for t in &tables {
+        if json {
+            println!("{}", t.to_json());
+        } else {
+            println!("{}", t.render());
+        }
+        if let Some(dir) = out {
+            let file = dir.join(format!("{}.json", t.name.replace(['/', ' '], "_")));
+            if let Err(e) = std::fs::write(&file, t.to_json()) {
+                eprintln!("# failed to write {}: {e}", file.display());
+            }
+        }
+    }
+    eprintln!("# {} done in {:.1?}", exp.id(), start.elapsed());
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let mut target: Option<String> = None;
+    let mut scale = Scale::quick();
+    let mut json = false;
+    let mut list = false;
+    let mut out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => list = true,
+            "--json" => json = true,
+            "--scale" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("quick") => scale = Scale::quick(),
+                    Some("paper") => scale = Scale::paper(),
+                    _ => return usage(),
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => {
+                        let dir = PathBuf::from(dir);
+                        if let Err(e) = std::fs::create_dir_all(&dir) {
+                            eprintln!("cannot create {}: {e}", dir.display());
+                            return ExitCode::FAILURE;
+                        }
+                        out = Some(dir);
+                    }
+                    None => return usage(),
+                }
+            }
+            s if s.starts_with('-') => return usage(),
+            s => target = Some(s.to_string()),
+        }
+        i += 1;
+    }
+
+    if list {
+        for e in all_experiments() {
+            println!("{:12} {:28} {}", e.id(), e.paper_ref(), e.title());
+        }
+        return ExitCode::SUCCESS;
+    }
+    match target.as_deref() {
+        Some("all") => {
+            for e in all_experiments() {
+                run_one(e.as_ref(), scale, json, out.as_ref());
+            }
+            ExitCode::SUCCESS
+        }
+        Some(id) => match find_experiment(id) {
+            Some(e) => {
+                run_one(e.as_ref(), scale, json, out.as_ref());
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown experiment '{id}'; try --list");
+                ExitCode::FAILURE
+            }
+        },
+        None => usage(),
+    }
+}

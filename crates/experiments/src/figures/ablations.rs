@@ -1,0 +1,252 @@
+//! Ablations: the design choices the analysis isolates.
+//!
+//! * `ablate-control` — basic vs comprehensive control on the same loss
+//!   process (Proposition 2's gap);
+//! * `ablate-estimator` — TFRC vs uniform weights per window `L`;
+//! * `ablate-formula` — the formula choice at heavy loss (the
+//!   throughput-drop effect of Claim 1);
+//! * `ablate-phase` — Markov-modulated (phase) loss that violates (C1):
+//!   a predictable loss process turns the covariance term into a
+//!   throughput *boost*, the non-conservative regime of Section III-B.2.
+
+use crate::registry::{Experiment, Scale};
+use crate::series::Table;
+use ebrc_core::control::{BasicControl, ComprehensiveControl, ControlConfig};
+use ebrc_core::formula::{PftkSimplified, PftkStandard, Sqrt, ThroughputFormula};
+use ebrc_core::weights::WeightProfile;
+use ebrc_dist::{IidProcess, LossProcess, MarkovModulated, Rng, ShiftedExponential};
+
+fn basic_normalized<F: ThroughputFormula + Clone, P: LossProcess>(
+    f: &F,
+    weights: WeightProfile,
+    process: &mut P,
+    events: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = Rng::seed_from(seed);
+    let trace = BasicControl::new(f.clone(), ControlConfig::new(weights)).run(process, &mut rng, events);
+    trace.normalized_throughput(f)
+}
+
+/// Basic vs comprehensive control.
+pub struct AblateControlLaw;
+
+impl Experiment for AblateControlLaw {
+    fn id(&self) -> &'static str {
+        "ablate-control"
+    }
+
+    fn title(&self) -> &'static str {
+        "basic vs comprehensive control on identical loss statistics"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Proposition 2 / Section V-B remark"
+    }
+
+    fn run(&self, scale: Scale) -> Vec<Table> {
+        let mut t = Table::new(
+            "ablate-control",
+            "normalized throughput of both control laws vs p (PFTK-simplified, L = 8)",
+            vec!["p", "basic", "comprehensive"],
+        );
+        let f = PftkSimplified::with_rtt(1.0);
+        for (i, p) in [0.02, 0.05, 0.1, 0.2, 0.4].into_iter().enumerate() {
+            let weights = WeightProfile::tfrc(8);
+            let mut pr1 = IidProcess::new(ShiftedExponential::from_mean_cv(1.0 / p, 0.9));
+            let mut pr2 = IidProcess::new(ShiftedExponential::from_mean_cv(1.0 / p, 0.9));
+            let seed = 400 + i as u64;
+            let basic = basic_normalized(&f, weights.clone(), &mut pr1, scale.mc_events, seed);
+            let mut rng = Rng::seed_from(seed);
+            let comp = ComprehensiveControl::new(f.clone(), ControlConfig::new(weights))
+                .run(&mut pr2, &mut rng, scale.mc_events);
+            t.push_row(vec![p, basic, comp.normalized_throughput(&f)]);
+        }
+        vec![t]
+    }
+}
+
+/// Estimator window and weight profile.
+pub struct AblateEstimator;
+
+impl Experiment for AblateEstimator {
+    fn id(&self) -> &'static str {
+        "ablate-estimator"
+    }
+
+    fn title(&self) -> &'static str {
+        "estimator window L and weight profile (TFRC vs uniform)"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Claim 1, second bullet"
+    }
+
+    fn run(&self, scale: Scale) -> Vec<Table> {
+        let mut t = Table::new(
+            "ablate-estimator",
+            "normalized throughput vs L for TFRC and uniform weights (PFTK-simplified, p = 0.1, cv ≈ 1)",
+            vec!["L", "tfrc_weights", "uniform_weights", "effective_window_tfrc"],
+        );
+        let f = PftkSimplified::with_rtt(1.0);
+        for (i, l) in [1usize, 2, 4, 8, 16, 32].into_iter().enumerate() {
+            let mut pr1 = IidProcess::new(ShiftedExponential::from_mean_cv(10.0, 0.999));
+            let mut pr2 = IidProcess::new(ShiftedExponential::from_mean_cv(10.0, 0.999));
+            let seed = 500 + i as u64;
+            let tfrc = basic_normalized(&f, WeightProfile::tfrc(l), &mut pr1, scale.mc_events, seed);
+            let unif =
+                basic_normalized(&f, WeightProfile::uniform(l), &mut pr2, scale.mc_events, seed);
+            t.push_row(vec![
+                l as f64,
+                tfrc,
+                unif,
+                WeightProfile::tfrc(l).effective_window(),
+            ]);
+        }
+        vec![t]
+    }
+}
+
+/// Formula choice at heavy loss.
+pub struct AblateFormula;
+
+impl Experiment for AblateFormula {
+    fn id(&self) -> &'static str {
+        "ablate-formula"
+    }
+
+    fn title(&self) -> &'static str {
+        "SQRT vs PFTK formulas across the loss range (throughput-drop effect)"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Claim 1 application / Section VI"
+    }
+
+    fn run(&self, scale: Scale) -> Vec<Table> {
+        let mut t = Table::new(
+            "ablate-formula",
+            "normalized throughput vs p per formula (basic control, L = 8, cv ≈ 1)",
+            vec!["p", "sqrt", "pftk_standard", "pftk_simplified"],
+        );
+        for (i, p) in [0.02, 0.1, 0.25, 0.4].into_iter().enumerate() {
+            let seed = 600 + i as u64;
+            let mk = || IidProcess::new(ShiftedExponential::from_mean_cv(1.0 / p, 0.999));
+            let s = basic_normalized(
+                &Sqrt::with_rtt(1.0),
+                WeightProfile::tfrc(8),
+                &mut mk(),
+                scale.mc_events,
+                seed,
+            );
+            let std = basic_normalized(
+                &PftkStandard::with_rtt(1.0),
+                WeightProfile::tfrc(8),
+                &mut mk(),
+                scale.mc_events,
+                seed,
+            );
+            let simp = basic_normalized(
+                &PftkSimplified::with_rtt(1.0),
+                WeightProfile::tfrc(8),
+                &mut mk(),
+                scale.mc_events,
+                seed,
+            );
+            t.push_row(vec![p, s, std, simp]);
+        }
+        vec![t]
+    }
+}
+
+/// Phase-modulated (predictable) loss violating (C1).
+pub struct AblatePhaseLoss;
+
+impl Experiment for AblatePhaseLoss {
+    fn id(&self) -> &'static str {
+        "ablate-phase"
+    }
+
+    fn title(&self) -> &'static str {
+        "phase-modulated loss: predictability flips the covariance term"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Section III-B.2 (when the sufficient conditions do not hold)"
+    }
+
+    fn run(&self, scale: Scale) -> Vec<Table> {
+        let mut t = Table::new(
+            "ablate-phase",
+            "normalized throughput and cov[θ0,θ̂0]p² vs phase sojourn (SQRT, L = 8)",
+            vec!["sojourn_events", "normalized_throughput", "normalized_covariance"],
+        );
+        let f = Sqrt::with_rtt(1.0);
+        for (i, sojourn) in [1.5, 5.0, 20.0, 80.0].into_iter().enumerate() {
+            let mut process = MarkovModulated::congestion_oscillation(60.0, 4.0, sojourn);
+            let mut rng = Rng::seed_from(700 + i as u64);
+            let trace = BasicControl::new(f.clone(), ControlConfig::new(WeightProfile::tfrc(8)))
+                .run(&mut process, &mut rng, scale.mc_events);
+            t.push_row(vec![
+                sojourn,
+                trace.normalized_throughput(&f),
+                trace.normalized_covariance(),
+            ]);
+        }
+        vec![t]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comprehensive_at_least_basic() {
+        let t = &AblateControlLaw.run(Scale::quick())[0];
+        for row in &t.rows {
+            assert!(
+                row[2] >= row[1] - 0.03,
+                "comprehensive {} below basic {} at p = {}",
+                row[2],
+                row[1],
+                row[0]
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_weights_less_conservative_than_tfrc_at_same_l() {
+        // Uniform weights smooth more (larger effective window) so the
+        // Jensen penalty is smaller; at L = 16 the gap should be visible.
+        let t = &AblateEstimator.run(Scale::quick())[0];
+        let row = t.rows.iter().find(|r| r[0] == 16.0).unwrap();
+        assert!(row[2] >= row[1] - 0.02, "uniform {} vs tfrc {}", row[2], row[1]);
+    }
+
+    #[test]
+    fn pftk_drops_harder_than_sqrt_at_heavy_loss() {
+        let t = &AblateFormula.run(Scale::quick())[0];
+        let heavy = t.rows.last().unwrap();
+        assert!(heavy[3] < heavy[1], "pftk {} vs sqrt {}", heavy[3], heavy[1]);
+    }
+
+    #[test]
+    fn slow_phases_raise_covariance_and_throughput() {
+        let t = &AblatePhaseLoss.run(Scale::quick())[0];
+        let fast = &t.rows[0];
+        let slow = t.rows.last().unwrap();
+        assert!(
+            slow[2] > fast[2],
+            "covariance should grow with sojourn: {} vs {}",
+            slow[2],
+            fast[2]
+        );
+        assert!(
+            slow[1] > fast[1],
+            "predictability should boost throughput: {} vs {}",
+            slow[1],
+            fast[1]
+        );
+    }
+}

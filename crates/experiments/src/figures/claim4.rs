@@ -1,0 +1,118 @@
+//! Section IV-A.2: the fixed-capacity-link analysis behind Claim 4,
+//! including the "not displayed" shared-link simulation.
+
+use crate::registry::{Experiment, Scale};
+use crate::series::Table;
+use ebrc_core::formula::AimdFormula;
+use ebrc_core::theory::claim4;
+use ebrc_core::weights::WeightProfile;
+use ebrc_tcp::{AimdFixedLink, EbrcFixedLink, SharedFixedLink};
+
+/// Claim 4 reproduction.
+pub struct Claim4;
+
+impl Experiment for Claim4 {
+    fn id(&self) -> &'static str {
+        "claim4"
+    }
+
+    fn title(&self) -> &'static str {
+        "fixed-capacity link: AIMD vs equation-based loss-event rates (ratio 16/9)"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Section IV-A.2 / Claim 4"
+    }
+
+    fn run(&self, scale: Scale) -> Vec<Table> {
+        let capacity = 100.0;
+        let alpha = 1.0;
+        let events = if scale.quick { 3_000 } else { 30_000 };
+        let betas = if scale.quick {
+            vec![0.25, 0.5, 0.75]
+        } else {
+            vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+        };
+
+        let mut iso = Table::new(
+            "claim4/isolated",
+            "analytic p' and p, measured fixed-point p, and the ratio 4/(1+β)²",
+            vec![
+                "beta",
+                "p_aimd_analytic",
+                "p_ebrc_analytic",
+                "p_ebrc_measured",
+                "ratio_analytic",
+                "ratio_measured",
+            ],
+        );
+        for &beta in &betas {
+            let aimd = AimdFixedLink::new(alpha, beta, capacity);
+            let mut ebrc = EbrcFixedLink::new(
+                AimdFormula::new(alpha, beta),
+                WeightProfile::tfrc(8),
+                capacity,
+            );
+            let measured = ebrc.measured_loss_event_rate(events);
+            iso.push_row(vec![
+                beta,
+                aimd.loss_event_rate(),
+                claim4::ebrc_loss_event_rate(alpha, beta, capacity),
+                measured,
+                claim4::loss_event_rate_ratio(beta),
+                aimd.loss_event_rate() / measured,
+            ]);
+        }
+
+        let mut shared = Table::new(
+            "claim4/shared",
+            "one AIMD + one EBRC sharing the link (fluid simulation): the gap holds, less pronounced",
+            vec!["beta", "ratio_shared", "aimd_tput", "ebrc_tput"],
+        );
+        let t_end = if scale.quick { 1_500.0 } else { 10_000.0 };
+        for &beta in &betas {
+            let aimd = AimdFixedLink::new(alpha, beta, capacity);
+            let mut link =
+                SharedFixedLink::new(aimd, AimdFormula::new(alpha, beta), WeightProfile::tfrc(8));
+            let out = link.run(t_end * 0.1, t_end);
+            shared.push_row(vec![
+                beta,
+                out.loss_rate_ratio(),
+                out.aimd_throughput,
+                out.ebrc_throughput,
+            ]);
+        }
+        vec![iso, shared]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolated_ratio_matches_sixteen_ninths_at_half() {
+        let tables = Claim4.run(Scale::quick());
+        let iso = &tables[0];
+        let row = iso.rows.iter().find(|r| (r[0] - 0.5).abs() < 1e-9).unwrap();
+        assert!((row[4] - 16.0 / 9.0).abs() < 1e-9, "analytic {}", row[4]);
+        assert!((row[5] - 16.0 / 9.0).abs() < 0.05, "measured {}", row[5]);
+    }
+
+    #[test]
+    fn shared_gap_positive_but_smaller() {
+        let tables = Claim4.run(Scale::quick());
+        let iso = &tables[0];
+        let shared = &tables[1];
+        for (i, s) in shared.rows.iter().enumerate() {
+            assert!(s[1] > 1.0, "β {}: shared ratio {} ≤ 1", s[0], s[1]);
+            assert!(
+                s[1] < iso.rows[i][4],
+                "β {}: shared {} not below isolated {}",
+                s[0],
+                s[1],
+                iso.rows[i][4]
+            );
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Figure 1: the functionals `x → f(1/x)` and `x → 1/f(1/x)` for the
+//! three formulae (`r = 1`, `q = 4r`).
+
+use crate::registry::{Experiment, Scale};
+use crate::series::Table;
+use ebrc_core::formula::{PftkSimplified, PftkStandard, Sqrt, ThroughputFormula};
+
+/// Figure 1 reproduction.
+pub struct Fig01;
+
+impl Experiment for Fig01 {
+    fn id(&self) -> &'static str {
+        "fig01"
+    }
+
+    fn title(&self) -> &'static str {
+        "f(1/x) and 1/f(1/x) for SQRT, PFTK-standard, PFTK-simplified"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 1"
+    }
+
+    fn run(&self, scale: Scale) -> Vec<Table> {
+        let sqrt = Sqrt::with_rtt(1.0);
+        let std = PftkStandard::with_rtt(1.0);
+        let simp = PftkSimplified::with_rtt(1.0);
+        let fs: [(&str, &dyn ThroughputFormula); 3] =
+            [("sqrt", &sqrt), ("pftk-standard", &std), ("pftk-simplified", &simp)];
+        let n = if scale.quick { 26 } else { 501 };
+
+        let mut left = Table::new(
+            "fig01/left",
+            "x → f(1/x) (send rate at interval x), r = 1, q = 4r",
+            vec!["x", "sqrt", "pftk_standard", "pftk_simplified"],
+        );
+        let mut right = Table::new(
+            "fig01/right",
+            "x → 1/f(1/x) (the Theorem-1 functional g)",
+            vec!["x", "sqrt", "pftk_standard", "pftk_simplified"],
+        );
+        for i in 0..n {
+            // Left panel: x ∈ (0, 50]; right panel: x ∈ (0, 10].
+            let xl = 50.0 * (i + 1) as f64 / n as f64;
+            let xr = 10.0 * (i + 1) as f64 / n as f64;
+            left.push_row(vec![xl, fs[0].1.h(xl), fs[1].1.h(xl), fs[2].1.h(xl)]);
+            right.push_row(vec![xr, fs[0].1.g(xr), fs[1].1.g(xr), fs[2].1.g(xr)]);
+        }
+        vec![left, right]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_figure1() {
+        let tables = Fig01.run(Scale::quick());
+        assert_eq!(tables.len(), 2);
+        let left = &tables[0];
+        // All three curves increase with x (rarer loss → higher rate).
+        for name in ["sqrt", "pftk_standard", "pftk_simplified"] {
+            let ys = left.column(name).unwrap();
+            assert!(ys.windows(2).all(|w| w[1] >= w[0]), "{name} not increasing");
+        }
+        // SQRT dominates the PFTK curves (no timeout penalty).
+        let s = left.column("sqrt").unwrap();
+        let p = left.column("pftk_standard").unwrap();
+        assert!(s.iter().zip(&p).all(|(a, b)| a >= b));
+        // Right panel: g decreasing in x.
+        let right = &tables[1];
+        let g = right.column("pftk_simplified").unwrap();
+        assert!(g.windows(2).all(|w| w[1] <= w[0]));
+    }
+}

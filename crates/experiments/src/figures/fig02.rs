@@ -1,0 +1,81 @@
+//! Figure 2: PFTK-standard's deviation from convexity.
+//!
+//! `g(x) = 1/f(1/x)` has a concave kink at `x = c2²` where the
+//! `min(1, c2√p)` term switches branch. The figure (drawn with the
+//! `b = 1` constants, which put the kink at 3.375) plots `g`, its convex
+//! closure `g**` on `[3.25, 3.5]`, and the ratio `g/g**` bounded by
+//! `r ≈ 1.0026` — Proposition 4 then caps any overshoot at that factor.
+
+use crate::registry::{Experiment, Scale};
+use crate::series::Table;
+use ebrc_convex::{convex_closure, deviation_ratio};
+use ebrc_core::formula::{c1, c2, PftkStandard, ThroughputFormula};
+
+/// Figure 2 reproduction.
+pub struct Fig02;
+
+impl Experiment for Fig02 {
+    fn id(&self) -> &'static str {
+        "fig02"
+    }
+
+    fn title(&self) -> &'static str {
+        "convex closure of 1/f(1/x) for PFTK-standard and the ratio bound r ≈ 1.0026"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 2 / Proposition 4"
+    }
+
+    fn run(&self, scale: Scale) -> Vec<Table> {
+        // The paper's instance: b = 1 (kink at c2² = 3.375), r = 1, q = 4.
+        let f = PftkStandard::new(c1(1.0), c2(1.0), 1.0, 4.0);
+        let n = if scale.quick { 2_001 } else { 40_001 };
+        let g = f.sample_g(3.25, 3.5, n);
+        let closure = convex_closure(&g);
+        let ratio = deviation_ratio(&g);
+
+        let mut curves = Table::new(
+            "fig02/curves",
+            "g(x) and its convex closure g**(x) on [3.25, 3.5] (b = 1)",
+            vec!["x", "g", "g_closure", "ratio"],
+        );
+        let step = (g.len() - 1) / 50;
+        for i in (0..g.len()).step_by(step.max(1)) {
+            curves.push_row(vec![g.x(i), g.y(i), closure.y(i), g.y(i) / closure.y(i)]);
+        }
+        let mut summary = Table::new(
+            "fig02/summary",
+            "sup g/g** (paper: 1.0026) and the same bound for the b = 2 default",
+            vec!["b", "kink_x", "deviation_ratio"],
+        );
+        summary.push_row(vec![1.0, 3.375, ratio]);
+        let f2 = PftkStandard::with_rtt(1.0);
+        let g2 = f2.sample_g(6.0, 7.6, n);
+        summary.push_row(vec![2.0, 6.75, deviation_ratio(&g2)]);
+        vec![curves, summary]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_matches_paper_value() {
+        let tables = Fig02.run(Scale::quick());
+        let summary = &tables[1];
+        let r = summary.rows[0][2];
+        assert!((r - 1.0026).abs() < 3e-4, "deviation ratio {r}");
+    }
+
+    #[test]
+    fn closure_lower_bounds_g() {
+        let tables = Fig02.run(Scale::quick());
+        for row in &tables[0].rows {
+            let (g, gc) = (row[1], row[2]);
+            assert!(gc <= g + 1e-12);
+            assert!(row[3] >= 1.0 - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Figures 3 and 4: the designed numerical experiments validating
+//! Claim 1.
+//!
+//! Loss-event intervals are i.i.d. shifted-exponential (so condition
+//! (C1) holds with covariance 0); the basic control's normalized
+//! throughput `x̄/f(p)` is Monte-Carlo-estimated:
+//!
+//! * Figure 3: `cv[θ0] = 1 − 1/1000` fixed, sweep `p`, for SQRT and
+//!   PFTK-simplified, `L ∈ {1, 2, 4, 8, 16}` (TFRC weights). PFTK grows
+//!   sharply more conservative with `p` (the throughput-drop effect);
+//!   SQRT is invariant in `p`.
+//! * Figure 4: `p` fixed to 1/100 or 1/10, sweep `cv[θ0]`: the more
+//!   variable the estimator, the more conservative the control.
+
+use crate::registry::{Experiment, Scale};
+use crate::series::Table;
+use ebrc_core::control::{BasicControl, ControlConfig};
+use ebrc_core::formula::{PftkSimplified, Sqrt, ThroughputFormula};
+use ebrc_core::weights::WeightProfile;
+use ebrc_dist::{IidProcess, Rng, ShiftedExponential};
+
+/// Monte-Carlo estimate of the basic control's normalized throughput
+/// under i.i.d. shifted-exponential intervals.
+pub fn normalized_throughput<F: ThroughputFormula + Clone>(
+    formula: &F,
+    l: usize,
+    p: f64,
+    cv: f64,
+    events: usize,
+    seed: u64,
+) -> f64 {
+    let mut process = IidProcess::new(ShiftedExponential::from_mean_cv(1.0 / p, cv));
+    let mut rng = Rng::seed_from(seed);
+    let cfg = ControlConfig::new(WeightProfile::tfrc(l));
+    let trace = BasicControl::new(formula.clone(), cfg).run(&mut process, &mut rng, events);
+    trace.normalized_throughput(formula)
+}
+
+fn window_list(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1, 4, 16]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    }
+}
+
+/// Figure 3 reproduction.
+pub struct Fig03;
+
+impl Experiment for Fig03 {
+    fn id(&self) -> &'static str {
+        "fig03"
+    }
+
+    fn title(&self) -> &'static str {
+        "normalized throughput vs p (cv fixed to 1 − 1/1000), basic control"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 3"
+    }
+
+    fn run(&self, scale: Scale) -> Vec<Table> {
+        let cv = 1.0 - 1.0 / 1000.0;
+        let ps: Vec<f64> = if scale.quick {
+            vec![0.02, 0.1, 0.2, 0.4]
+        } else {
+            (1..=16).map(|i| 0.025 * i as f64).collect()
+        };
+        let ls = window_list(scale.quick);
+        let mut tables = Vec::new();
+        for (name, formula) in [
+            ("sqrt", Box::new(Sqrt::with_rtt(1.0)) as Box<dyn ThroughputFormula>),
+            ("pftk-simplified", Box::new(PftkSimplified::with_rtt(1.0))),
+        ] {
+            let mut cols: Vec<String> = vec!["p".into()];
+            cols.extend(ls.iter().map(|l| format!("L{l}")));
+            let mut t = Table::new(
+                format!("fig03/{name}"),
+                format!("x̄/f(p) vs p, {name}, cv[θ0] = {cv}"),
+                cols,
+            );
+            for &p in &ps {
+                let mut row = vec![p];
+                for (k, &l) in ls.iter().enumerate() {
+                    let v = match name {
+                        "sqrt" => normalized_throughput(
+                            &Sqrt::with_rtt(1.0),
+                            l,
+                            p,
+                            cv,
+                            scale.mc_events,
+                            1000 + k as u64,
+                        ),
+                        _ => normalized_throughput(
+                            &PftkSimplified::with_rtt(1.0),
+                            l,
+                            p,
+                            cv,
+                            scale.mc_events,
+                            2000 + k as u64,
+                        ),
+                    };
+                    let _ = formula;
+                    row.push(v);
+                }
+                t.push_row(row);
+            }
+            tables.push(t);
+        }
+        tables
+    }
+}
+
+/// Figure 4 reproduction.
+pub struct Fig04;
+
+impl Experiment for Fig04 {
+    fn id(&self) -> &'static str {
+        "fig04"
+    }
+
+    fn title(&self) -> &'static str {
+        "normalized throughput vs cv[θ0] (p fixed), basic control, PFTK-simplified"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 4"
+    }
+
+    fn run(&self, scale: Scale) -> Vec<Table> {
+        let cvs: Vec<f64> = if scale.quick {
+            vec![0.2, 0.5, 0.8, 0.999]
+        } else {
+            (1..=10).map(|i| (0.1 * i as f64).min(0.999)).collect()
+        };
+        let ls = window_list(scale.quick);
+        let mut tables = Vec::new();
+        for p in [0.01, 0.1] {
+            let mut cols: Vec<String> = vec!["cv".into()];
+            cols.extend(ls.iter().map(|l| format!("L{l}")));
+            let mut t = Table::new(
+                format!("fig04/p{}", p),
+                format!("x̄/f(p) vs cv[θ0], PFTK-simplified, p = {p}"),
+                cols,
+            );
+            for &cv in &cvs {
+                let mut row = vec![cv];
+                for (k, &l) in ls.iter().enumerate() {
+                    row.push(normalized_throughput(
+                        &PftkSimplified::with_rtt(1.0),
+                        l,
+                        p,
+                        cv,
+                        scale.mc_events,
+                        3000 + k as u64,
+                    ));
+                }
+                t.push_row(row);
+            }
+            tables.push(t);
+        }
+        tables
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig03_pftk_more_conservative_with_heavier_loss() {
+        let tables = Fig03.run(Scale::quick());
+        let pftk = &tables[1];
+        // Claim 1: throughput drop with p for PFTK-simplified. At L = 1
+        // with cv ≈ 1 the control is already crushed at every p (the
+        // excessive-conservativeness floor), so the drop is read off the
+        // smoothed windows.
+        let l1 = pftk.column("L1").unwrap();
+        assert!(
+            l1.iter().all(|v| *v < 0.25),
+            "L1 should sit at the excessive-conservativeness floor: {l1:?}"
+        );
+        for col in ["L4", "L16"] {
+            let ys = pftk.column(col).unwrap();
+            assert!(
+                ys.first().unwrap() > ys.last().unwrap(),
+                "no throughput drop in {col}: {ys:?}"
+            );
+        }
+        let l4 = pftk.column("L4").unwrap();
+        assert!(*l4.last().unwrap() < 0.4, "drop too weak: {l4:?}");
+        // Everything conservative (Theorem 1 applies).
+        for row in &pftk.rows {
+            for v in &row[1..] {
+                assert!(*v <= 1.0 + 0.03, "non-conservative point {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig03_sqrt_invariant_in_p() {
+        let tables = Fig03.run(Scale::quick());
+        let sqrt = &tables[0];
+        let l4 = sqrt.column("L4").unwrap();
+        let spread = l4.iter().cloned().fold(f64::MIN, f64::max)
+            - l4.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 0.06, "SQRT should be flat in p, spread {spread}");
+    }
+
+    #[test]
+    fn fig03_larger_window_less_conservative() {
+        let tables = Fig03.run(Scale::quick());
+        for t in &tables {
+            for row in &t.rows {
+                // L16 ≥ L1 at every p (smoothing reduces the Jensen
+                // penalty).
+                let l1 = row[1];
+                let l16 = *row.last().unwrap();
+                assert!(l16 >= l1 - 0.02, "L16 {l16} < L1 {l1}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig04_more_variability_more_conservative() {
+        let tables = Fig04.run(Scale::quick());
+        for t in &tables {
+            let l1 = t.column("L1").unwrap();
+            assert!(
+                l1.first().unwrap() > l1.last().unwrap(),
+                "cv sweep not decreasing: {:?}",
+                l1
+            );
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Figures 5, 7, 8, 9: the ns-2 RED-bottleneck experiments.
+//!
+//! N TFRC + N TCP Sack flows share a 15 Mb/s RED link (RTT ≈ 50 ms);
+//! sweeping N sweeps the loss-event rate. The same runs produce:
+//!
+//! * Figure 5 — TFRC's normalized throughput `x̄/f(p, r)` and the
+//!   normalized covariance `cov[θ0, θ̂0]p²` versus `p`, per window `L`;
+//! * Figure 7 — the loss-event-rate ordering `p' (TCP) ≤ p (TFRC) ≤ p''
+//!   (Poisson)` versus the number of connections (Claim 3);
+//! * Figure 8 — the TFRC/TCP throughput ratio versus N;
+//! * Figure 9 — TCP against its own formula (obedience).
+
+use crate::registry::{Experiment, Scale};
+use crate::scenarios::{DumbbellConfig, DumbbellRun, RunMeasurements};
+use crate::series::Table;
+
+fn n_list(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![2, 6, 16]
+    } else {
+        vec![1, 2, 4, 6, 9, 12, 16, 20, 25, 30, 36]
+    }
+}
+
+fn l_list(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![2, 8]
+    } else {
+        vec![2, 4, 8, 16]
+    }
+}
+
+/// Runs the ns-2 scenario for `(n, l)` and returns its measurements.
+pub fn ns2_run(n: usize, l: usize, scale: Scale, probe: bool) -> RunMeasurements {
+    let mut cfg = DumbbellConfig::ns2_paper(n, l, 0x5eed + (n as u64) * 31 + l as u64);
+    if probe {
+        cfg.poisson_probe = Some(5.0);
+    }
+    let mut run = DumbbellRun::build(&cfg);
+    run.measure(scale.sim_warmup, scale.sim_span)
+}
+
+/// Figure 5 reproduction.
+pub struct Fig05;
+
+impl Experiment for Fig05 {
+    fn id(&self) -> &'static str {
+        "fig05"
+    }
+
+    fn title(&self) -> &'static str {
+        "TFRC over a RED bottleneck: normalized throughput and cov[θ0,θ̂0]p² vs p"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 5"
+    }
+
+    fn run(&self, scale: Scale) -> Vec<Table> {
+        let mut tput = Table::new(
+            "fig05/top",
+            "normalized throughput x̄/f(p, r) vs loss-event rate p",
+            vec!["L", "n_pairs", "p", "normalized_throughput"],
+        );
+        let mut cov = Table::new(
+            "fig05/bottom",
+            "normalized covariance cov[θ0, θ̂0]·p² vs p",
+            vec!["L", "n_pairs", "p", "normalized_covariance"],
+        );
+        for &l in &l_list(scale.quick) {
+            for &n in &n_list(scale.quick) {
+                let m = ns2_run(n, l, scale, false);
+                let p = m.tfrc_valid_mean(|f| f.loss_event_rate);
+                if p <= 0.0 {
+                    continue;
+                }
+                tput.push_row(vec![l as f64, n as f64, p, m.tfrc_normalized_throughput()]);
+                cov.push_row(vec![
+                    l as f64,
+                    n as f64,
+                    p,
+                    m.tfrc_valid_mean(|f| f.normalized_covariance),
+                ]);
+            }
+        }
+        vec![tput, cov]
+    }
+}
+
+/// Figure 7 reproduction.
+pub struct Fig07;
+
+impl Experiment for Fig07 {
+    fn id(&self) -> &'static str {
+        "fig07"
+    }
+
+    fn title(&self) -> &'static str {
+        "loss-event rates of TFRC (p), TCP (p'), Poisson (p'') vs number of connections"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 7 / Claim 3"
+    }
+
+    fn run(&self, scale: Scale) -> Vec<Table> {
+        let mut t = Table::new(
+            "fig07",
+            "p' ≤ p ≤ p'' ordering in the many-sources regime",
+            vec!["L", "connections", "p_tfrc", "p_tcp", "p_poisson"],
+        );
+        for &l in &l_list(scale.quick) {
+            for &n in &n_list(scale.quick) {
+                let m = ns2_run(n, l, scale, true);
+                t.push_row(vec![
+                    l as f64,
+                    (2 * n) as f64,
+                    m.tfrc_valid_mean(|f| f.loss_event_rate),
+                    m.tcp_valid_mean(|f| f.loss_event_rate),
+                    m.probe_loss_rate.unwrap_or(0.0),
+                ]);
+            }
+        }
+        vec![t]
+    }
+}
+
+/// Figure 8 reproduction.
+pub struct Fig08;
+
+impl Experiment for Fig08 {
+    fn id(&self) -> &'static str {
+        "fig08"
+    }
+
+    fn title(&self) -> &'static str {
+        "TFRC/TCP throughput ratio vs number of connections"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 8"
+    }
+
+    fn run(&self, scale: Scale) -> Vec<Table> {
+        let mut t = Table::new(
+            "fig08",
+            "x̄(TFRC)/x̄'(TCP) vs connections, per estimator window L",
+            vec!["L", "connections", "throughput_ratio"],
+        );
+        for &l in &l_list(scale.quick) {
+            for &n in &n_list(scale.quick) {
+                let m = ns2_run(n, l, scale, false);
+                let x = m.tfrc_valid_mean(|f| f.throughput);
+                let x_tcp = m.tcp_valid_mean(|f| f.throughput);
+                if x_tcp > 0.0 {
+                    t.push_row(vec![l as f64, (2 * n) as f64, x / x_tcp]);
+                }
+            }
+        }
+        vec![t]
+    }
+}
+
+/// Figure 9 reproduction.
+pub struct Fig09;
+
+impl Experiment for Fig09 {
+    fn id(&self) -> &'static str {
+        "fig09"
+    }
+
+    fn title(&self) -> &'static str {
+        "TCP throughput vs the PFTK prediction f(p', r') (obedience)"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 9"
+    }
+
+    fn run(&self, scale: Scale) -> Vec<Table> {
+        let mut t = Table::new(
+            "fig09",
+            "per-run mean TCP throughput against f(p', r') — below the diagonal means TCP underperforms its formula",
+            vec!["connections", "f_predicted", "measured"],
+        );
+        for &n in &n_list(scale.quick) {
+            let m = ns2_run(n, 8, scale, false);
+            for f in &m.tcp {
+                if f.loss_event_rate > 0.0 && f.rtt_mean > 0.0 {
+                    let predicted = m.tfrc_formula.rate(f.loss_event_rate, f.rtt_mean);
+                    t.push_row(vec![(2 * n) as f64, predicted, f.throughput]);
+                }
+            }
+        }
+        vec![t]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Shared quick-scale smoke test covering the Claim 3 ordering.
+    #[test]
+    fn many_sources_ordering_holds_roughly() {
+        let scale = Scale::quick();
+        let m = ns2_run(8, 8, scale, true);
+        let p_tfrc = m.tfrc_mean(|f| f.loss_event_rate);
+        let p_tcp = m.tcp_mean(|f| f.loss_event_rate);
+        let p_poisson = m.probe_loss_rate.unwrap();
+        // With many connections, the smoother TFRC should not see fewer
+        // loss events than the Poisson probe sees... rather: p'' ≥ p and
+        // p ≥ p' (Claim 3), allowing simulation noise.
+        assert!(
+            p_poisson >= p_tfrc * 0.7,
+            "p'' {p_poisson} vs p {p_tfrc}"
+        );
+        assert!(p_tfrc >= p_tcp * 0.5, "p {p_tfrc} vs p' {p_tcp}");
+    }
+
+    #[test]
+    fn fig05_produces_conservative_points() {
+        let tables = Fig05.run(Scale::quick());
+        let tput = &tables[0];
+        assert!(!tput.is_empty());
+        for row in &tput.rows {
+            let norm = row[3];
+            assert!(norm > 0.1 && norm < 1.6, "normalized throughput {norm}");
+        }
+    }
+}

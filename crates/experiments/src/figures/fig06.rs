@@ -1,0 +1,147 @@
+//! Figure 6: the audio sender through a Bernoulli dropper (Claim 2).
+//!
+//! A sender with a fixed 20 ms packet clock modulates packet lengths by
+//! the equation; packets traverse a dropper with a fixed, length-
+//! independent drop probability. Then `cov[X0, S0] = 0` and Theorem 2
+//! decides by the convexity of `f(1/x)`:
+//!
+//! * SQRT (concave everywhere): conservative at every `p`;
+//! * PFTK formulas: conservative at small `p`, **non-conservative** at
+//!   heavy loss (the convex region) — normalized throughput above 1.
+
+use crate::registry::{Experiment, Scale};
+use crate::series::Table;
+use ebrc_core::weights::WeightProfile;
+use ebrc_dist::Rng;
+use ebrc_net::{BernoulliDropper, FlowId, NetEvent};
+use ebrc_sim::Engine;
+use ebrc_tfrc::{AudioTfrcSender, FormulaKind, RttMode, TfrcReceiver, TfrcReceiverConfig};
+
+/// One audio-mode run; returns `(measured p, normalized throughput,
+/// cv²[θ̂])`.
+pub fn audio_point(
+    p_drop: f64,
+    formula: FormulaKind,
+    window: usize,
+    duration: f64,
+    seed: u64,
+) -> (f64, f64, f64) {
+    let mut eng: Engine<NetEvent> = Engine::new();
+    let flow = FlowId(1);
+    let tick = 0.02;
+    let snd = eng.add(Box::new(AudioTfrcSender::new(
+        flow,
+        tick,
+        500.0,
+        formula,
+        RttMode::Fixed(1.0),
+        30.0,
+    )));
+    let drop = eng.add(Box::new(BernoulliDropper::new(p_drop, Rng::seed_from(seed))));
+    let rcv = eng.add(Box::new(TfrcReceiver::new(
+        flow,
+        TfrcReceiverConfig {
+            weights: WeightProfile::tfrc(window),
+            rtt: tick / 2.0,
+            comprehensive: false,
+            feedback_period: 5.0 * tick,
+            formula,
+        },
+    )));
+    eng.get_mut::<AudioTfrcSender>(snd).set_next_hop(drop);
+    eng.get_mut::<BernoulliDropper>(drop).set_next_hop(rcv);
+    eng.get_mut::<TfrcReceiver>(rcv).set_reverse_hop(snd);
+    eng.schedule(0.0, snd, NetEvent::Timer(ebrc_tfrc::audio::TIMER_START));
+    eng.run_until(duration);
+    eng.get_mut::<AudioTfrcSender>(snd).finish(duration);
+    let s: &AudioTfrcSender = eng.get(snd);
+    let r: &TfrcReceiver = eng.get(rcv);
+    let p = r.loss_event_rate();
+    let normalized = if p > 0.0 {
+        s.rate_time_average() / formula.rate(p, 1.0)
+    } else {
+        0.0
+    };
+    (p, normalized, r.theta_hat_moments().cv_squared())
+}
+
+/// Figure 6 reproduction.
+pub struct Fig06;
+
+impl Experiment for Fig06 {
+    fn id(&self) -> &'static str {
+        "fig06"
+    }
+
+    fn title(&self) -> &'static str {
+        "audio sender (fixed clock, variable length) through a Bernoulli dropper"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 6 / Claim 2"
+    }
+
+    fn run(&self, scale: Scale) -> Vec<Table> {
+        let drops: Vec<f64> = if scale.quick {
+            vec![0.05, 0.15, 0.25]
+        } else {
+            (1..=10).map(|i| 0.025 * i as f64).collect()
+        };
+        // Audio loss events arrive at ~p·50/s; size the run for enough
+        // events.
+        let duration = if scale.quick { 3_000.0 } else { 20_000.0 };
+        let mut top = Table::new(
+            "fig06/top",
+            "normalized throughput E[X]/f(p) vs p, L = 4",
+            vec!["p", "sqrt", "pftk_standard", "pftk_simplified"],
+        );
+        let mut bottom = Table::new(
+            "fig06/bottom",
+            "squared CV of the estimator θ̂ vs p",
+            vec!["p", "sqrt", "pftk_standard", "pftk_simplified"],
+        );
+        for (i, &pd) in drops.iter().enumerate() {
+            let seed = 60 + i as u64;
+            let (p1, n1, c1) = audio_point(pd, FormulaKind::Sqrt, 4, duration, seed);
+            let (_, n2, c2) = audio_point(pd, FormulaKind::PftkStandard, 4, duration, seed + 100);
+            let (_, n3, c3) =
+                audio_point(pd, FormulaKind::PftkSimplified, 4, duration, seed + 200);
+            top.push_row(vec![p1, n1, n2, n3]);
+            bottom.push_row(vec![p1, c1, c2, c3]);
+        }
+        vec![top, bottom]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sqrt_conservative_pftk_not_at_heavy_loss() {
+        let tables = Fig06.run(Scale::quick());
+        let top = &tables[0];
+        // SQRT stays at or below 1 everywhere.
+        for row in &top.rows {
+            assert!(row[1] <= 1.05, "SQRT non-conservative: {}", row[1]);
+        }
+        // PFTK-simplified exceeds 1 at the heaviest loss point.
+        let last = top.rows.last().unwrap();
+        assert!(
+            last[3] > 1.0,
+            "expected PFTK overshoot at p = {}: {}",
+            last[0],
+            last[3]
+        );
+    }
+
+    #[test]
+    fn estimator_cv_positive_and_bounded() {
+        let tables = Fig06.run(Scale::quick());
+        for row in &tables[1].rows {
+            for v in &row[1..] {
+                assert!(*v > 0.0 && *v < 1.0, "cv² {v}");
+            }
+        }
+    }
+}

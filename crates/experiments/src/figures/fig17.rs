@@ -1,0 +1,110 @@
+//! Figure 17: loss-event-rate ratio `p'/p` over a DropTail bottleneck,
+//! versus the buffer size.
+//!
+//! Left panel: one TCP **or** one TFRC alone on the bottleneck — the
+//! few-flows regime of Claim 4 where TCP's sawtooth hits the buffer far
+//! more often than TFRC's smooth rate. Right panel: one TCP **and** one
+//! TFRC sharing. Both show `p'/p > 1`: TFRC sees fewer loss events.
+
+use crate::registry::{Experiment, Scale};
+use crate::scenarios::{DumbbellConfig, DumbbellRun, QueueSpec};
+use crate::series::Table;
+
+fn buffers(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![25, 100]
+    } else {
+        vec![10, 25, 50, 100, 150, 200, 250]
+    }
+}
+
+fn isolation_rates(buffer: usize, scale: Scale, seed: u64) -> (f64, f64) {
+    // One TCP alone.
+    let mut cfg = DumbbellConfig::lab_paper(0, QueueSpec::DropTail(buffer), seed);
+    cfg.n_tcp = 1;
+    cfg.n_tfrc = 0;
+    let mut run = DumbbellRun::build(&cfg);
+    let m = run.measure(scale.sim_warmup, scale.sim_span);
+    let p_tcp = m.tcp_mean(|f| f.loss_event_rate);
+    // One TFRC alone.
+    let mut cfg = DumbbellConfig::lab_paper(0, QueueSpec::DropTail(buffer), seed + 1);
+    cfg.n_tcp = 0;
+    cfg.n_tfrc = 1;
+    let mut run = DumbbellRun::build(&cfg);
+    let m = run.measure(scale.sim_warmup, scale.sim_span);
+    let p_tfrc = m.tfrc_mean(|f| f.loss_event_rate);
+    (p_tcp, p_tfrc)
+}
+
+fn sharing_rates(buffer: usize, scale: Scale, seed: u64) -> (f64, f64) {
+    let cfg = DumbbellConfig::lab_paper(1, QueueSpec::DropTail(buffer), seed);
+    let mut run = DumbbellRun::build(&cfg);
+    let m = run.measure(scale.sim_warmup, scale.sim_span);
+    (
+        m.tcp_mean(|f| f.loss_event_rate),
+        m.tfrc_mean(|f| f.loss_event_rate),
+    )
+}
+
+/// Figure 17 reproduction.
+pub struct Fig17;
+
+impl Experiment for Fig17 {
+    fn id(&self) -> &'static str {
+        "fig17"
+    }
+
+    fn title(&self) -> &'static str {
+        "p'/p over a DropTail bottleneck vs buffer size: isolation and sharing"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 17 / Claim 4"
+    }
+
+    fn run(&self, scale: Scale) -> Vec<Table> {
+        let mut iso = Table::new(
+            "fig17/isolation",
+            "each protocol alone on the bottleneck",
+            vec!["buffer", "p_tcp", "p_tfrc", "ratio"],
+        );
+        let mut shared = Table::new(
+            "fig17/sharing",
+            "one TCP and one TFRC sharing the bottleneck",
+            vec!["buffer", "p_tcp", "p_tfrc", "ratio"],
+        );
+        for (i, &b) in buffers(scale.quick).iter().enumerate() {
+            let (pt, pf) = isolation_rates(b, scale, 170 + i as u64 * 3);
+            if pf > 0.0 {
+                iso.push_row(vec![b as f64, pt, pf, pt / pf]);
+            }
+            let (pt, pf) = sharing_rates(b, scale, 270 + i as u64 * 3);
+            if pf > 0.0 {
+                shared.push_row(vec![b as f64, pt, pf, pt / pf]);
+            }
+        }
+        vec![iso, shared]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_sees_more_loss_events_than_tfrc() {
+        let tables = Fig17.run(Scale::quick());
+        for t in &tables {
+            assert!(!t.is_empty(), "{} produced no rows", t.name);
+            for row in &t.rows {
+                let ratio = row[3];
+                assert!(
+                    ratio > 1.0,
+                    "{}: buffer {} has p'/p = {ratio} ≤ 1",
+                    t.name,
+                    row[0]
+                );
+            }
+        }
+    }
+}

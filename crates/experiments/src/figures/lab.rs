@@ -1,0 +1,156 @@
+//! The lab-testbed experiments: Figure 16 (TCP-friendliness check) and
+//! Figures 18–19 (breakdown), for DropTail(100) and RED bottlenecks.
+//!
+//! Setup per the paper: 10 Mb/s bottleneck, 25 ms each-way delay stage,
+//! PFTK-standard, `L = 8`, comprehensive control disabled, N TFRC + N
+//! TCP with N ∈ {1, 2, 4, 6, 9, 12, 16, 20, 25, 30, 36}.
+
+use crate::breakdown::Breakdown;
+use crate::registry::{Experiment, Scale};
+use crate::scenarios::{DumbbellConfig, DumbbellRun, QueueSpec, RunMeasurements};
+use crate::series::Table;
+use ebrc_net::RedConfig;
+
+fn n_list(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![2, 9, 25]
+    } else {
+        vec![1, 2, 4, 6, 9, 12, 16, 20, 25, 30, 36]
+    }
+}
+
+/// The two lab queue configurations of Figures 16, 18–19 (plus
+/// DropTail 64 for Figure 10).
+pub fn lab_queues() -> Vec<(&'static str, QueueSpec)> {
+    let mean_pkt_time = 1500.0 * 8.0 / 10e6;
+    vec![
+        ("droptail64", QueueSpec::DropTail(64)),
+        ("droptail100", QueueSpec::DropTail(100)),
+        ("red", QueueSpec::Red(RedConfig::lab_paper(mean_pkt_time))),
+    ]
+}
+
+/// Runs one lab instance.
+pub fn lab_run(queue: QueueSpec, n: usize, scale: Scale, seed: u64) -> RunMeasurements {
+    let cfg = DumbbellConfig::lab_paper(n, queue, seed);
+    let mut run = DumbbellRun::build(&cfg);
+    run.measure(scale.sim_warmup, scale.sim_span)
+}
+
+/// Figure 16 reproduction.
+pub struct Fig16;
+
+impl Experiment for Fig16 {
+    fn id(&self) -> &'static str {
+        "fig16"
+    }
+
+    fn title(&self) -> &'static str {
+        "lab: TFRC/TCP throughput ratio vs p (DropTail 100, RED)"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 16"
+    }
+
+    fn run(&self, scale: Scale) -> Vec<Table> {
+        let mut tables = Vec::new();
+        for (name, queue) in lab_queues().into_iter().skip(1) {
+            let mut t = Table::new(
+                format!("fig16/{name}"),
+                format!("x̄/x̄' vs p over {name}"),
+                vec!["pairs", "p", "throughput_ratio"],
+            );
+            for &n in &n_list(scale.quick) {
+                let m = lab_run(queue.clone(), n, scale, 16_000 + n as u64);
+                let x = m.tfrc_valid_mean(|f| f.throughput);
+                let x_tcp = m.tcp_valid_mean(|f| f.throughput);
+                let p = m.tfrc_valid_mean(|f| f.loss_event_rate);
+                if x_tcp > 0.0 && p > 0.0 {
+                    t.push_row(vec![n as f64, p, x / x_tcp]);
+                }
+            }
+            tables.push(t);
+        }
+        tables
+    }
+}
+
+/// Figures 18–19 reproduction.
+pub struct Fig18to19;
+
+impl Experiment for Fig18to19 {
+    fn id(&self) -> &'static str {
+        "fig18-19"
+    }
+
+    fn title(&self) -> &'static str {
+        "lab: breakdown of the TCP-friendliness condition (DropTail 100, RED)"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figures 18, 19"
+    }
+
+    fn run(&self, scale: Scale) -> Vec<Table> {
+        let mut tables = Vec::new();
+        for (name, queue) in lab_queues().into_iter().skip(1) {
+            let mut t = Table::new(
+                format!("fig18-19/{name}"),
+                format!("breakdown over {name}: x̄/f(p,r), p'/p, r'/r, x̄'/f(p',r')"),
+                vec![
+                    "pairs",
+                    "p",
+                    "conservativeness",
+                    "loss_rate_ratio",
+                    "rtt_ratio",
+                    "tcp_obedience",
+                    "friendliness",
+                ],
+            );
+            for &n in &n_list(scale.quick) {
+                let m = lab_run(queue.clone(), n, scale, 18_000 + n as u64);
+                if let Some(b) = Breakdown::from_measurements(&m) {
+                    t.push_row(vec![
+                        n as f64,
+                        b.p,
+                        b.conservativeness,
+                        b.loss_rate_ratio,
+                        b.rtt_ratio,
+                        b.tcp_obedience,
+                        b.friendliness,
+                    ]);
+                }
+            }
+            tables.push(t);
+        }
+        tables
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lab_breakdown_is_sane_on_red() {
+        let (_, red) = lab_queues().into_iter().nth(2).unwrap();
+        let m = lab_run(red, 4, Scale::quick(), 5);
+        let b = Breakdown::from_measurements(&m).expect("losses expected");
+        // Lab runs disable the comprehensive control; conservativeness
+        // should be visible (≤ about 1).
+        assert!(
+            b.conservativeness < 1.3,
+            "conservativeness {}",
+            b.conservativeness
+        );
+        assert!(b.p > 0.001, "p {}", b.p);
+    }
+
+    #[test]
+    fn three_lab_queues_defined() {
+        let qs = lab_queues();
+        assert_eq!(qs.len(), 3);
+        assert_eq!(qs[0].0, "droptail64");
+    }
+}

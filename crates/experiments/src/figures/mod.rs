@@ -1,0 +1,13 @@
+//! One module per figure/table of the paper (plus ablations).
+
+pub mod ablations;
+pub mod claim4;
+pub mod fig01;
+pub mod fig02;
+pub mod fig03_04;
+pub mod fig05_09;
+pub mod fig06;
+pub mod fig10;
+pub mod fig17;
+pub mod internet;
+pub mod lab;

@@ -1,0 +1,29 @@
+//! Reproduction harness: regenerates every table and figure of
+//! *“On the Long-Run Behavior of Equation-Based Rate Control”*.
+//!
+//! Each experiment implements [`Experiment`] and returns [`Table`]s with
+//! the same rows/series the paper reports. The full catalogue (the
+//! experiment index of DESIGN.md) is in [`registry::all_experiments`];
+//! the `repro` binary runs any of them:
+//!
+//! ```text
+//! cargo run -p ebrc-experiments --release --bin repro -- --list
+//! cargo run -p ebrc-experiments --release --bin repro -- fig03
+//! cargo run -p ebrc-experiments --release --bin repro -- all --scale quick
+//! ```
+//!
+//! Scales: `quick` keeps every experiment in seconds (the bench
+//! default); `paper` uses event counts and durations comparable to the
+//! paper's (minutes of CPU).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod figures;
+pub mod registry;
+pub mod scenarios;
+pub mod series;
+
+pub use registry::{all_experiments, find_experiment, Experiment, Scale};
+pub use series::Table;

@@ -1,0 +1,126 @@
+//! Experiment catalogue and scaling.
+
+use crate::series::Table;
+
+/// Effort scaling for an experiment run.
+///
+/// `quick` keeps everything laptop-interactive (the bench default);
+/// `paper` approaches the paper's event counts and 2500 s experiment
+/// durations (minutes of CPU per experiment).
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Monte-Carlo loss events per parameter point.
+    pub mc_events: usize,
+    /// Packet-simulation warm-up (discarded), seconds.
+    pub sim_warmup: f64,
+    /// Packet-simulation measurement span, seconds.
+    pub sim_span: f64,
+    /// Replicas per box/point where spread matters.
+    pub replicas: usize,
+    /// Reduced parameter sweeps when set.
+    pub quick: bool,
+}
+
+impl Scale {
+    /// Interactive scale: every experiment in seconds.
+    pub fn quick() -> Self {
+        Self {
+            mc_events: 20_000,
+            sim_warmup: 20.0,
+            sim_span: 60.0,
+            replicas: 2,
+            quick: true,
+        }
+    }
+
+    /// Paper-comparable scale (the paper ran 2500 s with a 200 s
+    /// truncation).
+    pub fn paper() -> Self {
+        Self {
+            mc_events: 200_000,
+            sim_warmup: 200.0,
+            sim_span: 2_300.0,
+            replicas: 5,
+            quick: false,
+        }
+    }
+}
+
+/// One reproducible artifact of the paper.
+pub trait Experiment: Sync {
+    /// Stable identifier (`fig03`, `table1`, `claim4`, `ablate01`, …).
+    fn id(&self) -> &'static str;
+
+    /// What the paper artifact shows.
+    fn title(&self) -> &'static str;
+
+    /// Where it appears in the paper.
+    fn paper_ref(&self) -> &'static str;
+
+    /// Regenerates the artifact's data.
+    fn run(&self, scale: Scale) -> Vec<Table>;
+}
+
+/// Every experiment, in paper order.
+pub fn all_experiments() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(crate::figures::fig01::Fig01),
+        Box::new(crate::figures::fig02::Fig02),
+        Box::new(crate::figures::fig03_04::Fig03),
+        Box::new(crate::figures::fig03_04::Fig04),
+        Box::new(crate::figures::fig05_09::Fig05),
+        Box::new(crate::figures::fig06::Fig06),
+        Box::new(crate::figures::fig05_09::Fig07),
+        Box::new(crate::figures::fig05_09::Fig08),
+        Box::new(crate::figures::fig05_09::Fig09),
+        Box::new(crate::figures::fig10::Fig10),
+        Box::new(crate::figures::internet::Fig11),
+        Box::new(crate::figures::internet::Fig12to15),
+        Box::new(crate::figures::lab::Fig16),
+        Box::new(crate::figures::fig17::Fig17),
+        Box::new(crate::figures::lab::Fig18to19),
+        Box::new(crate::figures::internet::Table1),
+        Box::new(crate::figures::claim4::Claim4),
+        Box::new(crate::figures::ablations::AblateControlLaw),
+        Box::new(crate::figures::ablations::AblateEstimator),
+        Box::new(crate::figures::ablations::AblateFormula),
+        Box::new(crate::figures::ablations::AblatePhaseLoss),
+    ]
+}
+
+/// Finds an experiment by id.
+pub fn find_experiment(id: &str) -> Option<Box<dyn Experiment>> {
+    all_experiments().into_iter().find(|e| e.id() == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<&str> = all_experiments().iter().map(|e| e.id()).collect();
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "duplicate experiment ids");
+    }
+
+    #[test]
+    fn catalogue_covers_every_paper_artifact() {
+        let ids: Vec<&str> = all_experiments().iter().map(|e| e.id()).collect();
+        for required in [
+            "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09",
+            "fig10", "fig11", "fig12-15", "fig16", "fig17", "fig18-19", "table1", "claim4",
+        ] {
+            assert!(ids.contains(&required), "missing {required}");
+        }
+    }
+
+    #[test]
+    fn find_by_id_works() {
+        assert!(find_experiment("fig03").is_some());
+        assert!(find_experiment("nope").is_none());
+        assert_eq!(find_experiment("claim4").unwrap().id(), "claim4");
+    }
+}

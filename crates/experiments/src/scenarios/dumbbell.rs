@@ -1,0 +1,513 @@
+//! The dumbbell topology: N TFRC + N TCP flows (plus an optional
+//! Poisson probe) through one bottleneck.
+//!
+//! This is the shape of every packet-level experiment in the paper: the
+//! ns-2 RED scenarios (Figures 5, 7, 8, 9), the lab testbed (DropTail
+//! 64/100 and RED with a 25 ms NIST Net delay stage — Figures 10, 16,
+//! 18, 19), the synthetic Internet paths (Figures 10–15), and the
+//! buffer-sweep of Figure 17.
+//!
+//! ```text
+//! TFRC senders ┐                                      ┌ TFRC receivers
+//! TCP  senders ┼─→ [bottleneck queue+link] → [delay] ─┼ TCP sinks
+//! Poisson probe┘                                      └ probe sink
+//!        ▲                                               │
+//!        └────────────── [reverse delay] ◄───────────────┘  (ACKs/feedback)
+//! ```
+
+use ebrc_dist::Rng;
+use ebrc_net::{
+    Demux, DropTailQueue, FlowId, LinkQueue, NetEvent, PoissonSender, ProbeSink, RedConfig,
+    RedQueue,
+};
+use ebrc_sim::{ComponentId, Engine};
+use ebrc_tcp::{TcpSender, TcpSenderConfig, TcpSink};
+use ebrc_tfrc::{FormulaKind, TfrcReceiver, TfrcReceiverConfig, TfrcSender, TfrcSenderConfig};
+
+/// Bottleneck queue discipline.
+#[derive(Debug, Clone)]
+pub enum QueueSpec {
+    /// DropTail with the given capacity in packets.
+    DropTail(usize),
+    /// RED with explicit parameters.
+    Red(RedConfig),
+}
+
+/// Per-flow TFRC settings.
+#[derive(Debug, Clone)]
+pub struct TfrcFlowSpec {
+    /// Sender configuration template.
+    pub sender: TfrcSenderConfig,
+    /// Estimator window `L`.
+    pub window: usize,
+    /// Comprehensive control on/off.
+    pub comprehensive: bool,
+}
+
+/// Full scenario description.
+#[derive(Debug, Clone)]
+pub struct DumbbellConfig {
+    /// Bottleneck rate in bits/second.
+    pub bottleneck_bps: f64,
+    /// Bottleneck discipline.
+    pub queue: QueueSpec,
+    /// One-way propagation delay of each direction (seconds); the
+    /// round-trip time is `2×` this plus serialization and queueing.
+    pub one_way_delay: f64,
+    /// Number of TFRC flows.
+    pub n_tfrc: usize,
+    /// Number of TCP flows.
+    pub n_tcp: usize,
+    /// Optional Poisson probe rate in packets/second (the Figure 7
+    /// `p''` measurement).
+    pub poisson_probe: Option<f64>,
+    /// Optional on/off background load: `(rate_while_on_pps, mean_on_s,
+    /// mean_off_s)` — the bursty cross-traffic of the synthetic Internet
+    /// scenarios.
+    pub onoff_background: Option<(f64, f64, f64)>,
+    /// TFRC flow settings.
+    pub tfrc: TfrcFlowSpec,
+    /// TCP sender settings.
+    pub tcp: TcpSenderConfig,
+    /// Master seed; every component derives its own sub-stream.
+    pub seed: u64,
+    /// Flow start times are staggered by this much to avoid phase
+    /// effects.
+    pub start_stagger: f64,
+}
+
+impl DumbbellConfig {
+    /// The paper's ns-2 scenario: 15 Mb/s RED bottleneck (buffer
+    /// `5/2·BDP`, thresholds `1/4` and `5/4·BDP`), RTT ≈ 50 ms,
+    /// `N` TFRC + `N` TCP flows, estimator window `L`.
+    pub fn ns2_paper(n: usize, l: usize, seed: u64) -> Self {
+        let bps = 15e6;
+        let rtt = 0.05;
+        let pkt_bits = 1500.0 * 8.0;
+        let bdp_packets = bps * rtt / pkt_bits;
+        let mean_pkt_time = pkt_bits / bps;
+        let nominal_rtt = rtt;
+        Self {
+            bottleneck_bps: bps,
+            queue: QueueSpec::Red(RedConfig::ns2_paper(bdp_packets, mean_pkt_time)),
+            one_way_delay: rtt / 2.0,
+            n_tfrc: n,
+            n_tcp: n,
+            poisson_probe: None,
+            onoff_background: None,
+            tfrc: TfrcFlowSpec {
+                sender: TfrcSenderConfig::standard(nominal_rtt),
+                window: l,
+                comprehensive: true,
+            },
+            tcp: TcpSenderConfig {
+                nominal_rtt,
+                ..TcpSenderConfig::default()
+            },
+            seed,
+            start_stagger: 0.211,
+        }
+    }
+
+    /// The paper's lab scenario: 10 Mb/s bottleneck, 25 ms each-way
+    /// delay stage, DropTail(`buf`) or RED per [`RedConfig::lab_paper`],
+    /// TFRC with `L = 8`, comprehensive control **disabled**,
+    /// PFTK-standard.
+    pub fn lab_paper(n: usize, queue: QueueSpec, seed: u64) -> Self {
+        let nominal_rtt = 0.05;
+        let mut tfrc_sender = TfrcSenderConfig::standard(nominal_rtt);
+        tfrc_sender.formula = FormulaKind::PftkStandard;
+        Self {
+            bottleneck_bps: 10e6,
+            queue,
+            one_way_delay: 0.025,
+            n_tfrc: n,
+            n_tcp: n,
+            poisson_probe: None,
+            onoff_background: None,
+            tfrc: TfrcFlowSpec {
+                sender: tfrc_sender,
+                window: 8,
+                comprehensive: false,
+            },
+            tcp: TcpSenderConfig {
+                nominal_rtt,
+                ..TcpSenderConfig::default()
+            },
+            seed,
+            start_stagger: 0.173,
+        }
+    }
+}
+
+/// Ids of everything in a built dumbbell.
+pub struct DumbbellRun {
+    /// The engine, ready to run.
+    pub engine: Engine<NetEvent>,
+    /// TFRC (sender, receiver) pairs.
+    pub tfrc: Vec<(ComponentId, ComponentId)>,
+    /// TCP (sender, sink) pairs.
+    pub tcp: Vec<(ComponentId, ComponentId)>,
+    /// Poisson probe (sender, sink), when configured.
+    pub probe: Option<(ComponentId, ComponentId)>,
+    /// The bottleneck link.
+    pub bottleneck: ComponentId,
+    nominal_rtt: f64,
+    tfrc_formula: FormulaKind,
+}
+
+impl DumbbellRun {
+    /// Builds and wires the scenario; flows are kicked off staggered
+    /// from `t = 0`.
+    pub fn build(cfg: &DumbbellConfig) -> Self {
+        let mut root_rng = Rng::seed_from(cfg.seed);
+        let mut eng: Engine<NetEvent> = Engine::new();
+
+        let queue: Box<dyn ebrc_net::AqmQueue> = match &cfg.queue {
+            QueueSpec::DropTail(n) => Box::new(DropTailQueue::new(*n)),
+            QueueSpec::Red(rc) => Box::new(RedQueue::new(*rc)),
+        };
+        let bottleneck = eng.add(Box::new(LinkQueue::new(
+            queue,
+            cfg.bottleneck_bps,
+            0.0,
+            root_rng.fork("red"),
+        )));
+        let fwd = eng.add(Box::new(ebrc_net::DelayBox::new(
+            cfg.one_way_delay,
+            root_rng.fork("fwd"),
+        )));
+        let fwd_demux = eng.add(Box::new(Demux::new()));
+        let rev = eng.add(Box::new(ebrc_net::DelayBox::new(
+            cfg.one_way_delay,
+            root_rng.fork("rev"),
+        )));
+        let rev_demux = eng.add(Box::new(Demux::new()));
+        eng.get_mut::<LinkQueue>(bottleneck).set_next_hop(fwd);
+        eng.get_mut::<ebrc_net::DelayBox>(fwd).set_next_hop(fwd_demux);
+        eng.get_mut::<ebrc_net::DelayBox>(rev).set_next_hop(rev_demux);
+
+        let nominal_rtt = 2.0 * cfg.one_way_delay;
+        let mut next_flow = 0u32;
+        let mut start = 0.0;
+
+        let mut tfrc = Vec::new();
+        for _ in 0..cfg.n_tfrc {
+            let flow = FlowId(next_flow);
+            next_flow += 1;
+            let snd = eng.add(Box::new(TfrcSender::new(flow, cfg.tfrc.sender.clone())));
+            let rcv = eng.add(Box::new(TfrcReceiver::new(
+                flow,
+                TfrcReceiverConfig {
+                    weights: ebrc_core::weights::WeightProfile::tfrc(cfg.tfrc.window),
+                    rtt: nominal_rtt,
+                    comprehensive: cfg.tfrc.comprehensive,
+                    feedback_period: nominal_rtt,
+                    formula: cfg.tfrc.sender.formula,
+                },
+            )));
+            eng.get_mut::<TfrcSender>(snd).set_next_hop(bottleneck);
+            eng.get_mut::<TfrcReceiver>(rcv).set_reverse_hop(rev);
+            eng.get_mut::<Demux>(fwd_demux).route(flow, rcv);
+            eng.get_mut::<Demux>(rev_demux).route(flow, snd);
+            eng.schedule(start, snd, NetEvent::Timer(ebrc_tfrc::sender::TIMER_START));
+            start += cfg.start_stagger;
+            tfrc.push((snd, rcv));
+        }
+
+        let mut tcp = Vec::new();
+        for _ in 0..cfg.n_tcp {
+            let flow = FlowId(next_flow);
+            next_flow += 1;
+            let snd = eng.add(Box::new(TcpSender::new(flow, cfg.tcp.clone())));
+            let sink = eng.add(Box::new(TcpSink::new(flow, 0.1)));
+            eng.get_mut::<TcpSender>(snd).set_next_hop(bottleneck);
+            eng.get_mut::<TcpSink>(sink).set_reverse_hop(rev);
+            eng.get_mut::<Demux>(fwd_demux).route(flow, sink);
+            eng.get_mut::<Demux>(rev_demux).route(flow, snd);
+            eng.schedule(start, snd, NetEvent::Timer(ebrc_tcp::sender::TIMER_START));
+            start += cfg.start_stagger;
+            tcp.push((snd, sink));
+        }
+
+        if let Some((rate, mean_on, mean_off)) = cfg.onoff_background {
+            let flow = FlowId(u32::MAX); // background flow id out of band
+            let src = eng.add(Box::new(ebrc_net::OnOffSender::new(
+                flow,
+                rate,
+                1500,
+                mean_on,
+                mean_off,
+                root_rng.fork("onoff"),
+            )));
+            let sink = eng.add(Box::new(ebrc_net::Sink::counting_only()));
+            eng.get_mut::<ebrc_net::OnOffSender>(src).set_next_hop(bottleneck);
+            eng.get_mut::<Demux>(fwd_demux).route(flow, sink);
+            eng.schedule(0.0, src, NetEvent::Timer(ebrc_net::onoff::TIMER_START));
+        }
+
+        let probe = cfg.poisson_probe.map(|rate| {
+            let flow = FlowId(next_flow);
+            let snd = eng.add(Box::new(PoissonSender::new(
+                flow,
+                rate,
+                1500,
+                f64::INFINITY,
+                root_rng.fork("probe"),
+            )));
+            let sink = eng.add(Box::new(ProbeSink::new(nominal_rtt)));
+            eng.get_mut::<PoissonSender>(snd).set_next_hop(bottleneck);
+            eng.get_mut::<Demux>(fwd_demux).route(flow, sink);
+            eng.schedule(0.0, snd, NetEvent::Timer(1));
+            (snd, sink)
+        });
+
+        Self {
+            engine: eng,
+            tfrc,
+            tcp,
+            probe,
+            bottleneck,
+            nominal_rtt,
+            tfrc_formula: cfg.tfrc.sender.formula,
+        }
+    }
+
+    /// Runs to `warmup`, snapshots counters, runs to `warmup + span`,
+    /// and reports steady-state per-flow measurements.
+    pub fn measure(&mut self, warmup: f64, span: f64) -> RunMeasurements {
+        assert!(span > 0.0, "measurement span must be positive");
+        self.engine.run_until(warmup);
+        let tfrc_before: Vec<(u64, u64, u64)> = self
+            .tfrc
+            .iter()
+            .map(|(s, r)| {
+                let snd: &TfrcSender = self.engine.get(*s);
+                let rcv: &TfrcReceiver = self.engine.get(*r);
+                (snd.stats().packets_sent, rcv.events(), rcv.inferred_sent())
+            })
+            .collect();
+        let tcp_before: Vec<(u64, u64)> = self
+            .tcp
+            .iter()
+            .map(|(s, _)| {
+                let snd: &TcpSender = self.engine.get(*s);
+                (snd.stats().new_data_sent, snd.recorder().events())
+            })
+            .collect();
+        let probe_before = self.probe.map(|(_, sink)| {
+            let s: &ProbeSink = self.engine.get(sink);
+            (s.recorder().events(), s.inferred_sent())
+        });
+
+        self.engine.run_until(warmup + span);
+
+        let tfrc = self
+            .tfrc
+            .iter()
+            .zip(&tfrc_before)
+            .map(|((s, r), (sent0, ev0, seen0))| {
+                let snd: &TfrcSender = self.engine.get(*s);
+                let rcv: &TfrcReceiver = self.engine.get(*r);
+                let sent = snd.stats().packets_sent - sent0;
+                let events = rcv.events() - ev0;
+                let seen = rcv.inferred_sent() - seen0;
+                FlowMeasure {
+                    throughput: sent as f64 / span,
+                    loss_event_rate: if seen > 0 {
+                        events as f64 / seen as f64
+                    } else {
+                        0.0
+                    },
+                    rtt_mean: snd.rtt_moments().mean(),
+                    normalized_covariance: rcv.normalized_covariance(),
+                    cov_rate_duration: snd.cov_rate_duration(),
+                    theta_hat_cv2: rcv.theta_hat_moments().cv_squared(),
+                }
+            })
+            .collect();
+        let tcp = self
+            .tcp
+            .iter()
+            .zip(&tcp_before)
+            .map(|((s, _), (sent0, ev0))| {
+                let snd: &TcpSender = self.engine.get(*s);
+                let sent = snd.stats().new_data_sent - sent0;
+                let events = snd.recorder().events() - ev0;
+                FlowMeasure {
+                    throughput: sent as f64 / span,
+                    loss_event_rate: if sent > 0 {
+                        events as f64 / sent as f64
+                    } else {
+                        0.0
+                    },
+                    rtt_mean: snd.rtt_moments().mean(),
+                    normalized_covariance: 0.0,
+                    cov_rate_duration: 0.0,
+                    theta_hat_cv2: 0.0,
+                }
+            })
+            .collect();
+        let probe_loss_rate = self.probe.zip(probe_before).map(|((_, sink), (ev0, seen0))| {
+            let s: &ProbeSink = self.engine.get(sink);
+            let events = s.recorder().events() - ev0;
+            let seen = s.inferred_sent() - seen0;
+            if seen > 0 {
+                events as f64 / seen as f64
+            } else {
+                0.0
+            }
+        });
+        RunMeasurements {
+            tfrc,
+            tcp,
+            probe_loss_rate,
+            nominal_rtt: self.nominal_rtt,
+            tfrc_formula: self.tfrc_formula,
+        }
+    }
+}
+
+/// Steady-state measurements of one flow.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowMeasure {
+    /// Send rate in packets/second over the measurement span.
+    pub throughput: f64,
+    /// Loss-event rate (events per packet).
+    pub loss_event_rate: f64,
+    /// Mean measured RTT (`r` / `r'` in the paper), seconds.
+    pub rtt_mean: f64,
+    /// `cov[θ0, θ̂0]·p²` (TFRC flows; 0 for TCP).
+    pub normalized_covariance: f64,
+    /// `cov[X0, S0]` (TFRC flows; 0 for TCP).
+    pub cov_rate_duration: f64,
+    /// Squared CV of the estimator `θ̂` (TFRC flows; 0 for TCP).
+    pub theta_hat_cv2: f64,
+}
+
+/// Per-run measurement bundle.
+#[derive(Debug, Clone)]
+pub struct RunMeasurements {
+    /// One entry per TFRC flow.
+    pub tfrc: Vec<FlowMeasure>,
+    /// One entry per TCP flow.
+    pub tcp: Vec<FlowMeasure>,
+    /// The Poisson probe's loss-event rate `p''`, when configured.
+    pub probe_loss_rate: Option<f64>,
+    /// Configured base RTT (2× one-way delay).
+    pub nominal_rtt: f64,
+    /// The formula TFRC flows are driven by.
+    pub tfrc_formula: FormulaKind,
+}
+
+impl RunMeasurements {
+    /// Mean over TFRC flows of a field.
+    pub fn tfrc_mean(&self, f: impl Fn(&FlowMeasure) -> f64) -> f64 {
+        mean(self.tfrc.iter().map(f))
+    }
+
+    /// Mean over TCP flows of a field.
+    pub fn tcp_mean(&self, f: impl Fn(&FlowMeasure) -> f64) -> f64 {
+        mean(self.tcp.iter().map(f))
+    }
+
+    /// TFRC flows that actually reached steady state: saw loss events
+    /// and a plausible RTT. Start-up-starved flows (possible under
+    /// extreme contention, as in real TFRC) are excluded from aggregate
+    /// statistics exactly as a measurement campaign would discard
+    /// connections that never got going.
+    pub fn tfrc_valid(&self) -> impl Iterator<Item = &FlowMeasure> {
+        self.tfrc
+            .iter()
+            .filter(|f| f.loss_event_rate > 0.0 && f.rtt_mean > 0.0)
+    }
+
+    /// TCP flows with loss events.
+    pub fn tcp_valid(&self) -> impl Iterator<Item = &FlowMeasure> {
+        self.tcp
+            .iter()
+            .filter(|f| f.loss_event_rate > 0.0 && f.rtt_mean > 0.0)
+    }
+
+    /// Mean over valid TFRC flows of a derived quantity.
+    pub fn tfrc_valid_mean(&self, f: impl Fn(&FlowMeasure) -> f64) -> f64 {
+        mean(self.tfrc_valid().map(f))
+    }
+
+    /// Mean over valid TCP flows of a derived quantity.
+    pub fn tcp_valid_mean(&self, f: impl Fn(&FlowMeasure) -> f64) -> f64 {
+        mean(self.tcp_valid().map(f))
+    }
+
+    /// Mean per-flow normalized throughput `x_i / f(p_i, r_i)` over
+    /// valid TFRC flows — the Figure 5 statistic (mean of ratios, not
+    /// ratio of means: the latter is distorted by cross-flow variance).
+    pub fn tfrc_normalized_throughput(&self) -> f64 {
+        let k = self.tfrc_formula;
+        self.tfrc_valid_mean(|f| f.throughput / k.rate(f.loss_event_rate, f.rtt_mean))
+    }
+}
+
+fn mean(it: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0u64;
+    for v in it {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns2_scenario_runs_and_shares_the_link() {
+        let cfg = DumbbellConfig::ns2_paper(2, 8, 42);
+        let mut run = DumbbellRun::build(&cfg);
+        let m = run.measure(20.0, 40.0);
+        // 15 Mb/s = 1250 pps; 4 flows should jointly keep it busy.
+        let total: f64 = m.tfrc.iter().chain(&m.tcp).map(|f| f.throughput).sum();
+        assert!(total > 800.0, "aggregate {total} pps");
+        // Everyone got a nonzero share and experienced losses.
+        for f in m.tfrc.iter().chain(&m.tcp) {
+            assert!(f.throughput > 20.0, "starved flow: {}", f.throughput);
+            assert!(f.loss_event_rate > 0.0);
+            assert!(f.rtt_mean > 0.04 && f.rtt_mean < 0.3, "rtt {}", f.rtt_mean);
+        }
+    }
+
+    #[test]
+    fn probe_measures_nonzero_loss_when_congested() {
+        let mut cfg = DumbbellConfig::ns2_paper(4, 8, 7);
+        cfg.poisson_probe = Some(10.0);
+        let mut run = DumbbellRun::build(&cfg);
+        let m = run.measure(20.0, 40.0);
+        let p2 = m.probe_loss_rate.unwrap();
+        assert!(p2 > 0.0, "probe saw no loss");
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let cfg = DumbbellConfig::ns2_paper(1, 8, 99);
+        let m1 = DumbbellRun::build(&cfg).measure(10.0, 20.0);
+        let m2 = DumbbellRun::build(&cfg).measure(10.0, 20.0);
+        assert_eq!(m1.tfrc[0].throughput, m2.tfrc[0].throughput);
+        assert_eq!(m1.tcp[0].loss_event_rate, m2.tcp[0].loss_event_rate);
+    }
+
+    #[test]
+    fn lab_scenario_droptail_runs() {
+        let cfg = DumbbellConfig::lab_paper(2, QueueSpec::DropTail(64), 3);
+        let mut run = DumbbellRun::build(&cfg);
+        let m = run.measure(20.0, 30.0);
+        let total: f64 = m.tfrc.iter().chain(&m.tcp).map(|f| f.throughput).sum();
+        // 10 Mb/s = 833 pps.
+        assert!(total > 500.0, "aggregate {total}");
+    }
+}

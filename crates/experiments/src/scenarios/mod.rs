@@ -1,0 +1,7 @@
+//! Scenario builders shared by the experiments.
+
+pub mod dumbbell;
+
+pub use dumbbell::{
+    DumbbellConfig, DumbbellRun, FlowMeasure, QueueSpec, RunMeasurements, TfrcFlowSpec,
+};

@@ -1,0 +1,142 @@
+//! Result tables: the unit every experiment produces.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// A named table of numeric rows — one per figure panel or table.
+///
+/// Rendering prints the paper-style series; `to_json` feeds external
+/// plotting.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Short identifier, e.g. `"fig03/pftk-simplified"`.
+    pub name: String,
+    /// Human-readable caption.
+    pub caption: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows, each as long as `columns`.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    ///
+    /// # Panics
+    /// Panics if no columns are given.
+    pub fn new(
+        name: impl Into<String>,
+        caption: impl Into<String>,
+        columns: Vec<impl Into<String>>,
+    ) -> Self {
+        let columns: Vec<String> = columns.into_iter().map(Into::into).collect();
+        assert!(!columns.is_empty(), "a table needs columns");
+        Self {
+            name: name.into(),
+            caption: caption.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width does not match the columns.
+    pub fn push_row(&mut self, row: Vec<f64>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width {} vs {} columns",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column values by header name.
+    pub fn column(&self, name: &str) -> Option<Vec<f64>> {
+        let idx = self.columns.iter().position(|c| c == name)?;
+        Some(self.rows.iter().map(|r| r[idx]).collect())
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {}", self.name, self.caption);
+        let width = 14;
+        for c in &self.columns {
+            let _ = write!(out, "{:>width$}", c, width = width);
+        }
+        let _ = writeln!(out);
+        for row in &self.rows {
+            for v in row {
+                if v.abs() >= 1e5 || (v.abs() < 1e-4 && *v != 0.0) {
+                    let _ = write!(out, "{:>width$.4e}", v, width = width);
+                } else {
+                    let _ = write!(out, "{:>width$.5}", v, width = width);
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Serializes the table to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("tables are serializable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("fig00", "demo", vec!["x", "y"]);
+        t.push_row(vec![1.0, 2.0]);
+        t.push_row(vec![3.0, 4.5]);
+        t
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.column("y"), Some(vec![2.0, 4.5]));
+        assert_eq!(t.column("z"), None);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn render_includes_headers_and_values() {
+        let r = sample().render();
+        assert!(r.contains("fig00"));
+        assert!(r.contains('x'));
+        assert!(r.contains("4.5"));
+    }
+
+    #[test]
+    fn json_round_trips_structure() {
+        let j = sample().to_json();
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v["columns"][0], "x");
+        assert_eq!(v["rows"][1][1], 4.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        sample().push_row(vec![1.0]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Pure propagation delay — the NIST Net emulator stand-in.
+
+use crate::packet::NetEvent;
+use ebrc_sim::{Component, ComponentId, Context};
+use std::any::Any;
+
+/// Forwards every packet to `next_hop` after a fixed delay, optionally
+/// perturbed per-packet by a bounded jitter drawn uniformly from
+/// `[0, jitter)` (kept small enough in practice not to reorder).
+///
+/// The lab experiments of the paper inserted 25 ms each way with NIST
+/// Net; one `DelayBox` per direction reproduces that.
+pub struct DelayBox {
+    delay: f64,
+    jitter: f64,
+    next_hop: Option<ComponentId>,
+    rng: ebrc_dist::Rng,
+    forwarded: u64,
+}
+
+impl DelayBox {
+    /// A fixed-delay box.
+    ///
+    /// # Panics
+    /// Panics if `delay` is negative.
+    pub fn new(delay: f64, rng: ebrc_dist::Rng) -> Self {
+        assert!(delay >= 0.0, "delay must be non-negative");
+        Self {
+            delay,
+            jitter: 0.0,
+            next_hop: None,
+            rng,
+            forwarded: 0,
+        }
+    }
+
+    /// Adds uniform per-packet jitter in `[0, jitter)` seconds.
+    ///
+    /// # Panics
+    /// Panics if `jitter` is negative.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        assert!(jitter >= 0.0, "jitter must be non-negative");
+        self.jitter = jitter;
+        self
+    }
+
+    /// Wires the downstream component.
+    pub fn set_next_hop(&mut self, id: ComponentId) {
+        self.next_hop = Some(id);
+    }
+
+    /// The base delay.
+    pub fn delay(&self) -> f64 {
+        self.delay
+    }
+
+    /// Packets forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+}
+
+impl Component<NetEvent> for DelayBox {
+    fn handle(&mut self, _now: f64, event: NetEvent, ctx: &mut Context<NetEvent>) {
+        if let NetEvent::Packet(pkt) = event {
+            let next = self.next_hop.expect("delay box next hop not wired");
+            let extra = if self.jitter > 0.0 {
+                self.rng.range(0.0, self.jitter)
+            } else {
+                0.0
+            };
+            self.forwarded += 1;
+            ctx.send(self.delay + extra, next, NetEvent::Packet(pkt));
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::Sink;
+    use crate::packet::{FlowId, Packet};
+    use ebrc_dist::Rng;
+    use ebrc_sim::Engine;
+
+    #[test]
+    fn forwards_after_fixed_delay() {
+        let mut eng: Engine<NetEvent> = Engine::new();
+        let d = eng.add(Box::new(DelayBox::new(0.025, Rng::seed_from(1))));
+        let sink = eng.add(Box::new(Sink::new()));
+        eng.get_mut::<DelayBox>(d).set_next_hop(sink);
+        eng.schedule(1.0, d, NetEvent::Packet(Packet::data(FlowId(0), 0, 100, 1.0)));
+        eng.run_until(2.0);
+        let s: &Sink = eng.get(sink);
+        assert_eq!(s.arrivals.len(), 1);
+        assert!((s.arrivals[0].0 - 1.025).abs() < 1e-12);
+        assert_eq!(eng.get::<DelayBox>(d).forwarded(), 1);
+    }
+
+    #[test]
+    fn jitter_stays_bounded() {
+        let mut eng: Engine<NetEvent> = Engine::new();
+        let d = eng.add(Box::new(
+            DelayBox::new(0.010, Rng::seed_from(2)).with_jitter(0.002),
+        ));
+        let sink = eng.add(Box::new(Sink::new()));
+        eng.get_mut::<DelayBox>(d).set_next_hop(sink);
+        for i in 0..100 {
+            eng.schedule(
+                i as f64,
+                d,
+                NetEvent::Packet(Packet::data(FlowId(0), i as u64, 100, i as f64)),
+            );
+        }
+        eng.run_until(200.0);
+        let s: &Sink = eng.get(sink);
+        for (t, p) in &s.arrivals {
+            let lat = t - p.sent_at;
+            assert!((0.010..0.012).contains(&lat), "latency {lat}");
+        }
+    }
+
+    #[test]
+    fn ignores_non_packet_events() {
+        let mut eng: Engine<NetEvent> = Engine::new();
+        let d = eng.add(Box::new(DelayBox::new(0.01, Rng::seed_from(3))));
+        eng.schedule(0.0, d, NetEvent::Timer(0));
+        eng.run_until(1.0); // must not panic on unwired next hop
+        assert_eq!(eng.get::<DelayBox>(d).forwarded(), 0);
+    }
+}

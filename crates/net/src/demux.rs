@@ -1,0 +1,90 @@
+//! Per-flow demultiplexer.
+
+use crate::packet::{FlowId, NetEvent};
+use ebrc_sim::{Component, ComponentId, Context};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Routes each packet to the endpoint registered for its flow id —
+/// the "last hop" fan-out of a dumbbell topology.
+#[derive(Debug, Default)]
+pub struct Demux {
+    routes: HashMap<FlowId, ComponentId>,
+    forwarded: u64,
+}
+
+impl Demux {
+    /// An empty demux; register endpoints with [`Demux::route`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the endpoint for a flow.
+    pub fn route(&mut self, flow: FlowId, target: ComponentId) {
+        self.routes.insert(flow, target);
+    }
+
+    /// Packets forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+}
+
+impl Component<NetEvent> for Demux {
+    fn handle(&mut self, _now: f64, event: NetEvent, ctx: &mut Context<NetEvent>) {
+        if let NetEvent::Packet(pkt) = event {
+            let target = *self
+                .routes
+                .get(&pkt.flow)
+                .unwrap_or_else(|| panic!("no route for flow {:?}", pkt.flow));
+            self.forwarded += 1;
+            ctx.send(0.0, target, NetEvent::Packet(pkt));
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Packet;
+    use crate::sink::Sink;
+    use ebrc_sim::Engine;
+
+    #[test]
+    fn routes_by_flow() {
+        let mut eng: Engine<NetEvent> = Engine::new();
+        let d = eng.add(Box::new(Demux::new()));
+        let a = eng.add(Box::new(Sink::counting_only()));
+        let b = eng.add(Box::new(Sink::counting_only()));
+        {
+            let demux = eng.get_mut::<Demux>(d);
+            demux.route(FlowId(1), a);
+            demux.route(FlowId(2), b);
+        }
+        for i in 0..10u64 {
+            let flow = if i % 3 == 0 { FlowId(1) } else { FlowId(2) };
+            eng.schedule(0.0, d, NetEvent::Packet(Packet::data(flow, i, 100, 0.0)));
+        }
+        eng.run_until(1.0);
+        assert_eq!(eng.get::<Sink>(a).count(), 4);
+        assert_eq!(eng.get::<Sink>(b).count(), 6);
+        assert_eq!(eng.get::<Demux>(d).forwarded(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn unknown_flow_panics() {
+        let mut eng: Engine<NetEvent> = Engine::new();
+        let d = eng.add(Box::new(Demux::new()));
+        eng.schedule(0.0, d, NetEvent::Packet(Packet::data(FlowId(9), 0, 100, 0.0)));
+        eng.run_until(1.0);
+    }
+}

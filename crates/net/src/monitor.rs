@@ -1,0 +1,155 @@
+//! Queue occupancy monitoring.
+//!
+//! Periodically samples a [`LinkQueue`]'s occupancy into a time series —
+//! the queue-dynamics view the paper's RED configuration discussion
+//! relies on (average queue between `min_th` and `max_th`, sawtooth
+//! against DropTail). A monitor is a regular component: wire it, kick
+//! it with `NetEvent::Timer(1)`, read the series after the run.
+
+use crate::link::LinkQueue;
+use crate::packet::NetEvent;
+use ebrc_sim::{Component, ComponentId, Context};
+use ebrc_stats::Moments;
+use std::any::Any;
+
+const TIMER_SAMPLE: u64 = 1;
+
+/// Samples a link's queue length on a fixed period.
+///
+/// Note: the monitor reads the queue length *as of the previous
+/// sample's* dispatch through the shared engine — components cannot
+/// touch each other directly, so the monitored link reports its
+/// occupancy through the harness instead. To keep the message-only
+/// discipline, the monitor is driven by the harness: call
+/// [`QueueMonitor::record`] from the experiment loop, or use the
+/// timer-driven mode where the harness polls between engine runs.
+#[derive(Debug)]
+pub struct QueueMonitor {
+    period: f64,
+    samples: Vec<(f64, usize)>,
+    moments: Moments,
+    t_stop: f64,
+}
+
+impl QueueMonitor {
+    /// A monitor sampling every `period` seconds until `t_stop`.
+    ///
+    /// # Panics
+    /// Panics unless `period > 0`.
+    pub fn new(period: f64, t_stop: f64) -> Self {
+        assert!(period > 0.0, "period must be positive");
+        Self {
+            period,
+            samples: Vec::new(),
+            moments: Moments::new(),
+            t_stop,
+        }
+    }
+
+    /// Records one occupancy observation (harness-driven mode).
+    pub fn record(&mut self, now: f64, occupancy: usize) {
+        self.samples.push((now, occupancy));
+        self.moments.push(occupancy as f64);
+    }
+
+    /// The recorded `(time, occupancy)` series.
+    pub fn samples(&self) -> &[(f64, usize)] {
+        &self.samples
+    }
+
+    /// Occupancy moments (mean queue, variance → delay jitter).
+    pub fn moments(&self) -> &Moments {
+        &self.moments
+    }
+
+    /// Sampling period.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+}
+
+impl Component<NetEvent> for QueueMonitor {
+    fn handle(&mut self, now: f64, event: NetEvent, ctx: &mut Context<NetEvent>) {
+        if let NetEvent::Timer(TIMER_SAMPLE) = event {
+            if now <= self.t_stop {
+                ctx.send_self(self.period, NetEvent::Timer(TIMER_SAMPLE));
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Harness helper: advances the engine in `period` steps until `t_end`,
+/// sampling the link's occupancy into the monitor after each step.
+///
+/// This is the supported way to collect queue dynamics — it keeps the
+/// message-only component discipline while giving the harness an exact
+/// periodic view.
+pub fn sample_queue(
+    engine: &mut ebrc_sim::Engine<NetEvent>,
+    link: ComponentId,
+    monitor: &mut QueueMonitor,
+    t_end: f64,
+) {
+    let period = monitor.period();
+    let mut t = engine.now();
+    while t < t_end {
+        t = (t + period).min(t_end);
+        engine.run_until(t);
+        let occupancy = engine.get::<LinkQueue>(link).queue_len();
+        monitor.record(t, occupancy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkQueue;
+    use crate::packet::{FlowId, Packet};
+    use crate::queue::DropTailQueue;
+    use crate::sink::Sink;
+    use ebrc_dist::Rng;
+    use ebrc_sim::Engine;
+
+    #[test]
+    fn harness_sampling_sees_queue_buildup_and_drain() {
+        let mut eng: Engine<NetEvent> = Engine::new();
+        // 1 Mb/s link: 1250-byte packets take 10 ms each.
+        let link = eng.add(Box::new(LinkQueue::new(
+            Box::new(DropTailQueue::new(100)),
+            1e6,
+            0.0,
+            Rng::seed_from(1),
+        )));
+        let sink = eng.add(Box::new(Sink::counting_only()));
+        eng.get_mut::<LinkQueue>(link).set_next_hop(sink);
+        // Burst of 50 packets at t = 0: queue drains at 100 pkts/s.
+        for i in 0..50 {
+            eng.schedule(0.0, link, NetEvent::Packet(Packet::data(FlowId(0), i, 1250, 0.0)));
+        }
+        let mut mon = QueueMonitor::new(0.05, 1.0);
+        sample_queue(&mut eng, link, &mut mon, 1.0);
+        let s = mon.samples();
+        assert_eq!(s.len(), 20);
+        // Monotone drain after the burst.
+        for w in s.windows(2) {
+            assert!(w[1].1 <= w[0].1, "queue grew during drain: {w:?}");
+        }
+        assert!(s[0].1 > 30, "first sample should see the burst: {:?}", s[0]);
+        assert_eq!(s.last().unwrap().1, 0, "queue should be empty by 1 s");
+        assert!(mon.moments().mean() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn zero_period_rejected() {
+        QueueMonitor::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! On/off background traffic.
+//!
+//! Internet cross-traffic is bursty at every timescale; the paper's
+//! Internet paths oscillate between congestion and no congestion
+//! (Section III-B.2's "phases"). An [`OnOffSender`] emits CBR packets
+//! during exponentially-distributed ON periods separated by
+//! exponentially-distributed OFF periods — the classic model whose
+//! superposition produces exactly that phase-like loss behaviour at a
+//! bottleneck.
+
+use crate::packet::{FlowId, NetEvent, Packet};
+use ebrc_dist::Rng;
+use ebrc_sim::{Component, ComponentId, Context};
+use std::any::Any;
+
+const TIMER_SEND: u64 = 1;
+const TIMER_TOGGLE: u64 = 2;
+/// The kick-off token; schedule this from the harness at the start time.
+pub const TIMER_START: u64 = 0;
+
+/// CBR-during-ON / silent-during-OFF background source.
+pub struct OnOffSender {
+    flow: FlowId,
+    rate_pps: f64,
+    packet_size: u32,
+    mean_on: f64,
+    mean_off: f64,
+    next_hop: Option<ComponentId>,
+    rng: Rng,
+    on: bool,
+    epoch: u64,
+    seq: u64,
+    on_time: f64,
+    total_time_marker: f64,
+    started: bool,
+}
+
+impl OnOffSender {
+    /// A source sending `rate_pps` packets/second while ON; ON and OFF
+    /// period lengths are exponential with the given means.
+    ///
+    /// # Panics
+    /// Panics unless every parameter is positive.
+    pub fn new(
+        flow: FlowId,
+        rate_pps: f64,
+        packet_size: u32,
+        mean_on: f64,
+        mean_off: f64,
+        rng: Rng,
+    ) -> Self {
+        assert!(rate_pps > 0.0, "rate must be positive");
+        assert!(packet_size > 0, "packet size must be positive");
+        assert!(mean_on > 0.0 && mean_off > 0.0, "period means must be positive");
+        Self {
+            flow,
+            rate_pps,
+            packet_size,
+            mean_on,
+            mean_off,
+            next_hop: None,
+            rng,
+            on: false,
+            epoch: 0,
+            seq: 0,
+            on_time: 0.0,
+            total_time_marker: 0.0,
+            started: false,
+        }
+    }
+
+    /// Wires the first hop.
+    pub fn set_next_hop(&mut self, id: ComponentId) {
+        self.next_hop = Some(id);
+    }
+
+    /// Packets emitted so far.
+    pub fn sent(&self) -> u64 {
+        self.seq
+    }
+
+    /// Long-run offered load in packets/second:
+    /// `rate · mean_on / (mean_on + mean_off)`.
+    pub fn mean_offered_load(&self) -> f64 {
+        self.rate_pps * self.mean_on / (self.mean_on + self.mean_off)
+    }
+
+    /// Cumulative ON time observed so far.
+    pub fn on_time(&self) -> f64 {
+        self.on_time
+    }
+
+    fn draw(&mut self, mean: f64) -> f64 {
+        -self.rng.uniform_open().ln() * mean
+    }
+
+    fn toggle(&mut self, now: f64, ctx: &mut Context<NetEvent>) {
+        self.epoch += 1;
+        if self.on {
+            self.on_time += now - self.total_time_marker;
+        }
+        self.total_time_marker = now;
+        self.on = !self.on;
+        let period = if self.on {
+            // Entering ON: start the packet clock for this epoch.
+            ctx.send_self(0.0, NetEvent::Timer(TIMER_SEND + (self.epoch << 8)));
+            self.draw(self.mean_on)
+        } else {
+            self.draw(self.mean_off)
+        };
+        ctx.send_self(period, NetEvent::Timer(TIMER_TOGGLE));
+    }
+}
+
+impl Component<NetEvent> for OnOffSender {
+    fn handle(&mut self, now: f64, event: NetEvent, ctx: &mut Context<NetEvent>) {
+        match event {
+            NetEvent::Timer(TIMER_START) => {
+                if !self.started {
+                    self.started = true;
+                    self.total_time_marker = now;
+                    self.toggle(now, ctx); // start with an ON period
+                }
+            }
+            NetEvent::Timer(TIMER_TOGGLE) => self.toggle(now, ctx),
+            NetEvent::Timer(token) => {
+                // Epoch-tagged send ticks: stale epochs die silently when
+                // an OFF period interleaves.
+                if token >> 8 == self.epoch && self.on {
+                    let next = self.next_hop.expect("on/off sender not wired");
+                    ctx.send(
+                        0.0,
+                        next,
+                        NetEvent::Packet(Packet::data(
+                            self.flow,
+                            self.seq,
+                            self.packet_size,
+                            now,
+                        )),
+                    );
+                    self.seq += 1;
+                    ctx.send_self(1.0 / self.rate_pps, NetEvent::Timer(token));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::Sink;
+    use ebrc_sim::Engine;
+
+    fn run_source(mean_on: f64, mean_off: f64, t: f64, seed: u64) -> (u64, f64) {
+        let mut eng: Engine<NetEvent> = Engine::new();
+        let src = eng.add(Box::new(OnOffSender::new(
+            FlowId(1),
+            200.0,
+            1500,
+            mean_on,
+            mean_off,
+            Rng::seed_from(seed),
+        )));
+        let sink = eng.add(Box::new(Sink::counting_only()));
+        eng.get_mut::<OnOffSender>(src).set_next_hop(sink);
+        eng.schedule(0.0, src, NetEvent::Timer(TIMER_START));
+        eng.run_until(t);
+        let s: &OnOffSender = eng.get(src);
+        (eng.get::<Sink>(sink).count(), s.mean_offered_load())
+    }
+
+    #[test]
+    fn long_run_load_matches_duty_cycle() {
+        // 50 % duty cycle at 200 pps → ~100 pps long-run.
+        let (count, analytic) = run_source(1.0, 1.0, 400.0, 1);
+        let measured = count as f64 / 400.0;
+        assert!((analytic - 100.0).abs() < 1e-9);
+        assert!(
+            (measured - 100.0).abs() < 12.0,
+            "measured load {measured} pps"
+        );
+    }
+
+    #[test]
+    fn off_heavy_source_is_mostly_silent() {
+        let (count, analytic) = run_source(0.2, 1.8, 400.0, 2);
+        let measured = count as f64 / 400.0;
+        assert!((analytic - 20.0).abs() < 1e-9);
+        assert!(measured < 40.0, "measured {measured}");
+        assert!(count > 0, "never turned on");
+    }
+
+    #[test]
+    fn bursts_are_clustered_not_uniform() {
+        // Measure inter-arrival times at the sink: an on/off source has
+        // many back-to-back gaps (1/rate) and a heavy tail of long OFF
+        // gaps — the variance is far above a CBR's zero.
+        let mut eng: Engine<NetEvent> = Engine::new();
+        let src = eng.add(Box::new(OnOffSender::new(
+            FlowId(1),
+            200.0,
+            1500,
+            0.5,
+            2.0,
+            Rng::seed_from(3),
+        )));
+        let sink = eng.add(Box::new(Sink::new()));
+        eng.get_mut::<OnOffSender>(src).set_next_hop(sink);
+        eng.schedule(0.0, src, NetEvent::Timer(TIMER_START));
+        eng.run_until(300.0);
+        let s: &Sink = eng.get(sink);
+        let gaps: Vec<f64> = s.arrivals.windows(2).map(|w| w[1].0 - w[0].0).collect();
+        assert!(gaps.len() > 500);
+        let short = gaps.iter().filter(|g| **g < 0.01).count();
+        let long = gaps.iter().filter(|g| **g > 0.5).count();
+        assert!(short > gaps.len() / 2, "in-burst gaps dominate: {short}");
+        assert!(long > 10, "some OFF-period gaps: {long}");
+    }
+}

@@ -1,0 +1,437 @@
+//! The event calendar and dispatch loop.
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Identifies a component registered with an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ComponentId(usize);
+
+impl ComponentId {
+    /// The raw index (stable for the lifetime of the engine).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A simulation actor: queues, links, protocol endpoints, traffic
+/// sources.
+///
+/// Implementations must also be `Any` (automatic for `'static` types) so
+/// harnesses can downcast them back out of the engine after a run.
+pub trait Component<E: 'static>: Any {
+    /// Handles one event delivered at simulation time `now`.
+    ///
+    /// Emit follow-up events through `ctx`; never hold references to
+    /// other components.
+    fn handle(&mut self, now: f64, event: E, ctx: &mut Context<E>);
+
+    /// Upcast helper for downcasting; implement as `self`.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast helper; implement as `self`.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Event-emission interface handed to a component while it runs.
+#[derive(Debug)]
+pub struct Context<E> {
+    now: f64,
+    self_id: ComponentId,
+    emitted: Vec<(f64, ComponentId, E)>,
+}
+
+impl<E> Context<E> {
+    /// Current simulation time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The id of the component currently executing.
+    pub fn self_id(&self) -> ComponentId {
+        self.self_id
+    }
+
+    /// Schedules `event` for `target` after `delay ≥ 0` seconds.
+    ///
+    /// # Panics
+    /// Panics on negative or NaN delays — an event in the past would
+    /// corrupt the clock.
+    pub fn send(&mut self, delay: f64, target: ComponentId, event: E) {
+        assert!(delay >= 0.0, "negative delay {delay}");
+        self.emitted.push((delay, target, event));
+    }
+
+    /// Schedules `event` for the current component itself (timers).
+    pub fn send_self(&mut self, delay: f64, event: E) {
+        let id = self.self_id;
+        self.send(delay, id, event);
+    }
+}
+
+struct Scheduled<E> {
+    time: f64,
+    seq: u64,
+    target: ComponentId,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first;
+        // ties broken by scheduling order for determinism.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The discrete-event engine: clock + calendar + components.
+pub struct Engine<E: 'static> {
+    clock: f64,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<E>>,
+    components: Vec<Option<Box<dyn Component<E>>>>,
+    processed: u64,
+}
+
+impl<E: 'static> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: 'static> Engine<E> {
+    /// Creates an engine at time zero with an empty calendar.
+    pub fn new() -> Self {
+        Self {
+            clock: 0.0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            components: Vec::new(),
+            processed: 0,
+        }
+    }
+
+    /// Registers a component, returning its id.
+    pub fn add(&mut self, component: Box<dyn Component<E>>) -> ComponentId {
+        self.components.push(Some(component));
+        ComponentId(self.components.len() - 1)
+    }
+
+    /// Current simulation time in seconds.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Total events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Whether the calendar is empty.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Schedules an event from outside any component (experiment setup).
+    ///
+    /// # Panics
+    /// Panics on negative delay or an unknown target.
+    pub fn schedule(&mut self, delay: f64, target: ComponentId, event: E) {
+        assert!(delay >= 0.0, "negative delay {delay}");
+        assert!(target.0 < self.components.len(), "unknown component");
+        let seq = self.next_seq();
+        self.queue.push(Scheduled {
+            time: self.clock + delay,
+            seq,
+            target,
+            event,
+        });
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Dispatches events until the calendar empties or the next event
+    /// lies strictly beyond `t_end`; the clock finishes at `t_end` (or at
+    /// the last event, whichever is later). Returns the number of events
+    /// dispatched by this call.
+    pub fn run_until(&mut self, t_end: f64) -> u64 {
+        let before = self.processed;
+        while let Some(head) = self.queue.peek() {
+            if head.time > t_end {
+                break;
+            }
+            let item = self.queue.pop().expect("peeked");
+            debug_assert!(item.time >= self.clock, "time went backwards");
+            self.clock = item.time;
+            self.dispatch(item);
+        }
+        if self.clock < t_end {
+            self.clock = t_end;
+        }
+        self.processed - before
+    }
+
+    /// Dispatches at most `n` events (or until idle). Returns the number
+    /// dispatched.
+    pub fn run_events(&mut self, n: u64) -> u64 {
+        let before = self.processed;
+        for _ in 0..n {
+            match self.queue.pop() {
+                Some(item) => {
+                    self.clock = item.time;
+                    self.dispatch(item);
+                }
+                None => break,
+            }
+        }
+        self.processed - before
+    }
+
+    fn dispatch(&mut self, item: Scheduled<E>) {
+        self.processed += 1;
+        let mut ctx = Context {
+            now: self.clock,
+            self_id: item.target,
+            emitted: Vec::new(),
+        };
+        // Take the component out so it cannot alias the engine while it
+        // runs; events it emits are buffered in the context.
+        let mut component = self.components[item.target.0]
+            .take()
+            .expect("component re-entered — a handler scheduled into itself synchronously?");
+        component.handle(self.clock, item.event, &mut ctx);
+        self.components[item.target.0] = Some(component);
+        for (delay, target, event) in ctx.emitted {
+            assert!(target.0 < self.components.len(), "unknown component");
+            let seq = self.next_seq();
+            self.queue.push(Scheduled {
+                time: self.clock + delay,
+                seq,
+                target,
+                event,
+            });
+        }
+    }
+
+    /// Immutable downcast access to a component's concrete type.
+    ///
+    /// # Panics
+    /// Panics if the id is unknown or the type does not match.
+    pub fn get<T: Component<E>>(&self, id: ComponentId) -> &T {
+        self.components[id.0]
+            .as_ref()
+            .expect("component missing")
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("component type mismatch")
+    }
+
+    /// Mutable downcast access to a component's concrete type.
+    ///
+    /// # Panics
+    /// Panics if the id is unknown or the type does not match.
+    pub fn get_mut<T: Component<E>>(&mut self, id: ComponentId) -> &mut T {
+        self.components[id.0]
+            .as_mut()
+            .expect("component missing")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("component type mismatch")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Ev {
+        Ping(u32),
+        Tick,
+    }
+
+    /// Records every event it sees with its arrival time.
+    struct Recorder {
+        log: Vec<(f64, Ev)>,
+    }
+
+    impl Component<Ev> for Recorder {
+        fn handle(&mut self, now: f64, event: Ev, _ctx: &mut Context<Ev>) {
+            self.log.push((now, event));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Emits a Tick to a peer every `period` until `t_stop`.
+    struct Ticker {
+        period: f64,
+        t_stop: f64,
+        peer: ComponentId,
+        fired: u32,
+    }
+
+    impl Component<Ev> for Ticker {
+        fn handle(&mut self, now: f64, _event: Ev, ctx: &mut Context<Ev>) {
+            self.fired += 1;
+            ctx.send(0.0, self.peer, Ev::Tick);
+            if now + self.period <= self.t_stop {
+                ctx.send_self(self.period, Ev::Tick);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut eng = Engine::new();
+        let rec = eng.add(Box::new(Recorder { log: vec![] }));
+        eng.schedule(3.0, rec, Ev::Ping(3));
+        eng.schedule(1.0, rec, Ev::Ping(1));
+        eng.schedule(2.0, rec, Ev::Ping(2));
+        eng.run_until(10.0);
+        let r: &Recorder = eng.get(rec);
+        let order: Vec<u32> = r
+            .log
+            .iter()
+            .map(|(_, e)| match e {
+                Ev::Ping(n) => *n,
+                _ => 0,
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(eng.now(), 10.0);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_scheduling_order() {
+        let mut eng = Engine::new();
+        let rec = eng.add(Box::new(Recorder { log: vec![] }));
+        for i in 0..10 {
+            eng.schedule(5.0, rec, Ev::Ping(i));
+        }
+        eng.run_until(5.0);
+        let r: &Recorder = eng.get(rec);
+        let order: Vec<u32> = r
+            .log
+            .iter()
+            .map(|(_, e)| match e {
+                Ev::Ping(n) => *n,
+                _ => 0,
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_until_leaves_future_events_queued() {
+        let mut eng = Engine::new();
+        let rec = eng.add(Box::new(Recorder { log: vec![] }));
+        eng.schedule(1.0, rec, Ev::Ping(1));
+        eng.schedule(100.0, rec, Ev::Ping(2));
+        assert_eq!(eng.run_until(50.0), 1);
+        assert!(!eng.is_idle());
+        assert_eq!(eng.run_until(150.0), 1);
+        assert!(eng.is_idle());
+    }
+
+    #[test]
+    fn ticker_self_schedules() {
+        let mut eng = Engine::new();
+        let rec = eng.add(Box::new(Recorder { log: vec![] }));
+        let ticker = eng.add(Box::new(Ticker {
+            period: 1.0,
+            t_stop: 5.0,
+            peer: rec,
+            fired: 0,
+        }));
+        eng.schedule(0.0, ticker, Ev::Tick);
+        eng.run_until(10.0);
+        // Fires at t = 0, 1, 2, 3, 4, 5.
+        assert_eq!(eng.get::<Ticker>(ticker).fired, 6);
+        assert_eq!(eng.get::<Recorder>(rec).log.len(), 6);
+    }
+
+    #[test]
+    fn run_events_caps_dispatch_count() {
+        let mut eng = Engine::new();
+        let rec = eng.add(Box::new(Recorder { log: vec![] }));
+        for i in 0..5 {
+            eng.schedule(i as f64, rec, Ev::Ping(i));
+        }
+        assert_eq!(eng.run_events(3), 3);
+        assert_eq!(eng.get::<Recorder>(rec).log.len(), 3);
+        assert_eq!(eng.run_events(10), 2);
+    }
+
+    #[test]
+    fn clock_is_monotone_across_zero_delay_chains() {
+        let mut eng = Engine::new();
+        let rec = eng.add(Box::new(Recorder { log: vec![] }));
+        let ticker = eng.add(Box::new(Ticker {
+            period: 0.0,
+            t_stop: -1.0, // never reschedules
+            peer: rec,
+            fired: 0,
+        }));
+        eng.schedule(2.0, ticker, Ev::Tick);
+        eng.run_until(2.0);
+        let r: &Recorder = eng.get(rec);
+        assert_eq!(r.log.len(), 1);
+        assert_eq!(r.log[0].0, 2.0);
+    }
+
+    #[test]
+    fn get_mut_allows_post_run_mutation() {
+        let mut eng = Engine::new();
+        let rec = eng.add(Box::new(Recorder { log: vec![] }));
+        eng.schedule(0.0, rec, Ev::Ping(7));
+        eng.run_until(1.0);
+        eng.get_mut::<Recorder>(rec).log.clear();
+        assert!(eng.get::<Recorder>(rec).log.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "negative delay")]
+    fn negative_delay_rejected() {
+        let mut eng: Engine<Ev> = Engine::new();
+        let rec = eng.add(Box::new(Recorder { log: vec![] }));
+        eng.schedule(-1.0, rec, Ev::Tick);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn wrong_downcast_panics() {
+        let mut eng: Engine<Ev> = Engine::new();
+        let rec = eng.add(Box::new(Recorder { log: vec![] }));
+        let _: &Ticker = eng.get(rec);
+    }
+}

@@ -1,0 +1,30 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! This is the ns-2 stand-in of the reproduction: a single-threaded
+//! event loop over components that exchange typed events through a
+//! central calendar. The design follows the event-driven discipline of
+//! embedded network stacks (smoltcp-style) rather than an async runtime —
+//! the workload is CPU-bound, so threads and reactors would only add
+//! nondeterminism.
+//!
+//! * [`Engine`] owns the clock, the event calendar (a binary heap ordered
+//!   by `(time, sequence)` so simultaneous events fire in scheduling
+//!   order — fully deterministic), and the components.
+//! * [`Component`] is the behaviour trait: `handle(now, event, ctx)`.
+//!   Components never touch each other directly; they emit events through
+//!   the [`Context`], which the engine drains into the calendar after the
+//!   handler returns. This message-only discipline is what makes replays
+//!   exact.
+//! * Components are registered with [`Engine::add`] and recovered after a
+//!   run with [`Engine::get`]/[`Engine::get_mut`] (by-type downcast), so
+//!   experiment harnesses can read their statistics.
+//!
+//! The event payload type `E` is chosen by the embedding crate
+//! (`ebrc-net` instantiates it with its packet/timer enum).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+
+pub use engine::{Component, ComponentId, Context, Engine};

@@ -1,0 +1,81 @@
+//! Property tests: the engine delivers events in time order,
+//! deterministically, exactly once.
+
+use ebrc_sim::{Component, Context, Engine};
+use proptest::prelude::*;
+use std::any::Any;
+
+struct Recorder {
+    log: Vec<(f64, u32)>,
+}
+
+impl Component<u32> for Recorder {
+    fn handle(&mut self, now: f64, ev: u32, _ctx: &mut Context<u32>) {
+        self.log.push((now, ev));
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+proptest! {
+    #[test]
+    fn delivery_in_time_order_exactly_once(delays in proptest::collection::vec(0.0_f64..100.0, 1..200)) {
+        let mut eng: Engine<u32> = Engine::new();
+        let rec = eng.add(Box::new(Recorder { log: vec![] }));
+        for (i, d) in delays.iter().enumerate() {
+            eng.schedule(*d, rec, i as u32);
+        }
+        eng.run_until(1000.0);
+        let r: &Recorder = eng.get(rec);
+        prop_assert_eq!(r.log.len(), delays.len(), "exactly once");
+        // Non-decreasing delivery times.
+        for w in r.log.windows(2) {
+            prop_assert!(w[1].0 >= w[0].0);
+        }
+        // Every event id delivered.
+        let mut ids: Vec<u32> = r.log.iter().map(|(_, e)| *e).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..delays.len() as u32).collect::<Vec<_>>());
+        // Ties broken by scheduling order.
+        for w in r.log.windows(2) {
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_is_bitwise_identical(delays in proptest::collection::vec(0.0_f64..50.0, 1..100)) {
+        let run = |ds: &[f64]| {
+            let mut eng: Engine<u32> = Engine::new();
+            let rec = eng.add(Box::new(Recorder { log: vec![] }));
+            for (i, d) in ds.iter().enumerate() {
+                eng.schedule(*d, rec, i as u32);
+            }
+            eng.run_until(100.0);
+            eng.get::<Recorder>(rec).log.clone()
+        };
+        prop_assert_eq!(run(&delays), run(&delays));
+    }
+
+    #[test]
+    fn run_until_boundary_is_inclusive_and_clock_monotone(
+        delays in proptest::collection::vec(0.0_f64..10.0, 1..50),
+        cut in 0.0_f64..10.0,
+    ) {
+        let mut eng: Engine<u32> = Engine::new();
+        let rec = eng.add(Box::new(Recorder { log: vec![] }));
+        for (i, d) in delays.iter().enumerate() {
+            eng.schedule(*d, rec, i as u32);
+        }
+        eng.run_until(cut);
+        let delivered = eng.get::<Recorder>(rec).log.len();
+        let expected = delays.iter().filter(|d| **d <= cut).count();
+        prop_assert_eq!(delivered, expected);
+        prop_assert!(eng.now() >= cut);
+    }
+}

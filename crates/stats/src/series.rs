@@ -1,0 +1,208 @@
+//! Warm-up truncation, binning, and confidence intervals.
+//!
+//! The paper's measurement methodology (Section V-A.3): fix an experiment
+//! duration long enough for a reasonable number of loss events, truncate
+//! the initial transient (200 s of 2500 s), and compute empirical
+//! estimates over a consecutive sequence of bins (6 bins) of the
+//! remainder; the bin spread gives the uncertainty. This module
+//! reproduces that pipeline for arbitrary sample streams.
+
+/// Drops the leading `warmup_fraction` of a sample (in count), returning
+/// the retained tail as a slice.
+///
+/// # Panics
+/// Panics unless `0.0 <= warmup_fraction < 1.0`.
+pub fn truncate_warmup(samples: &[f64], warmup_fraction: f64) -> &[f64] {
+    assert!(
+        (0.0..1.0).contains(&warmup_fraction),
+        "warmup fraction must be in [0, 1)"
+    );
+    let skip = (samples.len() as f64 * warmup_fraction).floor() as usize;
+    &samples[skip.min(samples.len())..]
+}
+
+/// Splits `samples` into `bins` consecutive bins and returns each bin's
+/// mean. Trailing samples that do not fill a complete bin are folded into
+/// the last bin. Returns an empty vector when there are fewer samples
+/// than bins.
+pub fn bin_means(samples: &[f64], bins: usize) -> Vec<f64> {
+    if bins == 0 || samples.len() < bins {
+        return Vec::new();
+    }
+    let base = samples.len() / bins;
+    let mut out = Vec::with_capacity(bins);
+    for b in 0..bins {
+        let start = b * base;
+        let end = if b + 1 == bins { samples.len() } else { start + base };
+        let chunk = &samples[start..end];
+        out.push(chunk.iter().sum::<f64>() / chunk.len() as f64);
+    }
+    out
+}
+
+/// A mean together with a symmetric confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate (mean of bin means).
+    pub mean: f64,
+    /// Half-width of the confidence interval.
+    pub half_width: f64,
+    /// Number of bins used.
+    pub bins: usize,
+}
+
+impl ConfidenceInterval {
+    /// Lower edge of the interval.
+    pub fn low(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper edge of the interval.
+    pub fn high(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Whether `value` lies inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.low() && value <= self.high()
+    }
+}
+
+/// Two-sided Student-t 0.975 quantiles for small degrees of freedom
+/// (95 % confidence), indexed by `df - 1`; falls back to the normal 1.96
+/// for large `df`.
+const T_975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// 95 % confidence interval via the batch-means method: split the sample
+/// into `bins` batches and apply a Student-t interval to the batch means.
+///
+/// Returns `None` when fewer than two bins can be formed.
+pub fn confidence_interval(samples: &[f64], bins: usize) -> Option<ConfidenceInterval> {
+    let means = bin_means(samples, bins);
+    if means.len() < 2 {
+        return None;
+    }
+    let n = means.len() as f64;
+    let mean = means.iter().sum::<f64>() / n;
+    let var = means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / (n - 1.0);
+    let df = means.len() - 1;
+    let t = if df <= T_975.len() { T_975[df - 1] } else { 1.96 };
+    Some(ConfidenceInterval {
+        mean,
+        half_width: t * (var / n).sqrt(),
+        bins: means.len(),
+    })
+}
+
+/// The paper's measurement pipeline in one struct: truncate a warm-up
+/// fraction then bin the remainder.
+#[derive(Debug, Clone, Copy)]
+pub struct Bins {
+    /// Fraction of leading samples dropped as transient (paper: 200/2500).
+    pub warmup_fraction: f64,
+    /// Number of bins over the retained samples (paper: 6).
+    pub count: usize,
+}
+
+impl Default for Bins {
+    fn default() -> Self {
+        Self {
+            warmup_fraction: 0.08,
+            count: 6,
+        }
+    }
+}
+
+impl Bins {
+    /// Applies truncation + binning, returning bin means.
+    pub fn apply(&self, samples: &[f64]) -> Vec<f64> {
+        bin_means(truncate_warmup(samples, self.warmup_fraction), self.count)
+    }
+
+    /// Applies truncation + binning and forms a t confidence interval.
+    pub fn interval(&self, samples: &[f64]) -> Option<ConfidenceInterval> {
+        confidence_interval(truncate_warmup(samples, self.warmup_fraction), self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_truncation_drops_prefix() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let tail = truncate_warmup(&xs, 0.25);
+        assert_eq!(tail.len(), 75);
+        assert_eq!(tail[0], 25.0);
+    }
+
+    #[test]
+    fn warmup_zero_keeps_everything() {
+        let xs = [1.0, 2.0];
+        assert_eq!(truncate_warmup(&xs, 0.0), &xs);
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup fraction")]
+    fn warmup_one_rejected() {
+        truncate_warmup(&[1.0], 1.0);
+    }
+
+    #[test]
+    fn bin_means_even_split() {
+        let xs = [1.0, 1.0, 3.0, 3.0, 5.0, 5.0];
+        assert_eq!(bin_means(&xs, 3), vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn bin_means_remainder_in_last_bin() {
+        let xs = [2.0, 2.0, 2.0, 2.0, 8.0];
+        // 5 samples, 2 bins: bins of 2 and 3.
+        assert_eq!(bin_means(&xs, 2), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn bin_means_too_few_samples() {
+        assert!(bin_means(&[1.0], 2).is_empty());
+        assert!(bin_means(&[], 1).is_empty());
+        assert!(bin_means(&[1.0], 0).is_empty());
+    }
+
+    #[test]
+    fn ci_of_constant_sample_has_zero_width() {
+        let xs = [4.0; 60];
+        let ci = confidence_interval(&xs, 6).unwrap();
+        assert_eq!(ci.mean, 4.0);
+        assert_eq!(ci.half_width, 0.0);
+        assert!(ci.contains(4.0));
+        assert!(!ci.contains(4.1));
+    }
+
+    #[test]
+    fn ci_covers_true_mean_of_noisy_sample() {
+        // Deterministic zero-mean noise around 10 (golden-ratio
+        // low-discrepancy sequence, equidistributed on [0, 1)).
+        let xs: Vec<f64> = (0..600)
+            .map(|i| 10.0 + (i as f64 * 0.618_033_988_749_895).fract() - 0.5)
+            .collect();
+        let ci = confidence_interval(&xs, 6).unwrap();
+        assert!(ci.contains(10.0), "interval {:?} misses 10", ci);
+        assert!(ci.half_width < 0.5);
+    }
+
+    #[test]
+    fn pipeline_matches_manual_steps() {
+        let xs: Vec<f64> = (0..125).map(|i| i as f64).collect();
+        let b = Bins {
+            warmup_fraction: 0.2,
+            count: 4,
+        };
+        let manual = bin_means(truncate_warmup(&xs, 0.2), 4);
+        assert_eq!(b.apply(&xs), manual);
+    }
+}

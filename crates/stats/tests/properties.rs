@@ -1,0 +1,71 @@
+//! Property tests: the streaming estimators agree with naive two-pass
+//! computations on arbitrary inputs.
+
+use ebrc_stats::{bin_means, Covariance, FiveNumber, Moments};
+use proptest::prelude::*;
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6_f64..1e6, 2..max_len)
+}
+
+proptest! {
+    #[test]
+    fn moments_match_two_pass(xs in finite_vec(300)) {
+        let m = Moments::from_slice(&xs);
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        let scale = mean.abs().max(1.0);
+        prop_assert!((m.mean() - mean).abs() / scale < 1e-9);
+        let vscale = var.abs().max(1.0);
+        prop_assert!((m.variance() - var).abs() / vscale < 1e-6);
+        prop_assert!(m.min() <= mean + 1e-9 && m.max() >= mean - 1e-9);
+    }
+
+    #[test]
+    fn moments_merge_is_order_independent(xs in finite_vec(200), split in 1_usize..100) {
+        let k = split.min(xs.len() - 1);
+        let whole = Moments::from_slice(&xs);
+        let mut a = Moments::from_slice(&xs[..k]);
+        a.merge(&Moments::from_slice(&xs[k..]));
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() / whole.mean().abs().max(1.0) < 1e-9);
+        prop_assert!(
+            (a.variance() - whole.variance()).abs() / whole.variance().abs().max(1.0) < 1e-6
+        );
+    }
+
+    #[test]
+    fn covariance_symmetry_and_self(xs in finite_vec(200)) {
+        // cov(x, x) = var(x); correlation with itself = 1 for
+        // non-degenerate samples.
+        let c = Covariance::from_slices(&xs, &xs);
+        let m = Moments::from_slice(&xs);
+        prop_assert!((c.covariance() - m.variance()).abs() / m.variance().max(1.0) < 1e-6);
+        if m.variance() > 1e-9 {
+            prop_assert!((c.correlation() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn five_number_is_ordered_and_bounded(xs in finite_vec(200)) {
+        let s = FiveNumber::of(&xs).unwrap();
+        prop_assert!(s.min <= s.q1 && s.q1 <= s.median);
+        prop_assert!(s.median <= s.q3 && s.q3 <= s.max);
+        prop_assert_eq!(s.n, xs.len());
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min, lo);
+        prop_assert_eq!(s.max, hi);
+    }
+
+    #[test]
+    fn bin_means_preserve_total_mean(xs in finite_vec(300), bins in 1_usize..12) {
+        prop_assume!(xs.len() >= bins);
+        prop_assume!(xs.len() % bins == 0); // equal bins: exact identity
+        let means = bin_means(&xs, bins);
+        let overall = xs.iter().sum::<f64>() / xs.len() as f64;
+        let of_means = means.iter().sum::<f64>() / means.len() as f64;
+        prop_assert!((overall - of_means).abs() / overall.abs().max(1.0) < 1e-9);
+    }
+}

@@ -1,0 +1,35 @@
+//! TCP substrate — the ns-2 "TCP Sack1" / Linux-TCP stand-in.
+//!
+//! The paper competes TFRC against TCP Sack1 (ns-2) and Linux 2.4 TCP.
+//! This crate provides:
+//!
+//! * [`scoreboard`] — an exact SACK scoreboard: cumulative/selective
+//!   acknowledgment state, hole marking, pipe computation (RFC 3517
+//!   flavour);
+//! * [`rto`] — the Jacobson/Karels retransmission-timeout estimator with
+//!   exponential backoff and Karn's rule;
+//! * [`sender`] — a window-based sender: slow start, congestion
+//!   avoidance, SACK-driven fast recovery, retransmission timeouts;
+//!   instrumented with the loss-event recorder so its loss-event rate
+//!   `p'` is measured exactly as the paper measures it (losses within
+//!   one RTT = one event);
+//! * [`receiver`] — a delayed-ACK receiver (`b = 2`, matching the PFTK
+//!   parameterization) that generates SACK blocks;
+//! * [`aimd`] — the Section IV-A.2 fluid models: AIMD and equation-based
+//!   senders on a fixed-capacity link, alone and sharing, for the
+//!   Claim 4 loss-event-rate ratio.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aimd;
+pub mod receiver;
+pub mod rto;
+pub mod scoreboard;
+pub mod sender;
+
+pub use aimd::{AimdFixedLink, EbrcFixedLink, SharedFixedLink, SharedOutcome};
+pub use receiver::TcpSink;
+pub use rto::RtoEstimator;
+pub use scoreboard::SackScoreboard;
+pub use sender::{TcpSender, TcpSenderConfig, TcpSenderStats};

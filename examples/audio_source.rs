@@ -1,0 +1,42 @@
+//! The adaptive audio source of Section V-C (Figure 6): a sender with a
+//! fixed 20 ms packet clock that applies equation-based control to its
+//! packet *lengths*, through a loss module that drops packets with a
+//! fixed probability regardless of length.
+//!
+//! In this setting `cov[X0, S0] = 0`, so Theorem 2 decides by the shape
+//! of `f(1/x)`: SQRT (concave) stays conservative at any loss level,
+//! while the PFTK formulas turn **non-conservative** once losses are
+//! heavy enough to reach their convex region — the paper's Claim 2.
+//!
+//! ```text
+//! cargo run --release --example audio_source
+//! ```
+
+use ebrc::experiments::figures::fig06::audio_point;
+use ebrc::tfrc::FormulaKind;
+
+fn main() {
+    println!("audio source through a Bernoulli dropper (Figure 6)\n");
+    println!(
+        "{:>8} {:>12} {:>16} {:>18}",
+        "p_drop", "SQRT", "PFTK-standard", "PFTK-simplified"
+    );
+    for (i, p_drop) in [0.05, 0.10, 0.15, 0.20, 0.25].into_iter().enumerate() {
+        let seed = 42 + i as u64;
+        let duration = 3_000.0;
+        let (_, sqrt_norm, _) = audio_point(p_drop, FormulaKind::Sqrt, 4, duration, seed);
+        let (_, std_norm, _) =
+            audio_point(p_drop, FormulaKind::PftkStandard, 4, duration, seed + 50);
+        let (p, simp_norm, _) =
+            audio_point(p_drop, FormulaKind::PftkSimplified, 4, duration, seed + 100);
+        println!(
+            "{:>8.3} {:>12.4} {:>16.4} {:>18.4}   (measured p = {:.3})",
+            p_drop, sqrt_norm, std_norm, simp_norm, p
+        );
+    }
+    println!(
+        "\nNormalized throughput E[X]/f(p): SQRT stays ≤ 1 everywhere; the\n\
+         PFTK formulas creep above 1 as the loss rate enters their convex\n\
+         region — the Claim 2 sign flip of Figure 6."
+    );
+}

@@ -1,0 +1,52 @@
+//! An atlas of the convexity structure that drives the whole theory.
+//!
+//! For each formula, prints where the Theorem 1 functional
+//! `g(x) = 1/f(1/x)` is convex, where the Theorem 2 functional
+//! `h(x) = f(1/x)` is concave vs convex, and PFTK-standard's deviation
+//! from convexity around its `min`-term kink (Figure 2's ratio).
+//!
+//! ```text
+//! cargo run --release --example convexity_atlas
+//! ```
+
+use ebrc::convex::{classify_regions, deviation_ratio, Curvature};
+use ebrc::core::formula::{c1, c2, PftkSimplified, PftkStandard, Sqrt, ThroughputFormula};
+
+fn describe(name: &str, f: &dyn ThroughputFormula) {
+    println!("── {name}");
+    let h = f.sample_h(0.5, 60.0, 12_001);
+    let regions = classify_regions(&h, 1e-7);
+    for r in &regions {
+        let label = match r.curvature {
+            Curvature::Convex => "convex  (F2c territory: overshoot possible)",
+            Curvature::Concave => "concave (F2: conservative)",
+            Curvature::Flat => "≈ affine",
+        };
+        println!("   h = f(1/x) on [{:7.2}, {:7.2}]: {label}", r.lo, r.hi);
+    }
+    let g = f.sample_g(0.5, 60.0, 12_001);
+    let ratio = deviation_ratio(&g);
+    println!("   g = 1/f(1/x): deviation from convexity r = {ratio:.6}");
+}
+
+fn main() {
+    println!("convexity atlas (r = 1, q = 4r, b = 2)\n");
+    describe("SQRT", &Sqrt::with_rtt(1.0));
+    describe("PFTK-standard", &PftkStandard::with_rtt(1.0));
+    describe("PFTK-simplified", &PftkSimplified::with_rtt(1.0));
+
+    // Figure 2's exact instance: b = 1 puts the kink at x = 3.375.
+    let fig2 = PftkStandard::new(c1(1.0), c2(1.0), 1.0, 4.0);
+    let g = fig2.sample_g(3.25, 3.5, 40_001);
+    println!(
+        "\nFigure 2 (b = 1, kink at 3.375): sup g/g** = {:.6}  (paper: 1.0026)",
+        deviation_ratio(&g)
+    );
+    println!(
+        "\nReading guide: SQRT's h is concave everywhere → always conservative\n\
+         under (C2). PFTK's h flips to convex at heavy loss → the audio\n\
+         source of Figure 6 overshoots there. And PFTK-standard's g is\n\
+         convex except for a ~0.26 % dent — Proposition 4 caps any overshoot\n\
+         at that factor."
+    );
+}

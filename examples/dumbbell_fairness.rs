@@ -1,0 +1,60 @@
+//! TFRC vs TCP sharing a RED bottleneck — the paper's ns-2 scenario
+//! (Figures 5, 7, 8) at interactive scale.
+//!
+//! Builds a 15 Mb/s dumbbell with N TFRC and N TCP flows plus a Poisson
+//! probe, and prints the quantities the paper compares: throughputs,
+//! loss-event rates (`p' ≤ p ≤ p''`, Claim 3), and the normalized
+//! covariance behind condition (C1).
+//!
+//! ```text
+//! cargo run --release --example dumbbell_fairness [N]
+//! ```
+
+use ebrc::experiments::scenarios::{DumbbellConfig, DumbbellRun};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    println!("dumbbell: {n} TFRC + {n} TCP over 15 Mb/s RED, RTT ≈ 50 ms\n");
+
+    let mut cfg = DumbbellConfig::ns2_paper(n, 8, 0xD0_5EED);
+    cfg.poisson_probe = Some(10.0);
+    let mut run = DumbbellRun::build(&cfg);
+    let m = run.measure(20.0, 80.0);
+
+    println!("{:<8} {:>12} {:>12} {:>10} {:>12}", "flow", "x̄ (pps)", "p", "r (ms)", "cov·p²");
+    for (i, f) in m.tfrc.iter().enumerate() {
+        println!(
+            "tfrc-{i:<3} {:>12.1} {:>12.5} {:>10.1} {:>12.4}",
+            f.throughput,
+            f.loss_event_rate,
+            f.rtt_mean * 1e3,
+            f.normalized_covariance
+        );
+    }
+    for (i, f) in m.tcp.iter().enumerate() {
+        println!(
+            "tcp-{i:<4} {:>12.1} {:>12.5} {:>10.1} {:>12}",
+            f.throughput,
+            f.loss_event_rate,
+            f.rtt_mean * 1e3,
+            "-"
+        );
+    }
+
+    let p_tfrc = m.tfrc_valid_mean(|f| f.loss_event_rate);
+    let p_tcp = m.tcp_valid_mean(|f| f.loss_event_rate);
+    let p_poisson = m.probe_loss_rate.unwrap_or(0.0);
+    println!("\nloss-event rates:  p'(TCP) = {p_tcp:.5}   p(TFRC) = {p_tfrc:.5}   p''(Poisson) = {p_poisson:.5}");
+    println!("Claim 3 ordering p' ≤ p ≤ p'': {}", p_tcp <= p_tfrc && p_tfrc <= p_poisson);
+
+    let x = m.tfrc_valid_mean(|f| f.throughput);
+    let x_tcp = m.tcp_valid_mean(|f| f.throughput);
+    println!("throughput ratio x̄/x̄' = {:.3}  (Figure 8's metric)", x / x_tcp);
+    println!(
+        "TFRC normalized throughput x̄/f(p, r) = {:.3}  (Figure 5's metric)",
+        m.tfrc_normalized_throughput()
+    );
+}

@@ -1,0 +1,64 @@
+//! Closing the loop between the packet-level simulator and the
+//! analytic machinery: loss-event intervals *measured* by a TFRC
+//! receiver in a dumbbell run are replayed through the basic control,
+//! and the theory report evaluated on real network loss statistics.
+
+use ebrc::core::control::{BasicControl, ControlConfig};
+use ebrc::core::formula::PftkStandard;
+use ebrc::core::theory::{analyze, Verdict};
+use ebrc::core::weights::WeightProfile;
+use ebrc::dist::{Replay, Rng, TraceProcess};
+use ebrc::experiments::scenarios::{DumbbellConfig, DumbbellRun, QueueSpec};
+use ebrc::tfrc::TfrcReceiver;
+
+/// Harvests a loss-interval trace from a packet-level run.
+fn harvest_trace(seed: u64) -> Vec<f64> {
+    let cfg = DumbbellConfig::lab_paper(4, QueueSpec::DropTail(64), seed);
+    let mut run = DumbbellRun::build(&cfg);
+    run.engine.run_until(120.0);
+    let (_, rcv) = run.tfrc[0];
+    let r: &TfrcReceiver = run.engine.get(rcv);
+    r.intervals().to_vec()
+}
+
+#[test]
+fn measured_trace_drives_the_analytic_control() {
+    let intervals = harvest_trace(3);
+    assert!(
+        intervals.len() > 30,
+        "need a meaningful trace, got {} intervals",
+        intervals.len()
+    );
+    // Replay the measured loss process through the basic control.
+    let f = PftkStandard::with_rtt(0.05);
+    let mut process = TraceProcess::new(intervals, Replay::Loop);
+    let mut rng = Rng::seed_from(1);
+    let trace = BasicControl::new(f.clone(), ControlConfig::new(WeightProfile::tfrc(8)))
+        .run(&mut process, &mut rng, 5_000);
+    let report = analyze(&f, &trace);
+    // The report must be internally consistent on real network data.
+    assert!(report.consistent(0.1), "{}", report.render());
+    assert!(report.p > 0.0);
+}
+
+#[test]
+fn bootstrap_replay_restores_condition_c1() {
+    // Bootstrapping the same trace destroys its autocovariance, so the
+    // i.i.d. machinery (Theorem 1 via (C1)) applies to the resampled
+    // process even when the raw trace is correlated.
+    let intervals = harvest_trace(4);
+    let f = PftkStandard::with_rtt(0.05);
+    let mut process = TraceProcess::new(intervals, Replay::Bootstrap);
+    let mut rng = Rng::seed_from(2);
+    let trace = BasicControl::new(f.clone(), ControlConfig::new(WeightProfile::tfrc(8)))
+        .run(&mut process, &mut rng, 20_000);
+    let report = analyze(&f, &trace);
+    assert!(
+        report.c1_normalized.abs() < 0.05,
+        "bootstrap should decorrelate: {}",
+        report.c1_normalized
+    );
+    if report.theorem1 == Verdict::Conservative {
+        assert!(report.normalized_throughput <= 1.0 + 0.05);
+    }
+}
