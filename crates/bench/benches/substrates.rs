@@ -86,7 +86,9 @@ fn bench_formulas(c: &mut Criterion) {
     let sqrt = Sqrt::with_rtt(0.05);
     let std = PftkStandard::with_rtt(0.05);
     let simp = PftkSimplified::with_rtt(0.05);
-    g.bench_function("sqrt_rate", |b| b.iter(|| black_box(sqrt.rate(black_box(0.02)))));
+    g.bench_function("sqrt_rate", |b| {
+        b.iter(|| black_box(sqrt.rate(black_box(0.02))))
+    });
     g.bench_function("pftk_standard_rate", |b| {
         b.iter(|| black_box(std.rate(black_box(0.02))))
     });

@@ -16,12 +16,7 @@ use ebrc_experiments::{Experiment, Scale};
 /// Runs an experiment once and prints its tables (called outside the
 /// timing loop so benches also serve as figure regeneration).
 pub fn print_once(e: &dyn Experiment, scale: Scale) {
-    println!(
-        "### {} — {} ({})",
-        e.id(),
-        e.title(),
-        e.paper_ref()
-    );
+    println!("### {} — {} ({})", e.id(), e.title(), e.paper_ref());
     for t in e.run(scale) {
         println!("{}", t.render());
     }

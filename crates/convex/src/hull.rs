@@ -26,8 +26,8 @@ pub fn convex_closure(g: &SampledFunction) -> SampledFunction {
             let b = hull[hull.len() - 1];
             // Remove b if it lies on or above the segment a–i (cross
             // product test keeps only strictly convex turns).
-            let cross = (g.x(b) - g.x(a)) * (g.y(i) - g.y(a))
-                - (g.y(b) - g.y(a)) * (g.x(i) - g.x(a));
+            let cross =
+                (g.x(b) - g.x(a)) * (g.y(i) - g.y(a)) - (g.y(b) - g.y(a)) * (g.x(i) - g.x(a));
             if cross <= 0.0 {
                 hull.pop();
             } else {
@@ -68,7 +68,10 @@ pub fn deviation_ratio(g: &SampledFunction) -> f64 {
     for i in 0..g.len() {
         let gv = g.y(i);
         let cv = closure.y(i);
-        assert!(gv > 0.0 && cv > 0.0, "deviation ratio needs positive values");
+        assert!(
+            gv > 0.0 && cv > 0.0,
+            "deviation ratio needs positive values"
+        );
         r = r.max(gv / cv);
     }
     r
@@ -81,7 +84,10 @@ pub fn closure_and_ratio(g: &SampledFunction) -> (SampledFunction, f64) {
     let mut r: f64 = 1.0;
     for i in 0..g.len() {
         let (gv, cv) = (g.y(i), closure.y(i));
-        assert!(gv > 0.0 && cv > 0.0, "deviation ratio needs positive values");
+        assert!(
+            gv > 0.0 && cv > 0.0,
+            "deviation ratio needs positive values"
+        );
         r = r.max(gv / cv);
     }
     (closure, r)

@@ -157,7 +157,7 @@ mod tests {
         e.push(10.0); // θ_{n-3}… chronological pushes
         e.push(20.0);
         e.push(40.0); // most recent
-        // weights (0.5, 0.25, 0.25) over (40, 20, 10).
+                      // weights (0.5, 0.25, 0.25) over (40, 20, 10).
         assert_close(e.estimate(), 0.5 * 40.0 + 0.25 * 20.0 + 0.25 * 10.0, 1e-12);
     }
 
@@ -188,7 +188,11 @@ mod tests {
         let base = e.estimate();
         // Small open interval: estimate pinned at θ̂_n.
         assert_close(e.virtual_estimate(0.0), base, 1e-12);
-        assert_close(e.virtual_estimate(e.increase_threshold() * 0.5), base, 1e-12);
+        assert_close(
+            e.virtual_estimate(e.increase_threshold() * 0.5),
+            base,
+            1e-12,
+        );
         // Beyond the threshold it grows linearly with slope w1.
         let th = e.increase_threshold();
         let w1 = e.profile().w1();

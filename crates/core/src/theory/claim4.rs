@@ -78,8 +78,8 @@ mod tests {
     fn ratio_equals_quotient_of_rates() {
         for &beta in &[0.1, 0.3, 0.5, 0.7, 0.9] {
             for &(alpha, c) in &[(1.0, 10.0), (0.5, 100.0), (2.0, 3.0)] {
-                let ratio = aimd_loss_event_rate(alpha, beta, c)
-                    / ebrc_loss_event_rate(alpha, beta, c);
+                let ratio =
+                    aimd_loss_event_rate(alpha, beta, c) / ebrc_loss_event_rate(alpha, beta, c);
                 assert_close(ratio, loss_event_rate_ratio(beta), 1e-12);
             }
         }

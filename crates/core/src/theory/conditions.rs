@@ -88,7 +88,11 @@ pub fn condition_c3(trace: &ControlTrace, bins: usize) -> Option<bool> {
     let mut means = Vec::with_capacity(bins);
     for b in 0..bins {
         let start = b * per;
-        let end = if b + 1 == bins { pairs.len() } else { start + per };
+        let end = if b + 1 == bins {
+            pairs.len()
+        } else {
+            start + per
+        };
         let chunk = &pairs[start..end];
         means.push(chunk.iter().map(|p| p.1).sum::<f64>() / chunk.len() as f64);
     }
@@ -142,7 +146,10 @@ mod tests {
         let simp = PftkSimplified::with_rtt(1.0);
         assert!(condition_f2(&simp, 30.0, 200.0), "rare losses: concave");
         assert!(!condition_f2(&simp, 1.0, 4.0), "heavy losses: not concave");
-        assert!(condition_f2c(&simp, 1.0, 4.0), "heavy losses: strictly convex");
+        assert!(
+            condition_f2c(&simp, 1.0, 4.0),
+            "heavy losses: strictly convex"
+        );
         assert!(!condition_f2c(&simp, 30.0, 200.0));
     }
 

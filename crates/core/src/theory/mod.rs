@@ -23,6 +23,4 @@ pub use conditions::{
     condition_v,
 };
 pub use report::{analyze, ConservativenessReport};
-pub use theorems::{
-    equation10_bound, prop4_overshoot_bound, theorem1, theorem2, Verdict,
-};
+pub use theorems::{equation10_bound, prop4_overshoot_bound, theorem1, theorem2, Verdict};

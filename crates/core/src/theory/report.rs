@@ -12,7 +12,9 @@ use crate::theory::conditions::{
     condition_c1, condition_c2, condition_c3, condition_f1, condition_f2, condition_f2c,
     condition_v,
 };
-use crate::theory::theorems::{equation10_bound, prop4_overshoot_bound, theorem1, theorem2, Verdict};
+use crate::theory::theorems::{
+    equation10_bound, prop4_overshoot_bound, theorem1, theorem2, Verdict,
+};
 
 /// Everything the theory can say about one trace.
 #[derive(Debug, Clone)]
@@ -96,7 +98,10 @@ impl ConservativenessReport {
         ));
         s.push_str(&format!(
             "Theorem 1: {:?}   Theorem 2: {:?}   Eq.(10) bound: {:?}   Prop.4 cap: {:.4}\n",
-            self.theorem1, self.theorem2, self.equation10_normalized_bound, self.prop4_overshoot_cap
+            self.theorem1,
+            self.theorem2,
+            self.equation10_normalized_bound,
+            self.prop4_overshoot_cap
         ));
         s
     }
@@ -111,7 +116,10 @@ const NORMALIZED_COV_TOLERANCE: f64 = 0.03;
 ///
 /// # Panics
 /// Panics on an empty trace.
-pub fn analyze<F: ThroughputFormula + ?Sized>(f: &F, trace: &ControlTrace) -> ConservativenessReport {
+pub fn analyze<F: ThroughputFormula + ?Sized>(
+    f: &F,
+    trace: &ControlTrace,
+) -> ConservativenessReport {
     assert!(!trace.is_empty(), "empty trace");
     let p = trace.loss_event_rate();
     let hat = trace.theta_hat_moments();
@@ -133,7 +141,13 @@ pub fn analyze<F: ThroughputFormula + ?Sized>(f: &F, trace: &ControlTrace) -> Co
         c3_decreasing: condition_c3(trace, 8),
         estimator_variance: condition_v(trace),
         theorem1: theorem1(f, trace, lo, hi, cov_tol),
-        theorem2: theorem2(f, trace, lo, hi, trace.cov_rate_duration().abs() * 0.1 + 1e-12),
+        theorem2: theorem2(
+            f,
+            trace,
+            lo,
+            hi,
+            trace.cov_rate_duration().abs() * 0.1 + 1e-12,
+        ),
         equation10_normalized_bound: eq10,
         prop4_overshoot_cap: prop4_overshoot_bound(f, lo, hi, 4001),
     }
@@ -151,8 +165,11 @@ mod tests {
         let f = PftkSimplified::with_rtt(1.0);
         let mut process = IidProcess::new(ShiftedExponential::from_mean_cv(mean, cv));
         let mut rng = Rng::seed_from(seed);
-        BasicControl::new(f, ControlConfig::new(WeightProfile::tfrc(l)))
-            .run(&mut process, &mut rng, 30_000)
+        BasicControl::new(f, ControlConfig::new(WeightProfile::tfrc(l))).run(
+            &mut process,
+            &mut rng,
+            30_000,
+        )
     }
 
     #[test]
@@ -172,8 +189,11 @@ mod tests {
         let f = Sqrt::with_rtt(1.0);
         let mut process = MarkovModulated::congestion_oscillation(80.0, 5.0, 40.0);
         let mut rng = Rng::seed_from(2);
-        let trace = BasicControl::new(f.clone(), ControlConfig::new(WeightProfile::tfrc(8)))
-            .run(&mut process, &mut rng, 30_000);
+        let trace = BasicControl::new(f.clone(), ControlConfig::new(WeightProfile::tfrc(8))).run(
+            &mut process,
+            &mut rng,
+            30_000,
+        );
         let r = analyze(&f, &trace);
         assert!(
             r.c1_covariance > 0.0,

@@ -31,10 +31,7 @@ use ebrc_stats::Covariance;
 ///
 /// # Panics
 /// Panics on an empty trace.
-pub fn proposition1_throughput<F: ThroughputFormula + ?Sized>(
-    trace: &ControlTrace,
-    f: &F,
-) -> f64 {
+pub fn proposition1_throughput<F: ThroughputFormula + ?Sized>(trace: &ControlTrace, f: &F) -> f64 {
     assert!(!trace.is_empty(), "empty trace");
     let n = trace.len() as f64;
     let mean_theta: f64 = trace.steps().iter().map(|s| s.theta).sum::<f64>() / n;
@@ -53,10 +50,7 @@ pub fn proposition1_throughput<F: ThroughputFormula + ?Sized>(
 ///
 /// # Panics
 /// Panics on an empty trace.
-pub fn proposition3_throughput<F: ThroughputFormula + ?Sized>(
-    trace: &ControlTrace,
-    f: &F,
-) -> f64 {
+pub fn proposition3_throughput<F: ThroughputFormula + ?Sized>(trace: &ControlTrace, f: &F) -> f64 {
     assert!(!trace.is_empty(), "empty trace");
     let n = trace.len() as f64;
     let mean_theta: f64 = trace.steps().iter().map(|s| s.theta).sum::<f64>() / n;
@@ -66,12 +60,7 @@ pub fn proposition3_throughput<F: ThroughputFormula + ?Sized>(
         .map(|s| s.theta * clamped_g(f, s.theta_hat))
         .sum::<f64>()
         / n;
-    let mean_v: f64 = trace
-        .steps()
-        .iter()
-        .map(|s| s.v_correction)
-        .sum::<f64>()
-        / n;
+    let mean_v: f64 = trace.steps().iter().map(|s| s.v_correction).sum::<f64>() / n;
     mean_theta / (mean_weighted - mean_v)
 }
 
@@ -80,10 +69,7 @@ pub fn proposition3_throughput<F: ThroughputFormula + ?Sized>(
 ///
 /// If this bound already exceeds `f(p)`, the comprehensive control is
 /// certainly non-conservative.
-pub fn proposition2_lower_bound<F: ThroughputFormula + ?Sized>(
-    trace: &ControlTrace,
-    f: &F,
-) -> f64 {
+pub fn proposition2_lower_bound<F: ThroughputFormula + ?Sized>(trace: &ControlTrace, f: &F) -> f64 {
     proposition1_throughput(trace, f)
 }
 
@@ -161,7 +147,11 @@ mod tests {
         // The Palm expression and the time-average Σθ/ΣS are the same
         // numbers arranged differently — they must agree exactly.
         let (trace, f) = sample_basic(1, 5_000);
-        assert_rel(proposition1_throughput(&trace, &f), trace.throughput(), 1e-12);
+        assert_rel(
+            proposition1_throughput(&trace, &f),
+            trace.throughput(),
+            1e-12,
+        );
     }
 
     #[test]
@@ -171,7 +161,11 @@ mod tests {
         let mut process = IidProcess::new(ShiftedExponential::from_mean_cv(80.0, 0.9));
         let mut rng = Rng::seed_from(2);
         let trace = ComprehensiveControl::new(f.clone(), cfg).run(&mut process, &mut rng, 5_000);
-        assert_rel(proposition3_throughput(&trace, &f), trace.throughput(), 1e-9);
+        assert_rel(
+            proposition3_throughput(&trace, &f),
+            trace.throughput(),
+            1e-9,
+        );
     }
 
     #[test]
@@ -210,6 +204,10 @@ mod tests {
     fn covariance_factor_near_one_for_iid() {
         let (trace, f) = sample_basic(6, 50_000);
         let d = decompose(&trace, &f);
-        assert!((d.covariance_factor - 1.0).abs() < 0.02, "{}", d.covariance_factor);
+        assert!(
+            (d.covariance_factor - 1.0).abs() < 0.02,
+            "{}",
+            d.covariance_factor
+        );
     }
 }

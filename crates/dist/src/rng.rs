@@ -1,0 +1,223 @@
+//! A small, fast, seedable PRNG with deterministic sub-stream forking.
+//!
+//! Every stochastic component of the reproduction draws from this
+//! generator, so a run is a pure function of its seed: the
+//! packet-level simulations, the Monte-Carlo estimates, and the
+//! bootstrap resampling all replay bit-for-bit. The core is
+//! xoshiro256++ (public domain, Blackman & Vigna), seeded through a
+//! SplitMix64 expansion so that nearby `u64` seeds yield unrelated
+//! streams.
+
+/// SplitMix64 step: expands a 64-bit seed into well-mixed state words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic, seedable pseudo-random number generator
+/// (xoshiro256++).
+///
+/// ```
+/// use ebrc_dist::Rng;
+/// let mut a = Rng::seed_from(7);
+/// let mut b = Rng::seed_from(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed. Equal seeds give
+    /// identical streams; different seeds give statistically unrelated
+    /// ones.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from the half-open unit interval `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        // 53 significand bits; in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from the *open* unit interval `(0, 1)` — safe to
+    /// pass to `ln` (inverse-CDF exponential sampling).
+    pub fn uniform_open(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 0.5) * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `hi < lo`.
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(hi >= lo, "empty range [{lo}, {hi})");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Bernoulli trial: `true` with probability `p` (clamped to
+    /// `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.uniform() < p
+        }
+    }
+
+    /// Uniform index in `0..n` (Lemire's multiply-shift; unbiased
+    /// enough for simulation work without a rejection loop).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty index range");
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Exponential draw with the given mean (inverse CDF).
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        -mean * self.uniform_open().ln()
+    }
+
+    /// Derives a labelled, independent child generator.
+    ///
+    /// Forking advances this generator by one draw and mixes in a hash
+    /// of `label`, so `fork("a")` and `fork("b")` from the same parent
+    /// state differ, while the same fork sequence replays exactly.
+    /// This is how scenario builders hand every component its own
+    /// stream from one master seed.
+    pub fn fork(&mut self, label: &str) -> Rng {
+        // FNV-1a over the label keeps forks with different labels apart
+        // even when the parent stream position coincides.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in label.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        Rng::seed_from(self.next_u64() ^ h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible_streams() {
+        let mut a = Rng::seed_from(42);
+        let mut b = Rng::seed_from(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from(1);
+        let mut b = Rng::seed_from(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = Rng::seed_from(3);
+        for _ in 0..10_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+            let o = rng.uniform_open();
+            assert!(o > 0.0 && o < 1.0);
+        }
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let mut rng = Rng::seed_from(4);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.uniform()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn chance_matches_probability() {
+        let mut rng = Rng::seed_from(5);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.chance(0.3)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = Rng::seed_from(6);
+        for _ in 0..10_000 {
+            let v = rng.range(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&v));
+        }
+        assert_eq!(rng.range(1.5, 1.5), 1.5);
+    }
+
+    #[test]
+    fn below_covers_all_indices() {
+        let mut rng = Rng::seed_from(7);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.below(7)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn exp_has_requested_mean() {
+        let mut rng = Rng::seed_from(8);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| rng.exp(5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn forks_are_deterministic_and_distinct() {
+        let mut parent1 = Rng::seed_from(9);
+        let mut parent2 = Rng::seed_from(9);
+        let mut a1 = parent1.fork("a");
+        let mut a2 = parent2.fork("a");
+        assert_eq!(a1.next_u64(), a2.next_u64());
+        let mut parent3 = Rng::seed_from(9);
+        let mut b = parent3.fork("b");
+        let mut a3 = Rng::seed_from(9).fork("a");
+        assert_ne!(b.next_u64(), a3.next_u64());
+    }
+}

@@ -21,12 +21,7 @@ fn usage() -> ExitCode {
 }
 
 fn run_one(exp: &dyn Experiment, scale: Scale, json: bool, out: Option<&PathBuf>) {
-    eprintln!(
-        "# {} — {} ({})",
-        exp.id(),
-        exp.title(),
-        exp.paper_ref()
-    );
+    eprintln!("# {} — {} ({})", exp.id(), exp.title(), exp.paper_ref());
     let start = std::time::Instant::now();
     let tables = exp.run(scale);
     for t in &tables {

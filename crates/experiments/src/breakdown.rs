@@ -105,7 +105,11 @@ mod tests {
         let r_tcp = m.tcp_mean(|f| f.rtt_mean);
         let product = b.factor_product(m.tfrc_formula, r, r_tcp);
         let rel = (product - b.friendliness).abs() / b.friendliness;
-        assert!(rel < 0.05, "product {product} vs friendliness {}", b.friendliness);
+        assert!(
+            rel < 0.05,
+            "product {product} vs friendliness {}",
+            b.friendliness
+        );
     }
 
     #[test]

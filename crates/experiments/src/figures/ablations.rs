@@ -24,7 +24,8 @@ fn basic_normalized<F: ThroughputFormula + Clone, P: LossProcess>(
     seed: u64,
 ) -> f64 {
     let mut rng = Rng::seed_from(seed);
-    let trace = BasicControl::new(f.clone(), ControlConfig::new(weights)).run(process, &mut rng, events);
+    let trace =
+        BasicControl::new(f.clone(), ControlConfig::new(weights)).run(process, &mut rng, events);
     trace.normalized_throughput(f)
 }
 
@@ -58,8 +59,11 @@ impl Experiment for AblateControlLaw {
             let seed = 400 + i as u64;
             let basic = basic_normalized(&f, weights.clone(), &mut pr1, scale.mc_events, seed);
             let mut rng = Rng::seed_from(seed);
-            let comp = ComprehensiveControl::new(f.clone(), ControlConfig::new(weights))
-                .run(&mut pr2, &mut rng, scale.mc_events);
+            let comp = ComprehensiveControl::new(f.clone(), ControlConfig::new(weights)).run(
+                &mut pr2,
+                &mut rng,
+                scale.mc_events,
+            );
             t.push_row(vec![p, basic, comp.normalized_throughput(&f)]);
         }
         vec![t]
@@ -93,9 +97,15 @@ impl Experiment for AblateEstimator {
             let mut pr1 = IidProcess::new(ShiftedExponential::from_mean_cv(10.0, 0.999));
             let mut pr2 = IidProcess::new(ShiftedExponential::from_mean_cv(10.0, 0.999));
             let seed = 500 + i as u64;
-            let tfrc = basic_normalized(&f, WeightProfile::tfrc(l), &mut pr1, scale.mc_events, seed);
-            let unif =
-                basic_normalized(&f, WeightProfile::uniform(l), &mut pr2, scale.mc_events, seed);
+            let tfrc =
+                basic_normalized(&f, WeightProfile::tfrc(l), &mut pr1, scale.mc_events, seed);
+            let unif = basic_normalized(
+                &f,
+                WeightProfile::uniform(l),
+                &mut pr2,
+                scale.mc_events,
+                seed,
+            );
             t.push_row(vec![
                 l as f64,
                 tfrc,
@@ -179,7 +189,11 @@ impl Experiment for AblatePhaseLoss {
         let mut t = Table::new(
             "ablate-phase",
             "normalized throughput and cov[θ0,θ̂0]p² vs phase sojourn (SQRT, L = 8)",
-            vec!["sojourn_events", "normalized_throughput", "normalized_covariance"],
+            vec![
+                "sojourn_events",
+                "normalized_throughput",
+                "normalized_covariance",
+            ],
         );
         let f = Sqrt::with_rtt(1.0);
         for (i, sojourn) in [1.5, 5.0, 20.0, 80.0].into_iter().enumerate() {
@@ -221,14 +235,24 @@ mod tests {
         // Jensen penalty is smaller; at L = 16 the gap should be visible.
         let t = &AblateEstimator.run(Scale::quick())[0];
         let row = t.rows.iter().find(|r| r[0] == 16.0).unwrap();
-        assert!(row[2] >= row[1] - 0.02, "uniform {} vs tfrc {}", row[2], row[1]);
+        assert!(
+            row[2] >= row[1] - 0.02,
+            "uniform {} vs tfrc {}",
+            row[2],
+            row[1]
+        );
     }
 
     #[test]
     fn pftk_drops_harder_than_sqrt_at_heavy_loss() {
         let t = &AblateFormula.run(Scale::quick())[0];
         let heavy = t.rows.last().unwrap();
-        assert!(heavy[3] < heavy[1], "pftk {} vs sqrt {}", heavy[3], heavy[1]);
+        assert!(
+            heavy[3] < heavy[1],
+            "pftk {} vs sqrt {}",
+            heavy[3],
+            heavy[1]
+        );
     }
 
     #[test]

@@ -25,8 +25,11 @@ impl Experiment for Fig01 {
         let sqrt = Sqrt::with_rtt(1.0);
         let std = PftkStandard::with_rtt(1.0);
         let simp = PftkSimplified::with_rtt(1.0);
-        let fs: [(&str, &dyn ThroughputFormula); 3] =
-            [("sqrt", &sqrt), ("pftk-standard", &std), ("pftk-simplified", &simp)];
+        let fs: [(&str, &dyn ThroughputFormula); 3] = [
+            ("sqrt", &sqrt),
+            ("pftk-standard", &std),
+            ("pftk-simplified", &simp),
+        ];
         let n = if scale.quick { 26 } else { 501 };
 
         let mut left = Table::new(

@@ -70,7 +70,10 @@ impl Experiment for Fig03 {
         let ls = window_list(scale.quick);
         let mut tables = Vec::new();
         for (name, formula) in [
-            ("sqrt", Box::new(Sqrt::with_rtt(1.0)) as Box<dyn ThroughputFormula>),
+            (
+                "sqrt",
+                Box::new(Sqrt::with_rtt(1.0)) as Box<dyn ThroughputFormula>,
+            ),
             ("pftk-simplified", Box::new(PftkSimplified::with_rtt(1.0))),
         ] {
             let mut cols: Vec<String> = vec!["p".into()];

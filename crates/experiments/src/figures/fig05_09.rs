@@ -211,10 +211,7 @@ mod tests {
         // With many connections, the smoother TFRC should not see fewer
         // loss events than the Poisson probe sees... rather: p'' ≥ p and
         // p ≥ p' (Claim 3), allowing simulation noise.
-        assert!(
-            p_poisson >= p_tfrc * 0.7,
-            "p'' {p_poisson} vs p {p_tfrc}"
-        );
+        assert!(p_poisson >= p_tfrc * 0.7, "p'' {p_poisson} vs p {p_tfrc}");
         assert!(p_tfrc >= p_tcp * 0.5, "p {p_tfrc} vs p' {p_tcp}");
     }
 

@@ -37,7 +37,10 @@ pub fn audio_point(
         RttMode::Fixed(1.0),
         30.0,
     )));
-    let drop = eng.add(Box::new(BernoulliDropper::new(p_drop, Rng::seed_from(seed))));
+    let drop = eng.add(Box::new(BernoulliDropper::new(
+        p_drop,
+        Rng::seed_from(seed),
+    )));
     let rcv = eng.add(Box::new(TfrcReceiver::new(
         flow,
         TfrcReceiverConfig {
@@ -104,8 +107,7 @@ impl Experiment for Fig06 {
             let seed = 60 + i as u64;
             let (p1, n1, c1) = audio_point(pd, FormulaKind::Sqrt, 4, duration, seed);
             let (_, n2, c2) = audio_point(pd, FormulaKind::PftkStandard, 4, duration, seed + 100);
-            let (_, n3, c3) =
-                audio_point(pd, FormulaKind::PftkSimplified, 4, duration, seed + 200);
+            let (_, n3, c3) = audio_point(pd, FormulaKind::PftkSimplified, 4, duration, seed + 200);
             top.push_row(vec![p1, n1, n2, n3]);
             bottom.push_row(vec![p1, c1, c2, c3]);
         }

@@ -184,8 +184,10 @@ impl DumbbellRun {
         )));
         let rev_demux = eng.add(Box::new(Demux::new()));
         eng.get_mut::<LinkQueue>(bottleneck).set_next_hop(fwd);
-        eng.get_mut::<ebrc_net::DelayBox>(fwd).set_next_hop(fwd_demux);
-        eng.get_mut::<ebrc_net::DelayBox>(rev).set_next_hop(rev_demux);
+        eng.get_mut::<ebrc_net::DelayBox>(fwd)
+            .set_next_hop(fwd_demux);
+        eng.get_mut::<ebrc_net::DelayBox>(rev)
+            .set_next_hop(rev_demux);
 
         let nominal_rtt = 2.0 * cfg.one_way_delay;
         let mut next_flow = 0u32;
@@ -241,7 +243,8 @@ impl DumbbellRun {
                 root_rng.fork("onoff"),
             )));
             let sink = eng.add(Box::new(ebrc_net::Sink::counting_only()));
-            eng.get_mut::<ebrc_net::OnOffSender>(src).set_next_hop(bottleneck);
+            eng.get_mut::<ebrc_net::OnOffSender>(src)
+                .set_next_hop(bottleneck);
             eng.get_mut::<Demux>(fwd_demux).route(flow, sink);
             eng.schedule(0.0, src, NetEvent::Timer(ebrc_net::onoff::TIMER_START));
         }
@@ -348,16 +351,19 @@ impl DumbbellRun {
                 }
             })
             .collect();
-        let probe_loss_rate = self.probe.zip(probe_before).map(|((_, sink), (ev0, seen0))| {
-            let s: &ProbeSink = self.engine.get(sink);
-            let events = s.recorder().events() - ev0;
-            let seen = s.inferred_sent() - seen0;
-            if seen > 0 {
-                events as f64 / seen as f64
-            } else {
-                0.0
-            }
-        });
+        let probe_loss_rate = self
+            .probe
+            .zip(probe_before)
+            .map(|((_, sink), (ev0, seen0))| {
+                let s: &ProbeSink = self.engine.get(sink);
+                let events = s.recorder().events() - ev0;
+                let seen = s.inferred_sent() - seen0;
+                if seen > 0 {
+                    events as f64 / seen as f64
+                } else {
+                    0.0
+                }
+            });
         RunMeasurements {
             tfrc,
             tcp,

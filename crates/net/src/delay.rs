@@ -86,8 +86,8 @@ impl Component<NetEvent> for DelayBox {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sink::Sink;
     use crate::packet::{FlowId, Packet};
+    use crate::sink::Sink;
     use ebrc_dist::Rng;
     use ebrc_sim::Engine;
 
@@ -97,7 +97,11 @@ mod tests {
         let d = eng.add(Box::new(DelayBox::new(0.025, Rng::seed_from(1))));
         let sink = eng.add(Box::new(Sink::new()));
         eng.get_mut::<DelayBox>(d).set_next_hop(sink);
-        eng.schedule(1.0, d, NetEvent::Packet(Packet::data(FlowId(0), 0, 100, 1.0)));
+        eng.schedule(
+            1.0,
+            d,
+            NetEvent::Packet(Packet::data(FlowId(0), 0, 100, 1.0)),
+        );
         eng.run_until(2.0);
         let s: &Sink = eng.get(sink);
         assert_eq!(s.arrivals.len(), 1);

@@ -84,7 +84,11 @@ mod tests {
     fn unknown_flow_panics() {
         let mut eng: Engine<NetEvent> = Engine::new();
         let d = eng.add(Box::new(Demux::new()));
-        eng.schedule(0.0, d, NetEvent::Packet(Packet::data(FlowId(9), 0, 100, 0.0)));
+        eng.schedule(
+            0.0,
+            d,
+            NetEvent::Packet(Packet::data(FlowId(9), 0, 100, 0.0)),
+        );
         eng.run_until(1.0);
     }
 }

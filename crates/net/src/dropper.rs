@@ -98,7 +98,11 @@ mod tests {
         let sink = eng.add(Box::new(Sink::counting_only()));
         eng.get_mut::<BernoulliDropper>(d).set_next_hop(sink);
         for i in 0..50_000u64 {
-            eng.schedule(i as f64 * 1e-3, d, NetEvent::Packet(Packet::data(FlowId(0), i, 100, 0.0)));
+            eng.schedule(
+                i as f64 * 1e-3,
+                d,
+                NetEvent::Packet(Packet::data(FlowId(0), i, 100, 0.0)),
+            );
         }
         eng.run_until(100.0);
         let dr: &BernoulliDropper = eng.get(d);
@@ -114,7 +118,11 @@ mod tests {
         let sink = eng.add(Box::new(Sink::counting_only()));
         eng.get_mut::<BernoulliDropper>(d).set_next_hop(sink);
         for i in 0..100u64 {
-            eng.schedule(0.0, d, NetEvent::Packet(Packet::data(FlowId(0), i, 100, 0.0)));
+            eng.schedule(
+                0.0,
+                d,
+                NetEvent::Packet(Packet::data(FlowId(0), i, 100, 0.0)),
+            );
         }
         eng.run_until(1.0);
         assert_eq!(eng.get::<Sink>(sink).count(), 100);

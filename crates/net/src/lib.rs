@@ -45,5 +45,5 @@ pub use monitor::{sample_queue, QueueMonitor};
 pub use onoff::OnOffSender;
 pub use packet::{AckInfo, FeedbackInfo, FlowId, NetEvent, Packet, PacketKind};
 pub use probe::{CbrSender, PoissonSender, ProbeSink};
-pub use sink::Sink;
 pub use queue::{AqmQueue, ByteDropTailQueue, DropTailQueue, QueueStats, RedConfig, RedQueue};
+pub use sink::Sink;

@@ -132,7 +132,11 @@ mod tests {
         eng.get_mut::<LinkQueue>(link).set_next_hop(sink);
         // Burst of 50 packets at t = 0: queue drains at 100 pkts/s.
         for i in 0..50 {
-            eng.schedule(0.0, link, NetEvent::Packet(Packet::data(FlowId(0), i, 1250, 0.0)));
+            eng.schedule(
+                0.0,
+                link,
+                NetEvent::Packet(Packet::data(FlowId(0), i, 1250, 0.0)),
+            );
         }
         let mut mon = QueueMonitor::new(0.05, 1.0);
         sample_queue(&mut eng, link, &mut mon, 1.0);

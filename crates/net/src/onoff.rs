@@ -51,7 +51,10 @@ impl OnOffSender {
     ) -> Self {
         assert!(rate_pps > 0.0, "rate must be positive");
         assert!(packet_size > 0, "packet size must be positive");
-        assert!(mean_on > 0.0 && mean_off > 0.0, "period means must be positive");
+        assert!(
+            mean_on > 0.0 && mean_off > 0.0,
+            "period means must be positive"
+        );
         Self {
             flow,
             rate_pps,
@@ -115,32 +118,23 @@ impl OnOffSender {
 impl Component<NetEvent> for OnOffSender {
     fn handle(&mut self, now: f64, event: NetEvent, ctx: &mut Context<NetEvent>) {
         match event {
-            NetEvent::Timer(TIMER_START) => {
-                if !self.started {
-                    self.started = true;
-                    self.total_time_marker = now;
-                    self.toggle(now, ctx); // start with an ON period
-                }
+            NetEvent::Timer(TIMER_START) if !self.started => {
+                self.started = true;
+                self.total_time_marker = now;
+                self.toggle(now, ctx); // start with an ON period
             }
             NetEvent::Timer(TIMER_TOGGLE) => self.toggle(now, ctx),
-            NetEvent::Timer(token) => {
-                // Epoch-tagged send ticks: stale epochs die silently when
-                // an OFF period interleaves.
-                if token >> 8 == self.epoch && self.on {
-                    let next = self.next_hop.expect("on/off sender not wired");
-                    ctx.send(
-                        0.0,
-                        next,
-                        NetEvent::Packet(Packet::data(
-                            self.flow,
-                            self.seq,
-                            self.packet_size,
-                            now,
-                        )),
-                    );
-                    self.seq += 1;
-                    ctx.send_self(1.0 / self.rate_pps, NetEvent::Timer(token));
-                }
+            // Epoch-tagged send ticks: stale epochs die silently when
+            // an OFF period interleaves.
+            NetEvent::Timer(token) if token >> 8 == self.epoch && self.on => {
+                let next = self.next_hop.expect("on/off sender not wired");
+                ctx.send(
+                    0.0,
+                    next,
+                    NetEvent::Packet(Packet::data(self.flow, self.seq, self.packet_size, now)),
+                );
+                self.seq += 1;
+                ctx.send_self(1.0 / self.rate_pps, NetEvent::Timer(token));
             }
             _ => {}
         }

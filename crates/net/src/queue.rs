@@ -416,10 +416,8 @@ mod tests {
             if q.enqueue(pkt(i), 0.0, &mut rng).is_err() {
                 dropped += 1;
             }
-            if i % 3 == 0 {
-                if q.dequeue(0.0).is_some() {
-                    dequeued += 1;
-                }
+            if i % 3 == 0 && q.dequeue(0.0).is_some() {
+                dequeued += 1;
             }
         }
         let s = q.stats();
@@ -523,7 +521,10 @@ mod tests {
                 q.dequeue(0.0);
             }
         }
-        assert!(accepted_past_cliff > 0, "gentle RED should admit some packets");
+        assert!(
+            accepted_past_cliff > 0,
+            "gentle RED should admit some packets"
+        );
     }
 
     #[test]
@@ -537,7 +538,11 @@ mod tests {
         while q.dequeue(1.0).is_some() {}
         // Long idle: the next arrival sees a much smaller average.
         let _ = q.enqueue(pkt(999), 100.0, &mut rng);
-        assert!(q.average() < avg_busy * 0.1, "{} vs {avg_busy}", q.average());
+        assert!(
+            q.average() < avg_busy * 0.1,
+            "{} vs {avg_busy}",
+            q.average()
+        );
     }
 
     #[test]

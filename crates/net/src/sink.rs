@@ -107,7 +107,11 @@ mod tests {
     fn counting_only_skips_log() {
         let mut eng: Engine<NetEvent> = Engine::new();
         let s = eng.add(Box::new(Sink::counting_only()));
-        eng.schedule(0.0, s, NetEvent::Packet(Packet::data(FlowId(0), 0, 64, 0.0)));
+        eng.schedule(
+            0.0,
+            s,
+            NetEvent::Packet(Packet::data(FlowId(0), 0, 64, 0.0)),
+        );
         eng.run_until(1.0);
         let sink: &Sink = eng.get(s);
         assert_eq!(sink.count(), 1);

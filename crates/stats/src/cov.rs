@@ -281,7 +281,10 @@ mod tests {
         let weights = [0.4, 0.3, 0.2, 0.1];
         let xs: Vec<f64> = (0..20_000)
             .map(|i| {
-                let v = ((i as u64).wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) >> 33) as f64;
+                let v = ((i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407)
+                    >> 33) as f64;
                 v / (1u64 << 31) as f64
             })
             .collect();
@@ -298,10 +301,6 @@ mod tests {
                 direct.push(x, est);
             }
         }
-        assert_close(
-            ac.estimator_covariance(&weights),
-            direct.covariance(),
-            5e-3,
-        );
+        assert_close(ac.estimator_covariance(&weights), direct.covariance(), 5e-3);
     }
 }

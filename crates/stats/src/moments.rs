@@ -55,8 +55,7 @@ impl Moments {
         let delta_n2 = delta_n * delta_n;
         let term1 = delta * delta_n * n1;
         self.mean += delta_n;
-        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0)
-            + 6.0 * delta_n2 * self.m2
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * self.m2
             - 4.0 * delta_n * self.m3;
         self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
         self.m2 += term1;
@@ -232,8 +231,7 @@ mod tests {
         let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.37).collect();
         let m = Moments::from_slice(&xs);
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var =
-            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() as f64 - 1.0);
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() as f64 - 1.0);
         assert_close(m.mean(), mean, 1e-9);
         assert_close(m.variance(), var, 1e-9);
     }
@@ -248,14 +246,18 @@ mod tests {
     #[test]
     fn kurtosis_of_two_point_mass_is_minus_two() {
         // A symmetric two-point distribution has excess kurtosis -2.
-        let xs: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { -1.0 } else { 1.0 }).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { -1.0 } else { 1.0 })
+            .collect();
         let m = Moments::from_slice(&xs);
         assert_close(m.excess_kurtosis(), -2.0, 1e-9);
     }
 
     #[test]
     fn merge_equals_sequential() {
-        let xs: Vec<f64> = (0..777).map(|i| (i as f64 * 0.91).sin() * 10.0 + 3.0).collect();
+        let xs: Vec<f64> = (0..777)
+            .map(|i| (i as f64 * 0.91).sin() * 10.0 + 3.0)
+            .collect();
         let whole = Moments::from_slice(&xs);
         let mut a = Moments::from_slice(&xs[..300]);
         let b = Moments::from_slice(&xs[300..]);

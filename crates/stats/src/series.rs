@@ -33,7 +33,11 @@ pub fn bin_means(samples: &[f64], bins: usize) -> Vec<f64> {
     let mut out = Vec::with_capacity(bins);
     for b in 0..bins {
         let start = b * base;
-        let end = if b + 1 == bins { samples.len() } else { start + base };
+        let end = if b + 1 == bins {
+            samples.len()
+        } else {
+            start + base
+        };
         let chunk = &samples[start..end];
         out.push(chunk.iter().sum::<f64>() / chunk.len() as f64);
     }
@@ -90,7 +94,11 @@ pub fn confidence_interval(samples: &[f64], bins: usize) -> Option<ConfidenceInt
     let mean = means.iter().sum::<f64>() / n;
     let var = means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / (n - 1.0);
     let df = means.len() - 1;
-    let t = if df <= T_975.len() { T_975[df - 1] } else { 1.96 };
+    let t = if df <= T_975.len() {
+        T_975[df - 1]
+    } else {
+        1.96
+    };
     Some(ConfidenceInterval {
         mean,
         half_width: t * (var / n).sqrt(),

@@ -33,7 +33,10 @@ impl FiveNumber {
             return None;
         }
         let mut xs = samples.to_vec();
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("summary input must not contain NaN"));
+        xs.sort_by(|a, b| {
+            a.partial_cmp(b)
+                .expect("summary input must not contain NaN")
+        });
         Some(Self {
             min: xs[0],
             q1: quantile_sorted(&xs, 0.25),
@@ -79,7 +82,10 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
 /// Convenience: sorts a copy and takes the quantile.
 pub fn quantile(samples: &[f64], q: f64) -> f64 {
     let mut xs = samples.to_vec();
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("quantile input must not contain NaN"));
+    xs.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("quantile input must not contain NaN")
+    });
     quantile_sorted(&xs, q)
 }
 

@@ -62,7 +62,7 @@ proptest! {
     #[test]
     fn bin_means_preserve_total_mean(xs in finite_vec(300), bins in 1_usize..12) {
         prop_assume!(xs.len() >= bins);
-        prop_assume!(xs.len() % bins == 0); // equal bins: exact identity
+        prop_assume!(xs.len().is_multiple_of(bins)); // equal bins: exact identity
         let means = bin_means(&xs, bins);
         let overall = xs.iter().sum::<f64>() / xs.len() as f64;
         let of_means = means.iter().sum::<f64>() / means.len() as f64;

@@ -36,7 +36,10 @@ impl AimdFixedLink {
     /// # Panics
     /// Panics on non-positive `alpha`/`capacity` or `beta ∉ (0, 1)`.
     pub fn new(alpha: f64, beta: f64, capacity: f64) -> Self {
-        assert!(alpha > 0.0 && capacity > 0.0, "positive parameters required");
+        assert!(
+            alpha > 0.0 && capacity > 0.0,
+            "positive parameters required"
+        );
         assert!(beta > 0.0 && beta < 1.0, "beta in (0, 1)");
         Self {
             alpha,
@@ -234,7 +237,9 @@ impl<F: ThroughputFormula> SharedFixedLink<F> {
                 ebrc_pkts_run = 0.0;
                 events = 0;
             }
-            let x2 = self.formula.h(self.estimator.virtual_estimate(theta_open).max(1e-9));
+            let x2 = self
+                .formula
+                .h(self.estimator.virtual_estimate(theta_open).max(1e-9));
             if x1 + x2 >= c {
                 // Shared loss event.
                 x1 *= self.aimd.beta;
@@ -335,8 +340,16 @@ mod tests {
             "shared ratio should be less pronounced: {ratio}"
         );
         // Both senders get useful throughput.
-        assert!(out.aimd_throughput > 0.05 * 100.0, "{}", out.aimd_throughput);
-        assert!(out.ebrc_throughput > 0.05 * 100.0, "{}", out.ebrc_throughput);
+        assert!(
+            out.aimd_throughput > 0.05 * 100.0,
+            "{}",
+            out.aimd_throughput
+        );
+        assert!(
+            out.ebrc_throughput > 0.05 * 100.0,
+            "{}",
+            out.ebrc_throughput
+        );
     }
 
     #[test]
@@ -350,8 +363,7 @@ mod tests {
     fn capacity_scaling_leaves_ratio_invariant() {
         for c in [20.0, 200.0] {
             let aimd = AimdFixedLink::new(1.0, 0.5, c);
-            let mut ebrc =
-                EbrcFixedLink::new(AimdFormula::tcp_like(), WeightProfile::tfrc(4), c);
+            let mut ebrc = EbrcFixedLink::new(AimdFormula::tcp_like(), WeightProfile::tfrc(4), c);
             let ratio = aimd.loss_event_rate() / ebrc.measured_loss_event_rate(3_000);
             assert_rel(ratio, 16.0 / 9.0, 2e-2);
         }

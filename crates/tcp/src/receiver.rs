@@ -136,7 +136,10 @@ impl TcpSink {
             } else if !self.delack_armed {
                 self.delack_armed = true;
                 let gen = self.delack_gen;
-                ctx.send_self(self.delack_timeout, NetEvent::Timer(TIMER_DELACK_BASE + gen));
+                ctx.send_self(
+                    self.delack_timeout,
+                    NetEvent::Timer(TIMER_DELACK_BASE + gen),
+                );
             }
         }
     }
@@ -146,14 +149,16 @@ impl Component<NetEvent> for TcpSink {
     fn handle(&mut self, now: f64, event: NetEvent, ctx: &mut Context<NetEvent>) {
         match event {
             NetEvent::Packet(pkt) if pkt.is_data() => self.on_data(now, &pkt, ctx),
-            NetEvent::Timer(token) if token >= TIMER_DELACK_BASE => {
-                // Stale generations are ignored (the ACK already went out).
-                if self.delack_armed && token - TIMER_DELACK_BASE == self.delack_gen {
-                    if self.pending_acks > 0 {
-                        self.emit_ack(now, ctx);
-                    } else {
-                        self.delack_armed = false;
-                    }
+            // Stale generations are ignored (the ACK already went out).
+            NetEvent::Timer(token)
+                if token >= TIMER_DELACK_BASE
+                    && self.delack_armed
+                    && token - TIMER_DELACK_BASE == self.delack_gen =>
+            {
+                if self.pending_acks > 0 {
+                    self.emit_ack(now, ctx);
+                } else {
+                    self.delack_armed = false;
                 }
             }
             _ => {}
@@ -175,7 +180,11 @@ mod tests {
     use ebrc_net::Sink;
     use ebrc_sim::Engine;
 
-    fn setup() -> (Engine<NetEvent>, ebrc_sim::ComponentId, ebrc_sim::ComponentId) {
+    fn setup() -> (
+        Engine<NetEvent>,
+        ebrc_sim::ComponentId,
+        ebrc_sim::ComponentId,
+    ) {
         let mut eng: Engine<NetEvent> = Engine::new();
         let sink = eng.add(Box::new(TcpSink::new(FlowId(1), 0.1)));
         let ack_sink = eng.add(Box::new(Sink::new()));

@@ -346,8 +346,14 @@ mod tests {
             one_way / 2.0,
             Rng::seed_from(seed),
         )));
-        let dropper = eng.add(Box::new(BernoulliDropper::new(p_drop, Rng::seed_from(seed + 1))));
-        let fwd = eng.add(Box::new(DelayBox::new(one_way / 2.0, Rng::seed_from(seed + 2))));
+        let dropper = eng.add(Box::new(BernoulliDropper::new(
+            p_drop,
+            Rng::seed_from(seed + 1),
+        )));
+        let fwd = eng.add(Box::new(DelayBox::new(
+            one_way / 2.0,
+            Rng::seed_from(seed + 2),
+        )));
         let rcv = eng.add(Box::new(TcpSink::new(flow, 0.1)));
         let rev = eng.add(Box::new(DelayBox::new(one_way, Rng::seed_from(seed + 3))));
         eng.get_mut::<TcpSender>(snd).set_next_hop(link);
@@ -431,7 +437,11 @@ mod tests {
         let (mut eng, snd, _, link) = one_flow(2e6, 20, 0.05, 0.0, 6);
         eng.run_until(200.0);
         let s: &TcpSender = eng.get(snd);
-        assert!(s.recorder().events() > 20, "events {}", s.recorder().events());
+        assert!(
+            s.recorder().events() > 20,
+            "events {}",
+            s.recorder().events()
+        );
         let l: &LinkQueue = eng.get(link);
         assert!(l.drops(FlowId(1)) > 10);
         // Utilization should remain decent despite the sawtooth.

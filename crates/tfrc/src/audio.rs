@@ -151,17 +151,13 @@ impl AudioTfrcSender {
 impl Component<NetEvent> for AudioTfrcSender {
     fn handle(&mut self, now: f64, event: NetEvent, ctx: &mut Context<NetEvent>) {
         match event {
-            NetEvent::Timer(TIMER_START) => {
-                if !self.started {
-                    self.started = true;
-                    self.last_rate_change = now;
-                    self.tick_send(now, ctx);
-                }
+            NetEvent::Timer(TIMER_START) if !self.started => {
+                self.started = true;
+                self.last_rate_change = now;
+                self.tick_send(now, ctx);
             }
-            NetEvent::Timer(TIMER_TICK) => {
-                if self.started {
-                    self.tick_send(now, ctx);
-                }
+            NetEvent::Timer(TIMER_TICK) if self.started => {
+                self.tick_send(now, ctx);
             }
             NetEvent::Packet(pkt) => {
                 if let PacketKind::Feedback(fb) = &pkt.kind {
@@ -225,7 +221,11 @@ mod tests {
         formula: FormulaKind,
         window: usize,
         seed: u64,
-    ) -> (Engine<NetEvent>, ebrc_sim::ComponentId, ebrc_sim::ComponentId) {
+    ) -> (
+        Engine<NetEvent>,
+        ebrc_sim::ComponentId,
+        ebrc_sim::ComponentId,
+    ) {
         let mut eng: Engine<NetEvent> = Engine::new();
         let flow = FlowId(1);
         let tick = 0.02;
@@ -237,7 +237,10 @@ mod tests {
             RttMode::Fixed(1.0),
             30.0,
         )));
-        let drop = eng.add(Box::new(BernoulliDropper::new(p_drop, Rng::seed_from(seed))));
+        let drop = eng.add(Box::new(BernoulliDropper::new(
+            p_drop,
+            Rng::seed_from(seed),
+        )));
         let rcv = eng.add(Box::new(TfrcReceiver::new(
             flow,
             TfrcReceiverConfig {
@@ -264,7 +267,11 @@ mod tests {
         eng.run_until(100.0);
         let s: &AudioTfrcSender = eng.get(snd);
         // 100 s / 20 ms = 5000 ticks, independent of the rate dynamics.
-        assert!((s.packets_sent() as i64 - 5000).abs() < 3, "{}", s.packets_sent());
+        assert!(
+            (s.packets_sent() as i64 - 5000).abs() < 3,
+            "{}",
+            s.packets_sent()
+        );
     }
 
     #[test]

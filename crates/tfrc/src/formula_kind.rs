@@ -40,9 +40,7 @@ impl FormulaKind {
         let b = 2.0;
         match self {
             FormulaKind::Sqrt => Box::new(Sqrt::new(c1(b), rtt)),
-            FormulaKind::PftkStandard => {
-                Box::new(PftkStandard::new(c1(b), c2(b), rtt, 4.0 * rtt))
-            }
+            FormulaKind::PftkStandard => Box::new(PftkStandard::new(c1(b), c2(b), rtt, 4.0 * rtt)),
             FormulaKind::PftkSimplified => {
                 Box::new(PftkSimplified::new(c1(b), c2(b), rtt, 4.0 * rtt))
             }
@@ -71,7 +69,10 @@ mod tests {
                 FormulaKind::Sqrt,
                 Box::new(Sqrt::with_rtt(rtt)) as Box<dyn ThroughputFormula>,
             ),
-            (FormulaKind::PftkStandard, Box::new(PftkStandard::with_rtt(rtt))),
+            (
+                FormulaKind::PftkStandard,
+                Box::new(PftkStandard::with_rtt(rtt)),
+            ),
             (
                 FormulaKind::PftkSimplified,
                 Box::new(PftkSimplified::with_rtt(rtt)),

@@ -327,7 +327,13 @@ mod tests {
             .collect()
     }
 
-    fn setup(comprehensive: bool) -> (Engine<NetEvent>, ebrc_sim::ComponentId, ebrc_sim::ComponentId) {
+    fn setup(
+        comprehensive: bool,
+    ) -> (
+        Engine<NetEvent>,
+        ebrc_sim::ComponentId,
+        ebrc_sim::ComponentId,
+    ) {
         let mut eng: Engine<NetEvent> = Engine::new();
         let cfg = TfrcReceiverConfig {
             weights: WeightProfile::tfrc(8),
@@ -386,7 +392,11 @@ mod tests {
         let fbs = feedbacks(&eng, fb);
         // 1000 packets/s into the receiver.
         let (_, last) = fbs.last().unwrap();
-        assert!((last.x_recv - 1000.0).abs() < 50.0, "x_recv {}", last.x_recv);
+        assert!(
+            (last.x_recv - 1000.0).abs() < 50.0,
+            "x_recv {}",
+            last.x_recv
+        );
     }
 
     #[test]

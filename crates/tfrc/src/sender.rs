@@ -282,18 +282,14 @@ impl TfrcSender {
 impl Component<NetEvent> for TfrcSender {
     fn handle(&mut self, now: f64, event: NetEvent, ctx: &mut Context<NetEvent>) {
         match event {
-            NetEvent::Timer(TIMER_START) => {
-                if !self.started {
-                    self.started = true;
-                    self.stats.start_time = now;
-                    self.last_rate_change = now;
-                    self.send_packet(now, ctx);
-                }
+            NetEvent::Timer(TIMER_START) if !self.started => {
+                self.started = true;
+                self.stats.start_time = now;
+                self.last_rate_change = now;
+                self.send_packet(now, ctx);
             }
-            NetEvent::Timer(TIMER_SEND) => {
-                if self.started {
-                    self.send_packet(now, ctx);
-                }
+            NetEvent::Timer(TIMER_SEND) if self.started => {
+                self.send_packet(now, ctx);
             }
             NetEvent::Packet(pkt) => {
                 if let PacketKind::Feedback(fb) = &pkt.kind {
@@ -345,7 +341,10 @@ mod tests {
             rtt / 4.0,
             Rng::seed_from(seed),
         )));
-        let dropper = eng.add(Box::new(BernoulliDropper::new(p_drop, Rng::seed_from(seed + 1))));
+        let dropper = eng.add(Box::new(BernoulliDropper::new(
+            p_drop,
+            Rng::seed_from(seed + 1),
+        )));
         let fwd = eng.add(Box::new(DelayBox::new(rtt / 4.0, Rng::seed_from(seed + 2))));
         let rcv = eng.add(Box::new(TfrcReceiver::new(
             flow,
@@ -411,8 +410,7 @@ mod tests {
         let r: &TfrcReceiver = eng.get(rcv);
         // Mean loss-event interval should be near 1/p = 20 packets,
         // a bit above because in-RTT losses coalesce.
-        let mean: f64 =
-            r.intervals().iter().sum::<f64>() / r.intervals().len().max(1) as f64;
+        let mean: f64 = r.intervals().iter().sum::<f64>() / r.intervals().len().max(1) as f64;
         assert!(r.intervals().len() > 200, "events {}", r.intervals().len());
         assert!((15.0..45.0).contains(&mean), "mean interval {mean}");
     }

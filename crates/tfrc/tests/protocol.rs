@@ -4,9 +4,7 @@ use ebrc_core::weights::WeightProfile;
 use ebrc_dist::Rng;
 use ebrc_net::{BernoulliDropper, DelayBox, FlowId, NetEvent};
 use ebrc_sim::Engine;
-use ebrc_tfrc::{
-    FormulaKind, RttMode, TfrcReceiver, TfrcReceiverConfig, TfrcSender, TfrcSenderConfig,
-};
+use ebrc_tfrc::{FormulaKind, TfrcReceiver, TfrcReceiverConfig, TfrcSender, TfrcSenderConfig};
 
 /// A direct sender → dropper → receiver → sender loop with symmetric
 /// delay.
@@ -16,11 +14,18 @@ fn pipeline(
     cfg: TfrcSenderConfig,
     comprehensive: bool,
     seed: u64,
-) -> (Engine<NetEvent>, ebrc_sim::ComponentId, ebrc_sim::ComponentId) {
+) -> (
+    Engine<NetEvent>,
+    ebrc_sim::ComponentId,
+    ebrc_sim::ComponentId,
+) {
     let mut eng: Engine<NetEvent> = Engine::new();
     let flow = FlowId(1);
     let snd = eng.add(Box::new(TfrcSender::new(flow, cfg)));
-    let drop = eng.add(Box::new(BernoulliDropper::new(p_drop, Rng::seed_from(seed))));
+    let drop = eng.add(Box::new(BernoulliDropper::new(
+        p_drop,
+        Rng::seed_from(seed),
+    )));
     let fwd = eng.add(Box::new(DelayBox::new(rtt / 2.0, Rng::seed_from(seed + 1))));
     let rcv = eng.add(Box::new(TfrcReceiver::new(
         flow,

@@ -24,7 +24,10 @@ fn main() {
     let mut run = DumbbellRun::build(&cfg);
     let m = run.measure(20.0, 80.0);
 
-    println!("{:<8} {:>12} {:>12} {:>10} {:>12}", "flow", "x̄ (pps)", "p", "r (ms)", "cov·p²");
+    println!(
+        "{:<8} {:>12} {:>12} {:>10} {:>12}",
+        "flow", "x̄ (pps)", "p", "r (ms)", "cov·p²"
+    );
     for (i, f) in m.tfrc.iter().enumerate() {
         println!(
             "tfrc-{i:<3} {:>12.1} {:>12.5} {:>10.1} {:>12.4}",
@@ -48,11 +51,17 @@ fn main() {
     let p_tcp = m.tcp_valid_mean(|f| f.loss_event_rate);
     let p_poisson = m.probe_loss_rate.unwrap_or(0.0);
     println!("\nloss-event rates:  p'(TCP) = {p_tcp:.5}   p(TFRC) = {p_tfrc:.5}   p''(Poisson) = {p_poisson:.5}");
-    println!("Claim 3 ordering p' ≤ p ≤ p'': {}", p_tcp <= p_tfrc && p_tfrc <= p_poisson);
+    println!(
+        "Claim 3 ordering p' ≤ p ≤ p'': {}",
+        p_tcp <= p_tfrc && p_tfrc <= p_poisson
+    );
 
     let x = m.tfrc_valid_mean(|f| f.throughput);
     let x_tcp = m.tcp_valid_mean(|f| f.throughput);
-    println!("throughput ratio x̄/x̄' = {:.3}  (Figure 8's metric)", x / x_tcp);
+    println!(
+        "throughput ratio x̄/x̄' = {:.3}  (Figure 8's metric)",
+        x / x_tcp
+    );
     println!(
         "TFRC normalized throughput x̄/f(p, r) = {:.3}  (Figure 5's metric)",
         m.tfrc_normalized_throughput()

@@ -53,8 +53,7 @@ fn run_both<F: ThroughputFormula + Clone>(
 
     let mut process = IidProcess::new(ShiftedExponential::from_mean_cv(1.0 / p, cv));
     let mut rng = Rng::seed_from(7);
-    let comp =
-        ComprehensiveControl::new(formula.clone(), cfg).run(&mut process, &mut rng, events);
+    let comp = ComprehensiveControl::new(formula.clone(), cfg).run(&mut process, &mut rng, events);
 
     // Apply Theorem 1 over the region the estimator visited.
     let hat = basic.theta_hat_moments();

@@ -7,8 +7,8 @@ use ebrc::core::theory::{claim4, prop4_overshoot_bound};
 use ebrc::core::weights::WeightProfile;
 use ebrc::dist::{IidProcess, Rng, ShiftedExponential};
 use ebrc::experiments::breakdown::Breakdown;
-use ebrc::experiments::figures::fig06::audio_point;
 use ebrc::experiments::figures::fig05_09::ns2_run;
+use ebrc::experiments::figures::fig06::audio_point;
 use ebrc::experiments::scenarios::{DumbbellConfig, DumbbellRun, QueueSpec};
 use ebrc::experiments::Scale;
 use ebrc::tfrc::FormulaKind;
@@ -63,10 +63,16 @@ fn proposition2_compare_controls() {
     for seed in [1u64, 2, 3] {
         let mk = || IidProcess::new(ShiftedExponential::from_mean_cv(30.0, 0.95));
         let cfg = ControlConfig::new(WeightProfile::tfrc(8));
-        let b = BasicControl::new(f.clone(), cfg.clone())
-            .run(&mut mk(), &mut Rng::seed_from(seed), 20_000);
-        let c = ComprehensiveControl::new(f.clone(), cfg)
-            .run(&mut mk(), &mut Rng::seed_from(seed), 20_000);
+        let b = BasicControl::new(f.clone(), cfg.clone()).run(
+            &mut mk(),
+            &mut Rng::seed_from(seed),
+            20_000,
+        );
+        let c = ComprehensiveControl::new(f.clone(), cfg).run(
+            &mut mk(),
+            &mut Rng::seed_from(seed),
+            20_000,
+        );
         assert!(c.throughput() >= b.throughput() - 1e-9);
     }
 }
@@ -120,6 +126,10 @@ fn breakdown_separates_the_factors() {
     let mut run = DumbbellRun::build(&cfg);
     let m = run.measure(20.0, 80.0);
     let b = Breakdown::from_measurements(&m).expect("losses");
-    assert!(b.conservativeness < 1.2, "conservativeness {}", b.conservativeness);
+    assert!(
+        b.conservativeness < 1.2,
+        "conservativeness {}",
+        b.conservativeness
+    );
     assert!(b.loss_rate_ratio > 1.0, "p'/p {}", b.loss_rate_ratio);
 }

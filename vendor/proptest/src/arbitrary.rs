@@ -1,0 +1,80 @@
+//! `any::<T>()` — canonical whole-domain strategies per type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// The canonical strategy for `T`'s full domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, wide dynamic range.
+        let mag = (rng.uniform() * 600.0 - 300.0).exp2();
+        if rng.next_u64() & 1 == 1 {
+            mag
+        } else {
+            -mag
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bools_take_both_values() {
+        let mut rng = TestRng::deterministic("bools");
+        let s = any::<bool>();
+        let trues = (0..1000).filter(|_| s.generate(&mut rng)).count();
+        assert!(trues > 400 && trues < 600, "{trues}");
+    }
+
+    #[test]
+    fn u8_covers_domain() {
+        let mut rng = TestRng::deterministic("u8");
+        let s = any::<u8>();
+        let mut seen = [false; 256];
+        for _ in 0..20_000 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().filter(|s| **s).count() > 250);
+    }
+}

@@ -1,0 +1,210 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment has no registry access, so this vendored
+//! crate provides the *subset* of serde the workspace uses: the
+//! [`Serialize`] trait (with `#[derive(Serialize)]` behind the
+//! `derive` feature) rendering into a simple JSON [`Value`] that the
+//! sibling `serde_json` stand-in consumes. Swapping back to crates.io
+//! serde is a one-line change in the workspace manifest.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// A JSON value — the serialization target of this stand-in.
+///
+/// Real serde is format-agnostic; here JSON is the only consumer, so
+/// `Serialize` renders straight into this tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (JSON does not distinguish int from float).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup by key; [`Value::Null`] when absent or not an
+    /// object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Element lookup by index; `None` when absent or not an array.
+    pub fn get_index(&self, idx: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(idx),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.get_index(idx).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<i32> for Value {
+    fn eq(&self, other: &i32) -> bool {
+        self.as_f64() == Some(f64::from(*other))
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Value::Bool(b) if b == other)
+    }
+}
+
+/// Types renderable to a JSON [`Value`].
+pub trait Serialize {
+    /// Renders `self` as a JSON value.
+    fn to_json_value(&self) -> Value;
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+macro_rules! impl_serialize_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_num!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(1.5_f64.to_json_value(), Value::Number(1.5));
+        assert_eq!("x".to_json_value(), Value::String("x".into()));
+        assert_eq!(true.to_json_value(), Value::Bool(true));
+        assert_eq!(
+            vec![1.0, 2.0].to_json_value(),
+            Value::Array(vec![Value::Number(1.0), Value::Number(2.0)])
+        );
+    }
+
+    #[test]
+    fn indexing_and_comparison() {
+        let v = Value::Object(vec![(
+            "rows".into(),
+            Value::Array(vec![Value::Number(4.5), Value::String("x".into())]),
+        )]);
+        assert_eq!(v["rows"][0], 4.5);
+        assert_eq!(v["rows"][1], "x");
+        assert_eq!(v["missing"], Value::Null);
+    }
+}

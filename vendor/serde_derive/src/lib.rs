@@ -1,0 +1,93 @@
+//! `#[derive(Serialize)]` for the vendored serde stand-in.
+//!
+//! Supports plain structs with named fields and no generics — the only
+//! shape the workspace derives on. Parsing is done directly on the
+//! token stream (no `syn`/`quote`: the build environment has no
+//! registry access).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the stand-in trait) for a struct with
+/// named fields.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, fields) = parse_struct(&tokens);
+    let mut body = String::new();
+    for f in &fields {
+        body.push_str(&format!(
+            "(\"{f}\".to_string(), ::serde::Serialize::to_json_value(&self.{f})),"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{body}])\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+/// Extracts the struct name and its named-field identifiers.
+fn parse_struct(tokens: &[TokenTree]) -> (String, Vec<String>) {
+    let mut iter = tokens.iter().peekable();
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = tt {
+            if id.to_string() == "struct" {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("expected struct name, got {other:?}"),
+                }
+                break;
+            }
+        }
+    }
+    let name = name.expect("derive(Serialize) supports structs only");
+    let body = tokens
+        .iter()
+        .find_map(|tt| match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .expect("derive(Serialize) needs named fields");
+    (name, field_names(body))
+}
+
+/// Walks a brace-delimited field list and returns each field's name:
+/// the last identifier before the first top-level `:` of every
+/// comma-separated chunk, with attributes skipped.
+fn field_names(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut last_ident: Option<String> = None;
+    let mut seen_colon = false;
+    let mut tokens = stream.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute (incl. doc comments): skip the [...] group.
+                let _ = tokens.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && !seen_colon => {
+                if let Some(f) = last_ident.take() {
+                    fields.push(f);
+                }
+                seen_colon = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                seen_colon = false;
+                last_ident = None;
+            }
+            TokenTree::Ident(id) if !seen_colon => {
+                let s = id.to_string();
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}
