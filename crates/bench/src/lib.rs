@@ -8,6 +8,9 @@
 //!   reproduction run.
 //! * `substrates` — microbenchmarks of the hot kernels: event
 //!   dispatching, RED enqueue, the control recursions, convex closure.
+//! * `runner` — sweep throughput of the job-graph runner (jobs/sec at
+//!   1 and N workers); the CI-tracked absolute numbers come from
+//!   `repro bench-runner` (BENCH_runner.json).
 
 #![forbid(unsafe_code)]
 

@@ -1,43 +1,218 @@
 //! Reproduction CLI: regenerate any table/figure of the paper.
 //!
 //! ```text
-//! repro --list                 # catalogue
-//! repro fig03                  # one experiment, quick scale
-//! repro fig03 --scale paper    # paper-comparable effort
-//! repro all                    # everything (quick)
-//! repro fig05 --json           # machine-readable output
-//! repro all --out results/     # one JSON file per table, for plotting
+//! repro --list                   # catalogue
+//! repro fig03                    # one experiment, quick scale
+//! repro fig03 --scale paper      # paper-comparable effort
+//! repro all                      # everything (quick), all cores
+//! repro all --threads 1          # sequential (byte-identical output)
+//! repro all --progress           # live jobs-completed line on stderr
+//! repro fig05 --json             # machine-readable output
+//! repro all --out results/       # one JSON file per table, for plotting
+//! repro bench-runner --bench-json BENCH_runner.json
+//!                                # sweep-throughput benchmark artifact
 //! ```
+//!
+//! Experiments run as a flattened job grid on a work-stealing pool
+//! (`--threads N`, or the `EBRC_THREADS` environment variable; default:
+//! all cores). Output is byte-identical at any thread count. A
+//! panicking experiment is reported in the end-of-run summary and turns
+//! the exit code nonzero, without taking down the rest of the sweep.
 
-use ebrc_experiments::{all_experiments, find_experiment, Experiment, Scale};
-use std::path::PathBuf;
+use ebrc_experiments::{
+    all_experiments, find_experiment, par_run_catalogue, Experiment, ExperimentReport, Scale,
+};
+use ebrc_runner::Pool;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro (--list | <experiment-id> | all) [--scale quick|paper] [--json] [--out DIR]"
+        "usage: repro (--list | <experiment-id> | all | bench-runner) \
+         [--scale quick|paper] [--json] [--out DIR] [--threads N] [--progress] \
+         [--bench-json FILE]"
     );
     ExitCode::from(2)
 }
 
-fn run_one(exp: &dyn Experiment, scale: Scale, json: bool, out: Option<&PathBuf>) {
-    eprintln!("# {} — {} ({})", exp.id(), exp.title(), exp.paper_ref());
-    let start = std::time::Instant::now();
-    let tables = exp.run(scale);
-    for t in &tables {
-        if json {
-            println!("{}", t.to_json());
-        } else {
-            println!("{}", t.render());
+struct Options {
+    scale: Scale,
+    scale_name: &'static str,
+    json: bool,
+    out: Option<PathBuf>,
+    threads: usize,
+    progress: bool,
+    bench_json: Option<PathBuf>,
+}
+
+/// Thread count: `--threads` beats `EBRC_THREADS` beats all cores.
+fn env_threads() -> Option<usize> {
+    let raw = std::env::var("EBRC_THREADS").ok()?;
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => {
+            eprintln!("ignoring EBRC_THREADS={raw:?} (want a positive integer)");
+            None
         }
-        if let Some(dir) = out {
-            let file = dir.join(format!("{}.json", t.name.replace(['/', ' '], "_")));
-            if let Err(e) = std::fs::write(&file, t.to_json()) {
-                eprintln!("# failed to write {}: {e}", file.display());
+    }
+}
+
+/// Writes every table of a report set under `dir` as pretty JSON.
+/// Returns the number of write failures (each reported on stderr).
+fn spool_tables(dir: &Path, reports: &[ExperimentReport]) -> usize {
+    let mut failures = 0;
+    // The directory (and parents) may have vanished since argument
+    // parsing; (re)create rather than failing per table.
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return reports.len().max(1);
+    }
+    for report in reports {
+        if let Ok(tables) = &report.outcome {
+            for t in tables {
+                let file = dir.join(format!("{}.json", t.name.replace(['/', ' '], "_")));
+                if let Err(e) = std::fs::write(&file, t.to_json()) {
+                    eprintln!("# failed to write {}: {e}", file.display());
+                    failures += 1;
+                }
             }
         }
     }
-    eprintln!("# {} done in {:.1?}", exp.id(), start.elapsed());
+    failures
+}
+
+/// Runs a set of experiments on the pool and prints/spools the results.
+/// Returns `true` when everything succeeded.
+fn run_and_report(experiments: Vec<Box<dyn Experiment>>, opts: &Options) -> bool {
+    let pool = Pool::new(opts.threads);
+    eprintln!(
+        "# {} experiment(s), {} thread(s), scale {}",
+        experiments.len(),
+        pool.threads(),
+        opts.scale_name,
+    );
+    let started = std::time::Instant::now();
+    let show_progress = opts.progress;
+    // The executed job count, as the progress callback sees it — no
+    // second decomposition pass, no way for banner and summary to
+    // disagree.
+    let total_jobs = std::sync::atomic::AtomicUsize::new(0);
+    let refs: Vec<&dyn Experiment> = experiments.iter().map(|e| e.as_ref()).collect();
+    let reports = par_run_catalogue(refs, opts.scale, &pool, |done, total| {
+        total_jobs.store(total, std::sync::atomic::Ordering::Relaxed);
+        if show_progress {
+            eprint!("\r# progress {done}/{total} jobs");
+            let _ = std::io::stderr().flush();
+        }
+    });
+    if show_progress {
+        eprintln!();
+    }
+    let wall = started.elapsed();
+    let total_jobs = total_jobs.into_inner();
+
+    for report in &reports {
+        eprintln!("# {} — {} ({})", report.id, report.title, report.paper_ref);
+        if let Ok(tables) = &report.outcome {
+            for t in tables {
+                if opts.json {
+                    println!("{}", t.to_json());
+                } else {
+                    println!("{}", t.render());
+                }
+            }
+        }
+    }
+    let mut write_failures = 0;
+    if let Some(dir) = &opts.out {
+        write_failures = spool_tables(dir, &reports);
+    }
+
+    let failed: Vec<_> = reports.iter().filter(|r| r.outcome.is_err()).collect();
+    eprintln!(
+        "# summary: {} ok, {} failed, {} jobs in {:.1?} ({:.1} jobs/s, {} threads)",
+        reports.len() - failed.len(),
+        failed.len(),
+        total_jobs,
+        wall,
+        total_jobs as f64 / wall.as_secs_f64().max(1e-9),
+        pool.threads(),
+    );
+    for report in &failed {
+        if let Err(e) = &report.outcome {
+            eprintln!("#   {e}");
+        }
+    }
+    failed.is_empty() && write_failures == 0
+}
+
+/// `bench-runner`: times `repro all` at 1 thread and at 8-or-all-cores
+/// (whichever is larger), writing wall-clock and jobs/sec to a JSON
+/// artifact — the start of the perf trajectory CI tracks. The 8-thread
+/// entry is always recorded, so the artifact answers the determinism
+/// contract's companion question (how much does N buy?) on any host;
+/// the speedup is only meaningful on a multi-core runner.
+fn bench_runner(opts: &Options) -> ExitCode {
+    let thread_counts = vec![1, ebrc_runner::default_threads().max(opts.threads).max(8)];
+    let mut total_jobs = 0usize;
+    let mut entries = Vec::new();
+    let mut walls = Vec::new();
+    for &threads in &thread_counts {
+        let pool = Pool::new(threads);
+        let started = std::time::Instant::now();
+        let experiments = all_experiments();
+        let refs: Vec<&dyn Experiment> = experiments.iter().map(|e| e.as_ref()).collect();
+        let executed = std::sync::atomic::AtomicUsize::new(0);
+        let reports = par_run_catalogue(refs, opts.scale, &pool, |_, total| {
+            executed.store(total, std::sync::atomic::Ordering::Relaxed);
+        });
+        total_jobs = executed.into_inner();
+        let wall = started.elapsed().as_secs_f64();
+        let failed = reports.iter().filter(|r| r.outcome.is_err()).count();
+        if failed > 0 {
+            eprintln!("# bench-runner: {failed} experiment(s) failed; aborting");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "# bench-runner: {threads} thread(s): {wall:.2} s wall, {:.1} jobs/s",
+            total_jobs as f64 / wall
+        );
+        walls.push(wall);
+        entries.push(format!(
+            "    {{ \"threads\": {threads}, \"wall_s\": {wall:.4}, \"jobs_per_sec\": {:.4} }}",
+            total_jobs as f64 / wall
+        ));
+    }
+    let speedup = if walls.len() > 1 {
+        walls[0] / walls[walls.len() - 1]
+    } else {
+        1.0
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"repro all --scale {}\",\n  \"jobs\": {},\n  \"runs\": [\n{}\n  ],\n  \"speedup\": {:.4}\n}}\n",
+        opts.scale_name,
+        total_jobs,
+        entries.join(",\n"),
+        speedup
+    );
+    match &opts.bench_json {
+        Some(path) => {
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("cannot create {}: {e}", parent.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("# bench-runner: wrote {}", path.display());
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -46,20 +221,52 @@ fn main() -> ExitCode {
         return usage();
     }
     let mut target: Option<String> = None;
-    let mut scale = Scale::quick();
-    let mut json = false;
     let mut list = false;
-    let mut out: Option<PathBuf> = None;
+    let mut opts = Options {
+        scale: Scale::quick(),
+        scale_name: "quick",
+        json: false,
+        out: None,
+        threads: env_threads().unwrap_or_else(ebrc_runner::default_threads),
+        progress: false,
+        bench_json: None,
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--list" => list = true,
-            "--json" => json = true,
+            "--json" => opts.json = true,
+            "--progress" => opts.progress = true,
             "--scale" => {
                 i += 1;
                 match args.get(i).map(String::as_str) {
-                    Some("quick") => scale = Scale::quick(),
-                    Some("paper") => scale = Scale::paper(),
+                    Some("quick") => {
+                        opts.scale = Scale::quick();
+                        opts.scale_name = "quick";
+                    }
+                    Some("paper") => {
+                        opts.scale = Scale::paper();
+                        opts.scale_name = "paper";
+                    }
+                    // Undocumented test scale: the whole catalogue in
+                    // ~a second, for CI plumbing and the test suite.
+                    Some("tiny") => {
+                        opts.scale = Scale {
+                            mc_events: 1_500,
+                            sim_warmup: 4.0,
+                            sim_span: 8.0,
+                            replicas: 1,
+                            quick: true,
+                        };
+                        opts.scale_name = "tiny";
+                    }
+                    _ => return usage(),
+                }
+            }
+            "--threads" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => opts.threads = n,
                     _ => return usage(),
                 }
             }
@@ -68,12 +275,22 @@ fn main() -> ExitCode {
                 match args.get(i) {
                     Some(dir) => {
                         let dir = PathBuf::from(dir);
+                        // Create the directory (and any missing
+                        // parents) up front so per-table writes cannot
+                        // each fail on a missing path.
                         if let Err(e) = std::fs::create_dir_all(&dir) {
                             eprintln!("cannot create {}: {e}", dir.display());
                             return ExitCode::FAILURE;
                         }
-                        out = Some(dir);
+                        opts.out = Some(dir);
                     }
+                    None => return usage(),
+                }
+            }
+            "--bench-json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => opts.bench_json = Some(PathBuf::from(path)),
                     None => return usage(),
                 }
             }
@@ -91,15 +308,20 @@ fn main() -> ExitCode {
     }
     match target.as_deref() {
         Some("all") => {
-            for e in all_experiments() {
-                run_one(e.as_ref(), scale, json, out.as_ref());
+            if run_and_report(all_experiments(), &opts) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
             }
-            ExitCode::SUCCESS
         }
+        Some("bench-runner") => bench_runner(&opts),
         Some(id) => match find_experiment(id) {
             Some(e) => {
-                run_one(e.as_ref(), scale, json, out.as_ref());
-                ExitCode::SUCCESS
+                if run_and_report(vec![e], &opts) {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
             }
             None => {
                 eprintln!("unknown experiment '{id}'; try --list");

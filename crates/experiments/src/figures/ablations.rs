@@ -8,6 +8,9 @@
 //! * `ablate-phase` — Markov-modulated (phase) loss that violates (C1):
 //!   a predictable loss process turns the covariance term into a
 //!   throughput *boost*, the non-conservative regime of Section III-B.2.
+//!
+//! Every Monte-Carlo point (one control law, one weight profile, one
+//! formula, one sojourn) is its own runner job.
 
 use crate::registry::{Experiment, Scale};
 use crate::series::Table;
@@ -15,6 +18,7 @@ use ebrc_core::control::{BasicControl, ComprehensiveControl, ControlConfig};
 use ebrc_core::formula::{PftkSimplified, PftkStandard, Sqrt, ThroughputFormula};
 use ebrc_core::weights::WeightProfile;
 use ebrc_dist::{IidProcess, LossProcess, MarkovModulated, Rng, ShiftedExponential};
+use ebrc_runner::{take, Job, JobOutput};
 
 fn basic_normalized<F: ThroughputFormula + Clone, P: LossProcess>(
     f: &F,
@@ -32,6 +36,8 @@ fn basic_normalized<F: ThroughputFormula + Clone, P: LossProcess>(
 /// Basic vs comprehensive control.
 pub struct AblateControlLaw;
 
+const CONTROL_PS: [f64; 5] = [0.02, 0.05, 0.1, 0.2, 0.4];
+
 impl Experiment for AblateControlLaw {
     fn id(&self) -> &'static str {
         "ablate-control"
@@ -45,26 +51,42 @@ impl Experiment for AblateControlLaw {
         "Proposition 2 / Section V-B remark"
     }
 
-    fn run(&self, scale: Scale) -> Vec<Table> {
+    fn jobs(&self, scale: Scale) -> Vec<Job> {
+        let mut jobs = Vec::new();
+        for (i, p) in CONTROL_PS.into_iter().enumerate() {
+            let seed = 400 + i as u64;
+            let events = scale.mc_events;
+            jobs.push(Job::new(format!("ablate-control/basic/p{p}"), move |_| {
+                let f = PftkSimplified::with_rtt(1.0);
+                let mut pr = IidProcess::new(ShiftedExponential::from_mean_cv(1.0 / p, 0.9));
+                basic_normalized(&f, WeightProfile::tfrc(8), &mut pr, events, seed)
+            }));
+            jobs.push(Job::new(
+                format!("ablate-control/comprehensive/p{p}"),
+                move |_| {
+                    let f = PftkSimplified::with_rtt(1.0);
+                    let mut pr = IidProcess::new(ShiftedExponential::from_mean_cv(1.0 / p, 0.9));
+                    let mut rng = Rng::seed_from(seed);
+                    ComprehensiveControl::new(f.clone(), ControlConfig::new(WeightProfile::tfrc(8)))
+                        .run(&mut pr, &mut rng, events)
+                        .normalized_throughput(&f)
+                },
+            ));
+        }
+        jobs
+    }
+
+    fn reduce(&self, _scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
         let mut t = Table::new(
             "ablate-control",
             "normalized throughput of both control laws vs p (PFTK-simplified, L = 8)",
             vec!["p", "basic", "comprehensive"],
         );
-        let f = PftkSimplified::with_rtt(1.0);
-        for (i, p) in [0.02, 0.05, 0.1, 0.2, 0.4].into_iter().enumerate() {
-            let weights = WeightProfile::tfrc(8);
-            let mut pr1 = IidProcess::new(ShiftedExponential::from_mean_cv(1.0 / p, 0.9));
-            let mut pr2 = IidProcess::new(ShiftedExponential::from_mean_cv(1.0 / p, 0.9));
-            let seed = 400 + i as u64;
-            let basic = basic_normalized(&f, weights.clone(), &mut pr1, scale.mc_events, seed);
-            let mut rng = Rng::seed_from(seed);
-            let comp = ComprehensiveControl::new(f.clone(), ControlConfig::new(weights)).run(
-                &mut pr2,
-                &mut rng,
-                scale.mc_events,
-            );
-            t.push_row(vec![p, basic, comp.normalized_throughput(&f)]);
+        let mut values = results.into_iter().map(take::<f64>);
+        for p in CONTROL_PS {
+            let basic = values.next().expect("basic job");
+            let comp = values.next().expect("comprehensive job");
+            t.push_row(vec![p, basic, comp]);
         }
         vec![t]
     }
@@ -72,6 +94,8 @@ impl Experiment for AblateControlLaw {
 
 /// Estimator window and weight profile.
 pub struct AblateEstimator;
+
+const ESTIMATOR_LS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 
 impl Experiment for AblateEstimator {
     fn id(&self) -> &'static str {
@@ -86,26 +110,39 @@ impl Experiment for AblateEstimator {
         "Claim 1, second bullet"
     }
 
-    fn run(&self, scale: Scale) -> Vec<Table> {
+    fn jobs(&self, scale: Scale) -> Vec<Job> {
+        let mut jobs = Vec::new();
+        for (i, l) in ESTIMATOR_LS.into_iter().enumerate() {
+            let seed = 500 + i as u64;
+            let events = scale.mc_events;
+            for profile in ["tfrc", "uniform"] {
+                jobs.push(Job::new(
+                    format!("ablate-estimator/{profile}/L{l}"),
+                    move |_| {
+                        let f = PftkSimplified::with_rtt(1.0);
+                        let weights = match profile {
+                            "tfrc" => WeightProfile::tfrc(l),
+                            _ => WeightProfile::uniform(l),
+                        };
+                        let mut pr = IidProcess::new(ShiftedExponential::from_mean_cv(10.0, 0.999));
+                        basic_normalized(&f, weights, &mut pr, events, seed)
+                    },
+                ));
+            }
+        }
+        jobs
+    }
+
+    fn reduce(&self, _scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
         let mut t = Table::new(
             "ablate-estimator",
             "normalized throughput vs L for TFRC and uniform weights (PFTK-simplified, p = 0.1, cv ≈ 1)",
             vec!["L", "tfrc_weights", "uniform_weights", "effective_window_tfrc"],
         );
-        let f = PftkSimplified::with_rtt(1.0);
-        for (i, l) in [1usize, 2, 4, 8, 16, 32].into_iter().enumerate() {
-            let mut pr1 = IidProcess::new(ShiftedExponential::from_mean_cv(10.0, 0.999));
-            let mut pr2 = IidProcess::new(ShiftedExponential::from_mean_cv(10.0, 0.999));
-            let seed = 500 + i as u64;
-            let tfrc =
-                basic_normalized(&f, WeightProfile::tfrc(l), &mut pr1, scale.mc_events, seed);
-            let unif = basic_normalized(
-                &f,
-                WeightProfile::uniform(l),
-                &mut pr2,
-                scale.mc_events,
-                seed,
-            );
+        let mut values = results.into_iter().map(take::<f64>);
+        for l in ESTIMATOR_LS {
+            let tfrc = values.next().expect("tfrc job");
+            let unif = values.next().expect("uniform job");
             t.push_row(vec![
                 l as f64,
                 tfrc,
@@ -120,6 +157,9 @@ impl Experiment for AblateEstimator {
 /// Formula choice at heavy loss.
 pub struct AblateFormula;
 
+const FORMULA_PS: [f64; 4] = [0.02, 0.1, 0.25, 0.4];
+const FORMULA_NAMES: [&str; 3] = ["sqrt", "pftk-standard", "pftk-simplified"];
+
 impl Experiment for AblateFormula {
     fn id(&self) -> &'static str {
         "ablate-formula"
@@ -133,37 +173,56 @@ impl Experiment for AblateFormula {
         "Claim 1 application / Section VI"
     }
 
-    fn run(&self, scale: Scale) -> Vec<Table> {
+    fn jobs(&self, scale: Scale) -> Vec<Job> {
+        let mut jobs = Vec::new();
+        for (i, p) in FORMULA_PS.into_iter().enumerate() {
+            let seed = 600 + i as u64;
+            let events = scale.mc_events;
+            for name in FORMULA_NAMES {
+                jobs.push(Job::new(format!("ablate-formula/{name}/p{p}"), move |_| {
+                    let mut pr = IidProcess::new(ShiftedExponential::from_mean_cv(1.0 / p, 0.999));
+                    match name {
+                        "sqrt" => basic_normalized(
+                            &Sqrt::with_rtt(1.0),
+                            WeightProfile::tfrc(8),
+                            &mut pr,
+                            events,
+                            seed,
+                        ),
+                        "pftk-standard" => basic_normalized(
+                            &PftkStandard::with_rtt(1.0),
+                            WeightProfile::tfrc(8),
+                            &mut pr,
+                            events,
+                            seed,
+                        ),
+                        _ => basic_normalized(
+                            &PftkSimplified::with_rtt(1.0),
+                            WeightProfile::tfrc(8),
+                            &mut pr,
+                            events,
+                            seed,
+                        ),
+                    }
+                }));
+            }
+        }
+        jobs
+    }
+
+    fn reduce(&self, _scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
         let mut t = Table::new(
             "ablate-formula",
             "normalized throughput vs p per formula (basic control, L = 8, cv ≈ 1)",
             vec!["p", "sqrt", "pftk_standard", "pftk_simplified"],
         );
-        for (i, p) in [0.02, 0.1, 0.25, 0.4].into_iter().enumerate() {
-            let seed = 600 + i as u64;
-            let mk = || IidProcess::new(ShiftedExponential::from_mean_cv(1.0 / p, 0.999));
-            let s = basic_normalized(
-                &Sqrt::with_rtt(1.0),
-                WeightProfile::tfrc(8),
-                &mut mk(),
-                scale.mc_events,
-                seed,
-            );
-            let std = basic_normalized(
-                &PftkStandard::with_rtt(1.0),
-                WeightProfile::tfrc(8),
-                &mut mk(),
-                scale.mc_events,
-                seed,
-            );
-            let simp = basic_normalized(
-                &PftkSimplified::with_rtt(1.0),
-                WeightProfile::tfrc(8),
-                &mut mk(),
-                scale.mc_events,
-                seed,
-            );
-            t.push_row(vec![p, s, std, simp]);
+        let mut values = results.into_iter().map(take::<f64>);
+        for p in FORMULA_PS {
+            let mut row = vec![p];
+            for _ in FORMULA_NAMES {
+                row.push(values.next().expect("formula job"));
+            }
+            t.push_row(row);
         }
         vec![t]
     }
@@ -171,6 +230,8 @@ impl Experiment for AblateFormula {
 
 /// Phase-modulated (predictable) loss violating (C1).
 pub struct AblatePhaseLoss;
+
+const SOJOURNS: [f64; 4] = [1.5, 5.0, 20.0, 80.0];
 
 impl Experiment for AblatePhaseLoss {
     fn id(&self) -> &'static str {
@@ -185,7 +246,29 @@ impl Experiment for AblatePhaseLoss {
         "Section III-B.2 (when the sufficient conditions do not hold)"
     }
 
-    fn run(&self, scale: Scale) -> Vec<Table> {
+    fn jobs(&self, scale: Scale) -> Vec<Job> {
+        SOJOURNS
+            .into_iter()
+            .enumerate()
+            .map(|(i, sojourn)| {
+                let events = scale.mc_events;
+                Job::new(format!("ablate-phase/sojourn{sojourn}"), move |_| {
+                    let f = Sqrt::with_rtt(1.0);
+                    let mut process = MarkovModulated::congestion_oscillation(60.0, 4.0, sojourn);
+                    let mut rng = Rng::seed_from(700 + i as u64);
+                    let trace =
+                        BasicControl::new(f.clone(), ControlConfig::new(WeightProfile::tfrc(8)))
+                            .run(&mut process, &mut rng, events);
+                    (
+                        trace.normalized_throughput(&f),
+                        trace.normalized_covariance(),
+                    )
+                })
+            })
+            .collect()
+    }
+
+    fn reduce(&self, _scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
         let mut t = Table::new(
             "ablate-phase",
             "normalized throughput and cov[θ0,θ̂0]p² vs phase sojourn (SQRT, L = 8)",
@@ -195,17 +278,10 @@ impl Experiment for AblatePhaseLoss {
                 "normalized_covariance",
             ],
         );
-        let f = Sqrt::with_rtt(1.0);
-        for (i, sojourn) in [1.5, 5.0, 20.0, 80.0].into_iter().enumerate() {
-            let mut process = MarkovModulated::congestion_oscillation(60.0, 4.0, sojourn);
-            let mut rng = Rng::seed_from(700 + i as u64);
-            let trace = BasicControl::new(f.clone(), ControlConfig::new(WeightProfile::tfrc(8)))
-                .run(&mut process, &mut rng, scale.mc_events);
-            t.push_row(vec![
-                sojourn,
-                trace.normalized_throughput(&f),
-                trace.normalized_covariance(),
-            ]);
+        let mut values = results.into_iter().map(take::<(f64, f64)>);
+        for sojourn in SOJOURNS {
+            let (tput, cov) = values.next().expect("sojourn job");
+            t.push_row(vec![sojourn, tput, cov]);
         }
         vec![t]
     }

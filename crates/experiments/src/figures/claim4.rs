@@ -1,12 +1,27 @@
 //! Section IV-A.2: the fixed-capacity-link analysis behind Claim 4,
 //! including the "not displayed" shared-link simulation.
+//!
+//! Each β point yields two jobs: the isolated fixed-point measurement
+//! and the shared-link fluid simulation.
 
 use crate::registry::{Experiment, Scale};
 use crate::series::Table;
 use ebrc_core::formula::AimdFormula;
 use ebrc_core::theory::claim4;
 use ebrc_core::weights::WeightProfile;
+use ebrc_runner::{take, Job, JobOutput};
 use ebrc_tcp::{AimdFixedLink, EbrcFixedLink, SharedFixedLink};
+
+const CAPACITY: f64 = 100.0;
+const ALPHA: f64 = 1.0;
+
+fn beta_list(quick: bool) -> Vec<f64> {
+    if quick {
+        vec![0.25, 0.5, 0.75]
+    } else {
+        vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+    }
+}
 
 /// Claim 4 reproduction.
 pub struct Claim4;
@@ -24,15 +39,42 @@ impl Experiment for Claim4 {
         "Section IV-A.2 / Claim 4"
     }
 
-    fn run(&self, scale: Scale) -> Vec<Table> {
-        let capacity = 100.0;
-        let alpha = 1.0;
+    fn jobs(&self, scale: Scale) -> Vec<Job> {
         let events = if scale.quick { 3_000 } else { 30_000 };
-        let betas = if scale.quick {
-            vec![0.25, 0.5, 0.75]
-        } else {
-            vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
-        };
+        let t_end = if scale.quick { 1_500.0 } else { 10_000.0 };
+        let mut jobs = Vec::new();
+        for beta in beta_list(scale.quick) {
+            jobs.push(Job::new(format!("claim4/iso/b{beta}"), move |_| {
+                let mut ebrc = EbrcFixedLink::new(
+                    AimdFormula::new(ALPHA, beta),
+                    WeightProfile::tfrc(8),
+                    CAPACITY,
+                );
+                ebrc.measured_loss_event_rate(events)
+            }));
+        }
+        for beta in beta_list(scale.quick) {
+            jobs.push(Job::new(format!("claim4/shared/b{beta}"), move |_| {
+                let aimd = AimdFixedLink::new(ALPHA, beta, CAPACITY);
+                let mut link = SharedFixedLink::new(
+                    aimd,
+                    AimdFormula::new(ALPHA, beta),
+                    WeightProfile::tfrc(8),
+                );
+                let out = link.run(t_end * 0.1, t_end);
+                (
+                    out.loss_rate_ratio(),
+                    out.aimd_throughput,
+                    out.ebrc_throughput,
+                )
+            }));
+        }
+        jobs
+    }
+
+    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
+        let betas = beta_list(scale.quick);
+        let mut results = results.into_iter();
 
         let mut iso = Table::new(
             "claim4/isolated",
@@ -47,17 +89,12 @@ impl Experiment for Claim4 {
             ],
         );
         for &beta in &betas {
-            let aimd = AimdFixedLink::new(alpha, beta, capacity);
-            let mut ebrc = EbrcFixedLink::new(
-                AimdFormula::new(alpha, beta),
-                WeightProfile::tfrc(8),
-                capacity,
-            );
-            let measured = ebrc.measured_loss_event_rate(events);
+            let measured = take::<f64>(results.next().expect("iso job"));
+            let aimd = AimdFixedLink::new(ALPHA, beta, CAPACITY);
             iso.push_row(vec![
                 beta,
                 aimd.loss_event_rate(),
-                claim4::ebrc_loss_event_rate(alpha, beta, capacity),
+                claim4::ebrc_loss_event_rate(ALPHA, beta, CAPACITY),
                 measured,
                 claim4::loss_event_rate_ratio(beta),
                 aimd.loss_event_rate() / measured,
@@ -69,18 +106,10 @@ impl Experiment for Claim4 {
             "one AIMD + one EBRC sharing the link (fluid simulation): the gap holds, less pronounced",
             vec!["beta", "ratio_shared", "aimd_tput", "ebrc_tput"],
         );
-        let t_end = if scale.quick { 1_500.0 } else { 10_000.0 };
         for &beta in &betas {
-            let aimd = AimdFixedLink::new(alpha, beta, capacity);
-            let mut link =
-                SharedFixedLink::new(aimd, AimdFormula::new(alpha, beta), WeightProfile::tfrc(8));
-            let out = link.run(t_end * 0.1, t_end);
-            shared.push_row(vec![
-                beta,
-                out.loss_rate_ratio(),
-                out.aimd_throughput,
-                out.ebrc_throughput,
-            ]);
+            let (ratio, aimd_tput, ebrc_tput) =
+                take::<(f64, f64, f64)>(results.next().expect("shared job"));
+            shared.push_row(vec![beta, ratio, aimd_tput, ebrc_tput]);
         }
         vec![iso, shared]
     }

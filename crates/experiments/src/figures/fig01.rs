@@ -4,6 +4,45 @@
 use crate::registry::{Experiment, Scale};
 use crate::series::Table;
 use ebrc_core::formula::{PftkSimplified, PftkStandard, Sqrt, ThroughputFormula};
+use ebrc_runner::{take, Job, JobOutput};
+
+fn formulae() -> (Sqrt, PftkStandard, PftkSimplified) {
+    (
+        Sqrt::with_rtt(1.0),
+        PftkStandard::with_rtt(1.0),
+        PftkSimplified::with_rtt(1.0),
+    )
+}
+
+/// The left panel: `x → f(1/x)` on `(0, 50]`.
+fn left_panel(n: usize) -> Table {
+    let (sqrt, std, simp) = formulae();
+    let mut t = Table::new(
+        "fig01/left",
+        "x → f(1/x) (send rate at interval x), r = 1, q = 4r",
+        vec!["x", "sqrt", "pftk_standard", "pftk_simplified"],
+    );
+    for i in 0..n {
+        let x = 50.0 * (i + 1) as f64 / n as f64;
+        t.push_row(vec![x, sqrt.h(x), std.h(x), simp.h(x)]);
+    }
+    t
+}
+
+/// The right panel: the Theorem-1 functional `g` on `(0, 10]`.
+fn right_panel(n: usize) -> Table {
+    let (sqrt, std, simp) = formulae();
+    let mut t = Table::new(
+        "fig01/right",
+        "x → 1/f(1/x) (the Theorem-1 functional g)",
+        vec!["x", "sqrt", "pftk_standard", "pftk_simplified"],
+    );
+    for i in 0..n {
+        let x = 10.0 * (i + 1) as f64 / n as f64;
+        t.push_row(vec![x, sqrt.g(x), std.g(x), simp.g(x)]);
+    }
+    t
+}
 
 /// Figure 1 reproduction.
 pub struct Fig01;
@@ -21,35 +60,16 @@ impl Experiment for Fig01 {
         "Figure 1"
     }
 
-    fn run(&self, scale: Scale) -> Vec<Table> {
-        let sqrt = Sqrt::with_rtt(1.0);
-        let std = PftkStandard::with_rtt(1.0);
-        let simp = PftkSimplified::with_rtt(1.0);
-        let fs: [(&str, &dyn ThroughputFormula); 3] = [
-            ("sqrt", &sqrt),
-            ("pftk-standard", &std),
-            ("pftk-simplified", &simp),
-        ];
+    fn jobs(&self, scale: Scale) -> Vec<Job> {
         let n = if scale.quick { 26 } else { 501 };
+        vec![
+            Job::new("fig01/left", move |_| left_panel(n)),
+            Job::new("fig01/right", move |_| right_panel(n)),
+        ]
+    }
 
-        let mut left = Table::new(
-            "fig01/left",
-            "x → f(1/x) (send rate at interval x), r = 1, q = 4r",
-            vec!["x", "sqrt", "pftk_standard", "pftk_simplified"],
-        );
-        let mut right = Table::new(
-            "fig01/right",
-            "x → 1/f(1/x) (the Theorem-1 functional g)",
-            vec!["x", "sqrt", "pftk_standard", "pftk_simplified"],
-        );
-        for i in 0..n {
-            // Left panel: x ∈ (0, 50]; right panel: x ∈ (0, 10].
-            let xl = 50.0 * (i + 1) as f64 / n as f64;
-            let xr = 10.0 * (i + 1) as f64 / n as f64;
-            left.push_row(vec![xl, fs[0].1.h(xl), fs[1].1.h(xl), fs[2].1.h(xl)]);
-            right.push_row(vec![xr, fs[0].1.g(xr), fs[1].1.g(xr), fs[2].1.g(xr)]);
-        }
-        vec![left, right]
+    fn reduce(&self, _scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
+        results.into_iter().map(take::<Table>).collect()
     }
 }
 

@@ -10,6 +10,32 @@ use crate::registry::{Experiment, Scale};
 use crate::series::Table;
 use ebrc_convex::{convex_closure, deviation_ratio};
 use ebrc_core::formula::{c1, c2, PftkStandard, ThroughputFormula};
+use ebrc_runner::{take, Job, JobOutput};
+
+/// The `b = 1` instance: curve table around the kink plus its ratio.
+fn kink_instance(n: usize) -> (Table, f64) {
+    // The paper's instance: b = 1 (kink at c2² = 3.375), r = 1, q = 4.
+    let f = PftkStandard::new(c1(1.0), c2(1.0), 1.0, 4.0);
+    let g = f.sample_g(3.25, 3.5, n);
+    let closure = convex_closure(&g);
+    let ratio = deviation_ratio(&g);
+    let mut curves = Table::new(
+        "fig02/curves",
+        "g(x) and its convex closure g**(x) on [3.25, 3.5] (b = 1)",
+        vec!["x", "g", "g_closure", "ratio"],
+    );
+    let step = (g.len() - 1) / 50;
+    for i in (0..g.len()).step_by(step.max(1)) {
+        curves.push_row(vec![g.x(i), g.y(i), closure.y(i), g.y(i) / closure.y(i)]);
+    }
+    (curves, ratio)
+}
+
+/// The same bound for the `b = 2` default constants.
+fn b2_ratio(n: usize) -> f64 {
+    let f2 = PftkStandard::with_rtt(1.0);
+    deviation_ratio(&f2.sample_g(6.0, 7.6, n))
+}
 
 /// Figure 2 reproduction.
 pub struct Fig02;
@@ -27,32 +53,25 @@ impl Experiment for Fig02 {
         "Figure 2 / Proposition 4"
     }
 
-    fn run(&self, scale: Scale) -> Vec<Table> {
-        // The paper's instance: b = 1 (kink at c2² = 3.375), r = 1, q = 4.
-        let f = PftkStandard::new(c1(1.0), c2(1.0), 1.0, 4.0);
+    fn jobs(&self, scale: Scale) -> Vec<Job> {
         let n = if scale.quick { 2_001 } else { 40_001 };
-        let g = f.sample_g(3.25, 3.5, n);
-        let closure = convex_closure(&g);
-        let ratio = deviation_ratio(&g);
+        vec![
+            Job::new("fig02/b1", move |_| kink_instance(n)),
+            Job::new("fig02/b2", move |_| b2_ratio(n)),
+        ]
+    }
 
-        let mut curves = Table::new(
-            "fig02/curves",
-            "g(x) and its convex closure g**(x) on [3.25, 3.5] (b = 1)",
-            vec!["x", "g", "g_closure", "ratio"],
-        );
-        let step = (g.len() - 1) / 50;
-        for i in (0..g.len()).step_by(step.max(1)) {
-            curves.push_row(vec![g.x(i), g.y(i), closure.y(i), g.y(i) / closure.y(i)]);
-        }
+    fn reduce(&self, _scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
+        let mut results = results.into_iter();
+        let (curves, ratio_b1) = take::<(Table, f64)>(results.next().expect("b1 job"));
+        let ratio_b2 = take::<f64>(results.next().expect("b2 job"));
         let mut summary = Table::new(
             "fig02/summary",
             "sup g/g** (paper: 1.0026) and the same bound for the b = 2 default",
             vec!["b", "kink_x", "deviation_ratio"],
         );
-        summary.push_row(vec![1.0, 3.375, ratio]);
-        let f2 = PftkStandard::with_rtt(1.0);
-        let g2 = f2.sample_g(6.0, 7.6, n);
-        summary.push_row(vec![2.0, 6.75, deviation_ratio(&g2)]);
+        summary.push_row(vec![1.0, 3.375, ratio_b1]);
+        summary.push_row(vec![2.0, 6.75, ratio_b2]);
         vec![curves, summary]
     }
 }

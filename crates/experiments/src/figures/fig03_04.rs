@@ -18,6 +18,7 @@ use ebrc_core::control::{BasicControl, ControlConfig};
 use ebrc_core::formula::{PftkSimplified, Sqrt, ThroughputFormula};
 use ebrc_core::weights::WeightProfile;
 use ebrc_dist::{IidProcess, Rng, ShiftedExponential};
+use ebrc_runner::{take, Job, JobOutput};
 
 /// Monte-Carlo estimate of the basic control's normalized throughput
 /// under i.i.d. shifted-exponential intervals.
@@ -44,6 +45,71 @@ fn window_list(quick: bool) -> Vec<usize> {
     }
 }
 
+/// One Monte-Carlo point of either figure.
+#[derive(Debug, Clone, Copy)]
+struct McPoint {
+    formula: &'static str,
+    p: f64,
+    cv: f64,
+    l: usize,
+    seed: u64,
+}
+
+impl McPoint {
+    fn into_job_with_events(self, figure: &str, events: usize) -> Job {
+        let Self {
+            formula,
+            p,
+            cv,
+            l,
+            seed,
+        } = self;
+        Job::new(
+            format!("{figure}/{formula}/p{p}/cv{cv}/L{l}"),
+            move |_| -> f64 {
+                match formula {
+                    "sqrt" => normalized_throughput(&Sqrt::with_rtt(1.0), l, p, cv, events, seed),
+                    _ => normalized_throughput(
+                        &PftkSimplified::with_rtt(1.0),
+                        l,
+                        p,
+                        cv,
+                        events,
+                        seed,
+                    ),
+                }
+            },
+        )
+    }
+}
+
+/// Figure 3's sweep points, in table order (formula → p → L).
+fn fig03_grid(scale: Scale) -> Vec<McPoint> {
+    let cv = 1.0 - 1.0 / 1000.0;
+    let ps: Vec<f64> = if scale.quick {
+        vec![0.02, 0.1, 0.2, 0.4]
+    } else {
+        (1..=16).map(|i| 0.025 * i as f64).collect()
+    };
+    let ls = window_list(scale.quick);
+    let mut grid = Vec::new();
+    for formula in ["sqrt", "pftk-simplified"] {
+        for &p in &ps {
+            for (k, &l) in ls.iter().enumerate() {
+                let seed = if formula == "sqrt" { 1000 } else { 2000 } + k as u64;
+                grid.push(McPoint {
+                    formula,
+                    p,
+                    cv,
+                    l,
+                    seed,
+                });
+            }
+        }
+    }
+    grid
+}
+
 /// Figure 3 reproduction.
 pub struct Fig03;
 
@@ -60,52 +126,36 @@ impl Experiment for Fig03 {
         "Figure 3"
     }
 
-    fn run(&self, scale: Scale) -> Vec<Table> {
-        let cv = 1.0 - 1.0 / 1000.0;
-        let ps: Vec<f64> = if scale.quick {
-            vec![0.02, 0.1, 0.2, 0.4]
-        } else {
-            (1..=16).map(|i| 0.025 * i as f64).collect()
-        };
+    fn jobs(&self, scale: Scale) -> Vec<Job> {
+        fig03_grid(scale)
+            .into_iter()
+            .map(|pt| pt.into_job_with_events("fig03", scale.mc_events))
+            .collect()
+    }
+
+    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
+        let grid = fig03_grid(scale);
         let ls = window_list(scale.quick);
+        let cv = 1.0 - 1.0 / 1000.0;
+        let mut values = results.into_iter().map(take::<f64>);
         let mut tables = Vec::new();
-        for (name, formula) in [
-            (
-                "sqrt",
-                Box::new(Sqrt::with_rtt(1.0)) as Box<dyn ThroughputFormula>,
-            ),
-            ("pftk-simplified", Box::new(PftkSimplified::with_rtt(1.0))),
-        ] {
+        for formula in ["sqrt", "pftk-simplified"] {
             let mut cols: Vec<String> = vec!["p".into()];
             cols.extend(ls.iter().map(|l| format!("L{l}")));
             let mut t = Table::new(
-                format!("fig03/{name}"),
-                format!("x̄/f(p) vs p, {name}, cv[θ0] = {cv}"),
+                format!("fig03/{formula}"),
+                format!("x̄/f(p) vs p, {formula}, cv[θ0] = {cv}"),
                 cols,
             );
-            for &p in &ps {
+            let ps: Vec<f64> = grid
+                .iter()
+                .filter(|pt| pt.formula == formula && pt.l == ls[0])
+                .map(|pt| pt.p)
+                .collect();
+            for p in ps {
                 let mut row = vec![p];
-                for (k, &l) in ls.iter().enumerate() {
-                    let v = match name {
-                        "sqrt" => normalized_throughput(
-                            &Sqrt::with_rtt(1.0),
-                            l,
-                            p,
-                            cv,
-                            scale.mc_events,
-                            1000 + k as u64,
-                        ),
-                        _ => normalized_throughput(
-                            &PftkSimplified::with_rtt(1.0),
-                            l,
-                            p,
-                            cv,
-                            scale.mc_events,
-                            2000 + k as u64,
-                        ),
-                    };
-                    let _ = formula;
-                    row.push(v);
+                for _ in &ls {
+                    row.push(values.next().expect("grid/result length mismatch"));
                 }
                 t.push_row(row);
             }
@@ -113,6 +163,31 @@ impl Experiment for Fig03 {
         }
         tables
     }
+}
+
+/// Figure 4's sweep points, in table order (p → cv → L).
+fn fig04_grid(scale: Scale) -> Vec<McPoint> {
+    let cvs: Vec<f64> = if scale.quick {
+        vec![0.2, 0.5, 0.8, 0.999]
+    } else {
+        (1..=10).map(|i| (0.1 * i as f64).min(0.999)).collect()
+    };
+    let ls = window_list(scale.quick);
+    let mut grid = Vec::new();
+    for p in [0.01, 0.1] {
+        for &cv in &cvs {
+            for (k, &l) in ls.iter().enumerate() {
+                grid.push(McPoint {
+                    formula: "pftk-simplified",
+                    p,
+                    cv,
+                    l,
+                    seed: 3000 + k as u64,
+                });
+            }
+        }
+    }
+    grid
 }
 
 /// Figure 4 reproduction.
@@ -131,13 +206,21 @@ impl Experiment for Fig04 {
         "Figure 4"
     }
 
-    fn run(&self, scale: Scale) -> Vec<Table> {
-        let cvs: Vec<f64> = if scale.quick {
-            vec![0.2, 0.5, 0.8, 0.999]
-        } else {
-            (1..=10).map(|i| (0.1 * i as f64).min(0.999)).collect()
-        };
+    fn jobs(&self, scale: Scale) -> Vec<Job> {
+        fig04_grid(scale)
+            .into_iter()
+            .map(|pt| pt.into_job_with_events("fig04", scale.mc_events))
+            .collect()
+    }
+
+    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
         let ls = window_list(scale.quick);
+        let cvs: Vec<f64> = fig04_grid(scale)
+            .iter()
+            .filter(|pt| pt.p == 0.01 && pt.l == ls[0])
+            .map(|pt| pt.cv)
+            .collect();
+        let mut values = results.into_iter().map(take::<f64>);
         let mut tables = Vec::new();
         for p in [0.01, 0.1] {
             let mut cols: Vec<String> = vec!["cv".into()];
@@ -149,15 +232,8 @@ impl Experiment for Fig04 {
             );
             for &cv in &cvs {
                 let mut row = vec![cv];
-                for (k, &l) in ls.iter().enumerate() {
-                    row.push(normalized_throughput(
-                        &PftkSimplified::with_rtt(1.0),
-                        l,
-                        p,
-                        cv,
-                        scale.mc_events,
-                        3000 + k as u64,
-                    ));
+                for _ in &ls {
+                    row.push(values.next().expect("grid/result length mismatch"));
                 }
                 t.push_row(row);
             }

@@ -9,10 +9,15 @@
 //!   (Poisson)` versus the number of connections (Claim 3);
 //! * Figure 8 — the TFRC/TCP throughput ratio versus N;
 //! * Figure 9 — TCP against its own formula (obedience).
+//!
+//! Each `(L, N, replica)` grid point is one runner job (a whole engine
+//! instance); reducers average over `Scale::replicas` per point.
 
-use crate::registry::{Experiment, Scale};
+use crate::figures::mean;
+use crate::registry::{replica_seed, Experiment, Scale};
 use crate::scenarios::{DumbbellConfig, DumbbellRun, RunMeasurements};
 use crate::series::Table;
+use ebrc_runner::{take, Job, JobOutput};
 
 fn n_list(quick: bool) -> Vec<usize> {
     if quick {
@@ -30,14 +35,30 @@ fn l_list(quick: bool) -> Vec<usize> {
     }
 }
 
-/// Runs the ns-2 scenario for `(n, l)` and returns its measurements.
-pub fn ns2_run(n: usize, l: usize, scale: Scale, probe: bool) -> RunMeasurements {
-    let mut cfg = DumbbellConfig::ns2_paper(n, l, 0x5eed + (n as u64) * 31 + l as u64);
+/// Runs replica `rep` of the ns-2 scenario for `(n, l)` and returns its
+/// measurements.
+pub fn ns2_run(n: usize, l: usize, rep: usize, scale: Scale, probe: bool) -> RunMeasurements {
+    let base = 0x5eed + (n as u64) * 31 + l as u64;
+    let mut cfg = DumbbellConfig::ns2_paper(n, l, replica_seed(base, rep));
     if probe {
         cfg.poisson_probe = Some(5.0);
     }
     let mut run = DumbbellRun::build(&cfg);
     run.measure(scale.sim_warmup, scale.sim_span)
+}
+
+/// The `(L, N, replica)` grid shared by Figures 5, 7 and 8, in table
+/// order.
+fn grid(scale: Scale) -> Vec<(usize, usize, usize)> {
+    let mut points = Vec::new();
+    for &l in &l_list(scale.quick) {
+        for &n in &n_list(scale.quick) {
+            for rep in 0..scale.replica_count() {
+                points.push((l, n, rep));
+            }
+        }
+    }
+    points
 }
 
 /// Figure 5 reproduction.
@@ -56,7 +77,23 @@ impl Experiment for Fig05 {
         "Figure 5"
     }
 
-    fn run(&self, scale: Scale) -> Vec<Table> {
+    fn jobs(&self, scale: Scale) -> Vec<Job> {
+        grid(scale)
+            .into_iter()
+            .map(|(l, n, rep)| {
+                Job::new(format!("fig05/L{l}/n{n}/rep{rep}"), move |_| {
+                    let m = ns2_run(n, l, rep, scale, false);
+                    (
+                        m.tfrc_valid_mean(|f| f.loss_event_rate),
+                        m.tfrc_normalized_throughput(),
+                        m.tfrc_valid_mean(|f| f.normalized_covariance),
+                    )
+                })
+            })
+            .collect()
+    }
+
+    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
         let mut tput = Table::new(
             "fig05/top",
             "normalized throughput x̄/f(p, r) vs loss-event rate p",
@@ -67,20 +104,23 @@ impl Experiment for Fig05 {
             "normalized covariance cov[θ0, θ̂0]·p² vs p",
             vec!["L", "n_pairs", "p", "normalized_covariance"],
         );
+        let mut values = results.into_iter().map(take::<(f64, f64, f64)>);
         for &l in &l_list(scale.quick) {
             for &n in &n_list(scale.quick) {
-                let m = ns2_run(n, l, scale, false);
-                let p = m.tfrc_valid_mean(|f| f.loss_event_rate);
-                if p <= 0.0 {
+                // Pool replicas of this point; only replicas that saw
+                // losses contribute (matching the per-run validity rule).
+                let reps: Vec<(f64, f64, f64)> = (0..scale.replica_count())
+                    .map(|_| values.next().expect("grid/result length mismatch"))
+                    .filter(|(p, _, _)| *p > 0.0)
+                    .collect();
+                if reps.is_empty() {
                     continue;
                 }
-                tput.push_row(vec![l as f64, n as f64, p, m.tfrc_normalized_throughput()]);
-                cov.push_row(vec![
-                    l as f64,
-                    n as f64,
-                    p,
-                    m.tfrc_valid_mean(|f| f.normalized_covariance),
-                ]);
+                let p = mean(&reps.iter().map(|r| r.0).collect::<Vec<_>>());
+                let t = mean(&reps.iter().map(|r| r.1).collect::<Vec<_>>());
+                let c = mean(&reps.iter().map(|r| r.2).collect::<Vec<_>>());
+                tput.push_row(vec![l as f64, n as f64, p, t]);
+                cov.push_row(vec![l as f64, n as f64, p, c]);
             }
         }
         vec![tput, cov]
@@ -103,21 +143,40 @@ impl Experiment for Fig07 {
         "Figure 7 / Claim 3"
     }
 
-    fn run(&self, scale: Scale) -> Vec<Table> {
+    fn jobs(&self, scale: Scale) -> Vec<Job> {
+        grid(scale)
+            .into_iter()
+            .map(|(l, n, rep)| {
+                Job::new(format!("fig07/L{l}/n{n}/rep{rep}"), move |_| {
+                    let m = ns2_run(n, l, rep, scale, true);
+                    (
+                        m.tfrc_valid_mean(|f| f.loss_event_rate),
+                        m.tcp_valid_mean(|f| f.loss_event_rate),
+                        m.probe_loss_rate.unwrap_or(0.0),
+                    )
+                })
+            })
+            .collect()
+    }
+
+    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
         let mut t = Table::new(
             "fig07",
             "p' ≤ p ≤ p'' ordering in the many-sources regime",
             vec!["L", "connections", "p_tfrc", "p_tcp", "p_poisson"],
         );
+        let mut values = results.into_iter().map(take::<(f64, f64, f64)>);
         for &l in &l_list(scale.quick) {
             for &n in &n_list(scale.quick) {
-                let m = ns2_run(n, l, scale, true);
+                let reps: Vec<(f64, f64, f64)> = (0..scale.replica_count())
+                    .map(|_| values.next().expect("grid/result length mismatch"))
+                    .collect();
                 t.push_row(vec![
                     l as f64,
                     (2 * n) as f64,
-                    m.tfrc_valid_mean(|f| f.loss_event_rate),
-                    m.tcp_valid_mean(|f| f.loss_event_rate),
-                    m.probe_loss_rate.unwrap_or(0.0),
+                    mean(&reps.iter().map(|r| r.0).collect::<Vec<_>>()),
+                    mean(&reps.iter().map(|r| r.1).collect::<Vec<_>>()),
+                    mean(&reps.iter().map(|r| r.2).collect::<Vec<_>>()),
                 ]);
             }
         }
@@ -141,19 +200,37 @@ impl Experiment for Fig08 {
         "Figure 8"
     }
 
-    fn run(&self, scale: Scale) -> Vec<Table> {
+    fn jobs(&self, scale: Scale) -> Vec<Job> {
+        grid(scale)
+            .into_iter()
+            .map(|(l, n, rep)| {
+                Job::new(format!("fig08/L{l}/n{n}/rep{rep}"), move |_| {
+                    let m = ns2_run(n, l, rep, scale, false);
+                    (
+                        m.tfrc_valid_mean(|f| f.throughput),
+                        m.tcp_valid_mean(|f| f.throughput),
+                    )
+                })
+            })
+            .collect()
+    }
+
+    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
         let mut t = Table::new(
             "fig08",
             "x̄(TFRC)/x̄'(TCP) vs connections, per estimator window L",
             vec!["L", "connections", "throughput_ratio"],
         );
+        let mut values = results.into_iter().map(take::<(f64, f64)>);
         for &l in &l_list(scale.quick) {
             for &n in &n_list(scale.quick) {
-                let m = ns2_run(n, l, scale, false);
-                let x = m.tfrc_valid_mean(|f| f.throughput);
-                let x_tcp = m.tcp_valid_mean(|f| f.throughput);
-                if x_tcp > 0.0 {
-                    t.push_row(vec![l as f64, (2 * n) as f64, x / x_tcp]);
+                let ratios: Vec<f64> = (0..scale.replica_count())
+                    .map(|_| values.next().expect("grid/result length mismatch"))
+                    .filter(|(_, x_tcp)| *x_tcp > 0.0)
+                    .map(|(x, x_tcp)| x / x_tcp)
+                    .collect();
+                if !ratios.is_empty() {
+                    t.push_row(vec![l as f64, (2 * n) as f64, mean(&ratios)]);
                 }
             }
         }
@@ -177,18 +254,37 @@ impl Experiment for Fig09 {
         "Figure 9"
     }
 
-    fn run(&self, scale: Scale) -> Vec<Table> {
+    fn jobs(&self, scale: Scale) -> Vec<Job> {
+        let mut jobs = Vec::new();
+        for &n in &n_list(scale.quick) {
+            for rep in 0..scale.replica_count() {
+                jobs.push(Job::new(format!("fig09/n{n}/rep{rep}"), move |_| {
+                    let m = ns2_run(n, 8, rep, scale, false);
+                    let mut points: Vec<(f64, f64)> = Vec::new();
+                    for f in &m.tcp {
+                        if f.loss_event_rate > 0.0 && f.rtt_mean > 0.0 {
+                            let predicted = m.tfrc_formula.rate(f.loss_event_rate, f.rtt_mean);
+                            points.push((predicted, f.throughput));
+                        }
+                    }
+                    points
+                }));
+            }
+        }
+        jobs
+    }
+
+    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
         let mut t = Table::new(
             "fig09",
             "per-run mean TCP throughput against f(p', r') — below the diagonal means TCP underperforms its formula",
             vec!["connections", "f_predicted", "measured"],
         );
+        let mut values = results.into_iter().map(take::<Vec<(f64, f64)>>);
         for &n in &n_list(scale.quick) {
-            let m = ns2_run(n, 8, scale, false);
-            for f in &m.tcp {
-                if f.loss_event_rate > 0.0 && f.rtt_mean > 0.0 {
-                    let predicted = m.tfrc_formula.rate(f.loss_event_rate, f.rtt_mean);
-                    t.push_row(vec![(2 * n) as f64, predicted, f.throughput]);
+            for _rep in 0..scale.replica_count() {
+                for (predicted, measured) in values.next().expect("grid/result length mismatch") {
+                    t.push_row(vec![(2 * n) as f64, predicted, measured]);
                 }
             }
         }
@@ -204,7 +300,7 @@ mod tests {
     #[test]
     fn many_sources_ordering_holds_roughly() {
         let scale = Scale::quick();
-        let m = ns2_run(8, 8, scale, true);
+        let m = ns2_run(8, 8, 0, scale, true);
         let p_tfrc = m.tfrc_mean(|f| f.loss_event_rate);
         let p_tcp = m.tcp_mean(|f| f.loss_event_rate);
         let p_poisson = m.probe_loss_rate.unwrap();
@@ -224,5 +320,20 @@ mod tests {
             let norm = row[3];
             assert!(norm > 0.1 && norm < 1.6, "normalized throughput {norm}");
         }
+    }
+
+    #[test]
+    fn replicated_scale_pools_the_same_grid() {
+        // Two replicas of the cheapest point: the job grid doubles and
+        // the reduce still emits one row per (L, n).
+        let mut scale = Scale::quick();
+        scale.replicas = 2;
+        let jobs = Fig05.jobs(scale);
+        assert_eq!(
+            jobs.len(),
+            2 * l_list(true).len() * n_list(true).len(),
+            "one job per (L, n, replica)"
+        );
+        assert!(jobs.iter().any(|j| j.label().ends_with("/rep1")));
     }
 }

@@ -14,6 +14,7 @@ use crate::series::Table;
 use ebrc_core::weights::WeightProfile;
 use ebrc_dist::Rng;
 use ebrc_net::{BernoulliDropper, FlowId, NetEvent};
+use ebrc_runner::{take, Job, JobOutput};
 use ebrc_sim::Engine;
 use ebrc_tfrc::{AudioTfrcSender, FormulaKind, RttMode, TfrcReceiver, TfrcReceiverConfig};
 
@@ -68,6 +69,20 @@ pub fn audio_point(
     (p, normalized, r.theta_hat_moments().cv_squared())
 }
 
+fn drop_list(quick: bool) -> Vec<f64> {
+    if quick {
+        vec![0.05, 0.15, 0.25]
+    } else {
+        (1..=10).map(|i| 0.025 * i as f64).collect()
+    }
+}
+
+const FORMULAE: [(&str, FormulaKind, u64); 3] = [
+    ("sqrt", FormulaKind::Sqrt, 0),
+    ("pftk-standard", FormulaKind::PftkStandard, 100),
+    ("pftk-simplified", FormulaKind::PftkSimplified, 200),
+];
+
 /// Figure 6 reproduction.
 pub struct Fig06;
 
@@ -84,15 +99,23 @@ impl Experiment for Fig06 {
         "Figure 6 / Claim 2"
     }
 
-    fn run(&self, scale: Scale) -> Vec<Table> {
-        let drops: Vec<f64> = if scale.quick {
-            vec![0.05, 0.15, 0.25]
-        } else {
-            (1..=10).map(|i| 0.025 * i as f64).collect()
-        };
+    fn jobs(&self, scale: Scale) -> Vec<Job> {
         // Audio loss events arrive at ~p·50/s; size the run for enough
         // events.
         let duration = if scale.quick { 3_000.0 } else { 20_000.0 };
+        let mut jobs = Vec::new();
+        for (i, &pd) in drop_list(scale.quick).iter().enumerate() {
+            for (name, formula, seed_offset) in FORMULAE {
+                let seed = 60 + i as u64 + seed_offset;
+                jobs.push(Job::new(format!("fig06/p{pd}/{name}"), move |_| {
+                    audio_point(pd, formula, 4, duration, seed)
+                }));
+            }
+        }
+        jobs
+    }
+
+    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
         let mut top = Table::new(
             "fig06/top",
             "normalized throughput E[X]/f(p) vs p, L = 4",
@@ -103,11 +126,12 @@ impl Experiment for Fig06 {
             "squared CV of the estimator θ̂ vs p",
             vec!["p", "sqrt", "pftk_standard", "pftk_simplified"],
         );
-        for (i, &pd) in drops.iter().enumerate() {
-            let seed = 60 + i as u64;
-            let (p1, n1, c1) = audio_point(pd, FormulaKind::Sqrt, 4, duration, seed);
-            let (_, n2, c2) = audio_point(pd, FormulaKind::PftkStandard, 4, duration, seed + 100);
-            let (_, n3, c3) = audio_point(pd, FormulaKind::PftkSimplified, 4, duration, seed + 200);
+        let mut values = results.into_iter().map(take::<(f64, f64, f64)>);
+        for _ in drop_list(scale.quick) {
+            // The x coordinate is SQRT's measured p (first formula).
+            let (p1, n1, c1) = values.next().expect("grid/result length mismatch");
+            let (_, n2, c2) = values.next().expect("grid/result length mismatch");
+            let (_, n3, c3) = values.next().expect("grid/result length mismatch");
             top.push_row(vec![p1, n1, n2, n3]);
             bottom.push_row(vec![p1, c1, c2, c3]);
         }

@@ -7,12 +7,16 @@
 //! the normalized covariance "mostly near to zero" — the empirical basis
 //! of condition (C1) — with noticeably negative values where losses come
 //! in batches (UMELB, cable-modem).
+//!
+//! Every `(environment, replica)` pair is one runner job; the reducer
+//! pools each environment's replica samples into its box summary.
 
 use crate::figures::internet::{site_run, sites};
 use crate::figures::lab::{lab_queues, lab_run};
 use crate::registry::{Experiment, Scale};
 use crate::scenarios::{DumbbellConfig, DumbbellRun, QueueSpec};
 use crate::series::Table;
+use ebrc_runner::{take, Job, JobOutput};
 use ebrc_stats::FiveNumber;
 
 /// Cable-modem scenario: one TFRC + one TCP into 56 kb/s with small
@@ -27,6 +31,17 @@ pub fn cable_modem_run(scale: Scale, seed: u64) -> f64 {
     // The slow link needs a longer span for enough loss events.
     let m = run.measure(scale.sim_warmup, scale.sim_span * 4.0);
     m.tfrc_valid_mean(|f| f.normalized_covariance)
+}
+
+/// The environment list, in figure order.
+fn environments() -> Vec<String> {
+    let mut names: Vec<String> = lab_queues()
+        .into_iter()
+        .map(|(name, _)| format!("lab/{name}"))
+        .collect();
+    names.extend(sites().iter().map(|s| format!("internet/{}", s.name)));
+    names.push("cable-modem".into());
+    names
 }
 
 /// Figure 10 reproduction.
@@ -45,47 +60,58 @@ impl Experiment for Fig10 {
         "Figure 10"
     }
 
-    fn run(&self, scale: Scale) -> Vec<Table> {
+    fn jobs(&self, scale: Scale) -> Vec<Job> {
+        let mut jobs = Vec::new();
+        for (qi, (name, _)) in lab_queues().into_iter().enumerate() {
+            for rep in 0..scale.replica_count() {
+                jobs.push(Job::new(format!("fig10/lab/{name}/rep{rep}"), move |_| {
+                    let (_, queue) = lab_queues().remove(qi);
+                    let m = lab_run(queue, 4, scale, 100 + rep as u64 * 7);
+                    m.tfrc_valid()
+                        .map(|f| f.normalized_covariance)
+                        .collect::<Vec<f64>>()
+                }));
+            }
+        }
+        for (si, site) in sites().iter().enumerate() {
+            for rep in 0..scale.replica_count() {
+                jobs.push(Job::new(
+                    format!("fig10/internet/{}/rep{rep}", site.name),
+                    move |_| {
+                        let site = sites()[si];
+                        let m = site_run(&site, 2, scale, 200 + rep as u64 * 13);
+                        m.tfrc_valid()
+                            .map(|f| f.normalized_covariance)
+                            .collect::<Vec<f64>>()
+                    },
+                ));
+            }
+        }
+        for rep in 0..scale.replica_count() {
+            jobs.push(Job::new(format!("fig10/cable-modem/rep{rep}"), move |_| {
+                vec![cable_modem_run(scale, 300 + rep as u64 * 17)]
+            }));
+        }
+        jobs
+    }
+
+    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
         let mut t = Table::new(
             "fig10",
             "box summaries (min, q1, median, q3, max) of cov[θ0, θ̂0]p² per environment",
             vec!["env_index", "min", "q1", "median", "q3", "max"],
         );
-        let mut names: Vec<String> = Vec::new();
-        let push_box = |t: &mut Table, idx: usize, samples: &[f64]| {
-            if let Some(b) = FiveNumber::of(samples) {
+        let mut values = results.into_iter().map(take::<Vec<f64>>);
+        let names = environments();
+        for (idx, _) in names.iter().enumerate() {
+            let mut samples = Vec::new();
+            for _ in 0..scale.replica_count() {
+                samples.extend(values.next().expect("grid/result length mismatch"));
+            }
+            if let Some(b) = FiveNumber::of(&samples) {
                 t.push_row(vec![idx as f64, b.min, b.q1, b.median, b.q3, b.max]);
             }
-        };
-        let mut idx = 0usize;
-        // Lab environments.
-        for (name, queue) in lab_queues() {
-            let mut samples = Vec::new();
-            for rep in 0..scale.replicas {
-                let m = lab_run(queue.clone(), 4, scale, 100 + rep as u64 * 7);
-                samples.extend(m.tfrc_valid().map(|f| f.normalized_covariance));
-            }
-            push_box(&mut t, idx, &samples);
-            names.push(format!("lab/{name}"));
-            idx += 1;
         }
-        // Internet sites.
-        for site in &sites() {
-            let mut samples = Vec::new();
-            for rep in 0..scale.replicas {
-                let m = site_run(site, 2, scale, 200 + rep as u64 * 13);
-                samples.extend(m.tfrc_valid().map(|f| f.normalized_covariance));
-            }
-            push_box(&mut t, idx, &samples);
-            names.push(format!("internet/{}", site.name));
-            idx += 1;
-        }
-        // Cable modem.
-        let samples: Vec<f64> = (0..scale.replicas)
-            .map(|rep| cable_modem_run(scale, 300 + rep as u64 * 17))
-            .collect();
-        push_box(&mut t, idx, &samples);
-        names.push("cable-modem".into());
         t.caption = format!("{} — envs: {}", t.caption, names.join(", "));
         vec![t]
     }
@@ -108,5 +134,12 @@ mod tests {
             near_zero * 2 >= medians.len(),
             "medians not concentrated near zero: {medians:?}"
         );
+    }
+
+    #[test]
+    fn eight_environments_enumerate() {
+        assert_eq!(environments().len(), 8);
+        assert_eq!(environments()[0], "lab/droptail64");
+        assert_eq!(environments()[7], "cable-modem");
     }
 }

@@ -5,10 +5,15 @@
 //! few-flows regime of Claim 4 where TCP's sawtooth hits the buffer far
 //! more often than TFRC's smooth rate. Right panel: one TCP **and** one
 //! TFRC sharing. Both show `p'/p > 1`: TFRC sees fewer loss events.
+//!
+//! Each protocol-alone run and each sharing run is its own job (three
+//! jobs per `(buffer, replica)` point).
 
-use crate::registry::{Experiment, Scale};
+use crate::figures::mean;
+use crate::registry::{replica_seed, Experiment, Scale};
 use crate::scenarios::{DumbbellConfig, DumbbellRun, QueueSpec};
 use crate::series::Table;
+use ebrc_runner::{take, Job, JobOutput};
 
 fn buffers(quick: bool) -> Vec<usize> {
     if quick {
@@ -18,24 +23,27 @@ fn buffers(quick: bool) -> Vec<usize> {
     }
 }
 
-fn isolation_rates(buffer: usize, scale: Scale, seed: u64) -> (f64, f64) {
-    // One TCP alone.
+/// One TCP alone on the bottleneck: its loss-event rate.
+fn tcp_alone_rate(buffer: usize, scale: Scale, seed: u64) -> f64 {
     let mut cfg = DumbbellConfig::lab_paper(0, QueueSpec::DropTail(buffer), seed);
     cfg.n_tcp = 1;
     cfg.n_tfrc = 0;
     let mut run = DumbbellRun::build(&cfg);
     let m = run.measure(scale.sim_warmup, scale.sim_span);
-    let p_tcp = m.tcp_mean(|f| f.loss_event_rate);
-    // One TFRC alone.
-    let mut cfg = DumbbellConfig::lab_paper(0, QueueSpec::DropTail(buffer), seed + 1);
+    m.tcp_mean(|f| f.loss_event_rate)
+}
+
+/// One TFRC alone on the bottleneck: its loss-event rate.
+fn tfrc_alone_rate(buffer: usize, scale: Scale, seed: u64) -> f64 {
+    let mut cfg = DumbbellConfig::lab_paper(0, QueueSpec::DropTail(buffer), seed);
     cfg.n_tcp = 0;
     cfg.n_tfrc = 1;
     let mut run = DumbbellRun::build(&cfg);
     let m = run.measure(scale.sim_warmup, scale.sim_span);
-    let p_tfrc = m.tfrc_mean(|f| f.loss_event_rate);
-    (p_tcp, p_tfrc)
+    m.tfrc_mean(|f| f.loss_event_rate)
 }
 
+/// One TCP and one TFRC sharing: `(p_tcp, p_tfrc)`.
 fn sharing_rates(buffer: usize, scale: Scale, seed: u64) -> (f64, f64) {
     let cfg = DumbbellConfig::lab_paper(1, QueueSpec::DropTail(buffer), seed);
     let mut run = DumbbellRun::build(&cfg);
@@ -62,7 +70,29 @@ impl Experiment for Fig17 {
         "Figure 17 / Claim 4"
     }
 
-    fn run(&self, scale: Scale) -> Vec<Table> {
+    fn jobs(&self, scale: Scale) -> Vec<Job> {
+        let mut jobs = Vec::new();
+        for (i, &b) in buffers(scale.quick).iter().enumerate() {
+            for rep in 0..scale.replica_count() {
+                let iso_seed = replica_seed(170 + i as u64 * 3, rep);
+                let shared_seed = replica_seed(270 + i as u64 * 3, rep);
+                jobs.push(Job::new(
+                    format!("fig17/iso-tcp/b{b}/rep{rep}"),
+                    move |_| tcp_alone_rate(b, scale, iso_seed),
+                ));
+                jobs.push(Job::new(
+                    format!("fig17/iso-tfrc/b{b}/rep{rep}"),
+                    move |_| tfrc_alone_rate(b, scale, iso_seed + 1),
+                ));
+                jobs.push(Job::new(format!("fig17/shared/b{b}/rep{rep}"), move |_| {
+                    sharing_rates(b, scale, shared_seed)
+                }));
+            }
+        }
+        jobs
+    }
+
+    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
         let mut iso = Table::new(
             "fig17/isolation",
             "each protocol alone on the bottleneck",
@@ -73,14 +103,27 @@ impl Experiment for Fig17 {
             "one TCP and one TFRC sharing the bottleneck",
             vec!["buffer", "p_tcp", "p_tfrc", "ratio"],
         );
-        for (i, &b) in buffers(scale.quick).iter().enumerate() {
-            let (pt, pf) = isolation_rates(b, scale, 170 + i as u64 * 3);
-            if pf > 0.0 {
-                iso.push_row(vec![b as f64, pt, pf, pt / pf]);
+        let mut results = results.into_iter();
+        for &b in &buffers(scale.quick) {
+            let mut iso_pairs: Vec<(f64, f64)> = Vec::new();
+            let mut shared_pairs: Vec<(f64, f64)> = Vec::new();
+            for _ in 0..scale.replica_count() {
+                let pt = take::<f64>(results.next().expect("grid/result length mismatch"));
+                let pf = take::<f64>(results.next().expect("grid/result length mismatch"));
+                iso_pairs.push((pt, pf));
+                shared_pairs.push(take::<(f64, f64)>(
+                    results.next().expect("grid/result length mismatch"),
+                ));
             }
-            let (pt, pf) = sharing_rates(b, scale, 270 + i as u64 * 3);
-            if pf > 0.0 {
-                shared.push_row(vec![b as f64, pt, pf, pt / pf]);
+            for (pairs, table) in [(iso_pairs, &mut iso), (shared_pairs, &mut shared)] {
+                let valid: Vec<(f64, f64)> =
+                    pairs.into_iter().filter(|(_, pf)| *pf > 0.0).collect();
+                if !valid.is_empty() {
+                    let pt = mean(&valid.iter().map(|v| v.0).collect::<Vec<_>>());
+                    let pf = mean(&valid.iter().map(|v| v.1).collect::<Vec<_>>());
+                    let ratio = mean(&valid.iter().map(|v| v.0 / v.1).collect::<Vec<_>>());
+                    table.push_row(vec![b as f64, pt, pf, ratio]);
+                }
             }
         }
         vec![iso, shared]

@@ -7,11 +7,16 @@
 //! Poisson background load that stands in for Internet cross-traffic
 //! (30 % of capacity). UMELB gets a small buffer relative to its huge
 //! bandwidth-delay product, reproducing its bursty (batchy) losses.
+//!
+//! Each `(site, pair count, replica)` point is one runner job; reducers
+//! average the per-replica measurements.
 
 use crate::breakdown::Breakdown;
-use crate::registry::{Experiment, Scale};
+use crate::figures::mean;
+use crate::registry::{replica_seed, Experiment, Scale};
 use crate::scenarios::{DumbbellConfig, DumbbellRun, QueueSpec, RunMeasurements};
 use crate::series::Table;
+use ebrc_runner::{take, Job, JobOutput};
 use ebrc_tfrc::FormulaKind;
 
 /// A synthetic Table-I site.
@@ -112,6 +117,20 @@ fn pair_list(quick: bool) -> Vec<usize> {
     }
 }
 
+/// The `(site, pairs, replica)` grid shared by Figures 11 and 12–15, in
+/// table order.
+fn grid(scale: Scale) -> Vec<(usize, usize, usize)> {
+    let mut points = Vec::new();
+    for si in 0..sites().len() {
+        for &n in &pair_list(scale.quick) {
+            for rep in 0..scale.replica_count() {
+                points.push((si, n, rep));
+            }
+        }
+    }
+    points
+}
+
 /// Table I reproduction.
 pub struct Table1;
 
@@ -128,22 +147,28 @@ impl Experiment for Table1 {
         "Table I"
     }
 
-    fn run(&self, _scale: Scale) -> Vec<Table> {
-        let mut t = Table::new(
-            "table1",
-            "site parameters: access Mb/s, hops, base RTT (ms), buffer (pkts)",
-            vec!["site_index", "mbps", "hops", "rtt_ms", "buffer"],
-        );
-        for (i, s) in sites().iter().enumerate() {
-            t.push_row(vec![
-                i as f64,
-                s.access_bps / 1e6,
-                s.hops as f64,
-                s.rtt * 1e3,
-                s.buffer as f64,
-            ]);
-        }
-        vec![t]
+    fn jobs(&self, _scale: Scale) -> Vec<Job> {
+        vec![Job::new("table1/sites", |_| {
+            let mut t = Table::new(
+                "table1",
+                "site parameters: access Mb/s, hops, base RTT (ms), buffer (pkts)",
+                vec!["site_index", "mbps", "hops", "rtt_ms", "buffer"],
+            );
+            for (i, s) in sites().iter().enumerate() {
+                t.push_row(vec![
+                    i as f64,
+                    s.access_bps / 1e6,
+                    s.hops as f64,
+                    s.rtt * 1e3,
+                    s.buffer as f64,
+                ]);
+            }
+            t
+        })]
+    }
+
+    fn reduce(&self, _scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
+        results.into_iter().map(take::<Table>).collect()
     }
 }
 
@@ -163,21 +188,44 @@ impl Experiment for Fig11 {
         "Figure 11"
     }
 
-    fn run(&self, scale: Scale) -> Vec<Table> {
+    fn jobs(&self, scale: Scale) -> Vec<Job> {
+        grid(scale)
+            .into_iter()
+            .map(|(si, n, rep)| {
+                let name = sites()[si].name;
+                Job::new(format!("fig11/{name}/n{n}/rep{rep}"), move |_| {
+                    let site = sites()[si];
+                    let base = 7_000 + si as u64 * 97 + n as u64;
+                    let m = site_run(&site, n, scale, replica_seed(base, rep));
+                    (
+                        m.tfrc_valid_mean(|f| f.loss_event_rate),
+                        m.tfrc_valid_mean(|f| f.throughput),
+                        m.tcp_valid_mean(|f| f.throughput),
+                    )
+                })
+            })
+            .collect()
+    }
+
+    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
+        let mut values = results.into_iter().map(take::<(f64, f64, f64)>);
         let mut tables = Vec::new();
-        for (si, site) in sites().iter().enumerate() {
+        for site in &sites() {
             let mut t = Table::new(
                 format!("fig11/{}", site.name),
                 format!("x̄/x̄' vs p at {}", site.name),
                 vec!["pairs", "p", "throughput_ratio"],
             );
             for &n in &pair_list(scale.quick) {
-                let m = site_run(site, n, scale, 7_000 + si as u64 * 97 + n as u64);
-                let x = m.tfrc_valid_mean(|f| f.throughput);
-                let x_tcp = m.tcp_valid_mean(|f| f.throughput);
-                let p = m.tfrc_valid_mean(|f| f.loss_event_rate);
-                if x_tcp > 0.0 && p > 0.0 {
-                    t.push_row(vec![n as f64, p, x / x_tcp]);
+                let reps: Vec<(f64, f64)> = (0..scale.replica_count())
+                    .map(|_| values.next().expect("grid/result length mismatch"))
+                    .filter(|(p, _, x_tcp)| *x_tcp > 0.0 && *p > 0.0)
+                    .map(|(p, x, x_tcp)| (p, x / x_tcp))
+                    .collect();
+                if !reps.is_empty() {
+                    let p = mean(&reps.iter().map(|r| r.0).collect::<Vec<_>>());
+                    let ratio = mean(&reps.iter().map(|r| r.1).collect::<Vec<_>>());
+                    t.push_row(vec![n as f64, p, ratio]);
                 }
             }
             tables.push(t);
@@ -202,9 +250,34 @@ impl Experiment for Fig12to15 {
         "Figures 12, 13, 14, 15"
     }
 
-    fn run(&self, scale: Scale) -> Vec<Table> {
+    fn jobs(&self, scale: Scale) -> Vec<Job> {
+        grid(scale)
+            .into_iter()
+            .map(|(si, n, rep)| {
+                let name = sites()[si].name;
+                Job::new(format!("fig12-15/{name}/n{n}/rep{rep}"), move |_| {
+                    let site = sites()[si];
+                    let base = 8_000 + si as u64 * 131 + n as u64;
+                    let m = site_run(&site, n, scale, replica_seed(base, rep));
+                    Breakdown::from_measurements(&m).map(|b| {
+                        [
+                            b.p,
+                            b.conservativeness,
+                            b.loss_rate_ratio,
+                            b.rtt_ratio,
+                            b.tcp_obedience,
+                            b.friendliness,
+                        ]
+                    })
+                })
+            })
+            .collect()
+    }
+
+    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
+        let mut values = results.into_iter().map(take::<Option<[f64; 6]>>);
         let mut tables = Vec::new();
-        for (si, site) in sites().iter().enumerate() {
+        for site in &sites() {
             let mut t = Table::new(
                 format!("fig12-15/{}", site.name),
                 format!(
@@ -222,18 +295,17 @@ impl Experiment for Fig12to15 {
                 ],
             );
             for &n in &pair_list(scale.quick) {
-                let m = site_run(site, n, scale, 8_000 + si as u64 * 131 + n as u64);
-                if let Some(b) = Breakdown::from_measurements(&m) {
-                    t.push_row(vec![
-                        n as f64,
-                        b.p,
-                        b.conservativeness,
-                        b.loss_rate_ratio,
-                        b.rtt_ratio,
-                        b.tcp_obedience,
-                        b.friendliness,
-                    ]);
+                let reps: Vec<[f64; 6]> = (0..scale.replica_count())
+                    .filter_map(|_| values.next().expect("grid/result length mismatch"))
+                    .collect();
+                if reps.is_empty() {
+                    continue;
                 }
+                let mut row = vec![n as f64];
+                for c in 0..6 {
+                    row.push(mean(&reps.iter().map(|r| r[c]).collect::<Vec<_>>()));
+                }
+                t.push_row(row);
             }
             tables.push(t);
         }

@@ -4,12 +4,17 @@
 //! Setup per the paper: 10 Mb/s bottleneck, 25 ms each-way delay stage,
 //! PFTK-standard, `L = 8`, comprehensive control disabled, N TFRC + N
 //! TCP with N ∈ {1, 2, 4, 6, 9, 12, 16, 20, 25, 30, 36}.
+//!
+//! Each `(queue, N, replica)` point is one runner job; reducers average
+//! over `Scale::replicas`.
 
 use crate::breakdown::Breakdown;
-use crate::registry::{Experiment, Scale};
+use crate::figures::mean;
+use crate::registry::{replica_seed, Experiment, Scale};
 use crate::scenarios::{DumbbellConfig, DumbbellRun, QueueSpec, RunMeasurements};
 use crate::series::Table;
 use ebrc_net::RedConfig;
+use ebrc_runner::{take, Job, JobOutput};
 
 fn n_list(quick: bool) -> Vec<usize> {
     if quick {
@@ -37,6 +42,20 @@ pub fn lab_run(queue: QueueSpec, n: usize, scale: Scale, seed: u64) -> RunMeasur
     run.measure(scale.sim_warmup, scale.sim_span)
 }
 
+/// The `(queue index, N, replica)` grid of Figures 16 and 18–19 (the
+/// two Figure-16 queues: DropTail 100 and RED), in table order.
+fn grid(scale: Scale) -> Vec<(usize, usize, usize)> {
+    let mut points = Vec::new();
+    for qi in 1..lab_queues().len() {
+        for &n in &n_list(scale.quick) {
+            for rep in 0..scale.replica_count() {
+                points.push((qi, n, rep));
+            }
+        }
+    }
+    points
+}
+
 /// Figure 16 reproduction.
 pub struct Fig16;
 
@@ -53,21 +72,43 @@ impl Experiment for Fig16 {
         "Figure 16"
     }
 
-    fn run(&self, scale: Scale) -> Vec<Table> {
+    fn jobs(&self, scale: Scale) -> Vec<Job> {
+        grid(scale)
+            .into_iter()
+            .map(|(qi, n, rep)| {
+                let (name, _) = lab_queues()[qi];
+                Job::new(format!("fig16/{name}/n{n}/rep{rep}"), move |_| {
+                    let (_, queue) = lab_queues().remove(qi);
+                    let m = lab_run(queue, n, scale, replica_seed(16_000 + n as u64, rep));
+                    (
+                        m.tfrc_valid_mean(|f| f.loss_event_rate),
+                        m.tfrc_valid_mean(|f| f.throughput),
+                        m.tcp_valid_mean(|f| f.throughput),
+                    )
+                })
+            })
+            .collect()
+    }
+
+    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
+        let mut values = results.into_iter().map(take::<(f64, f64, f64)>);
         let mut tables = Vec::new();
-        for (name, queue) in lab_queues().into_iter().skip(1) {
+        for (name, _) in lab_queues().into_iter().skip(1) {
             let mut t = Table::new(
                 format!("fig16/{name}"),
                 format!("x̄/x̄' vs p over {name}"),
                 vec!["pairs", "p", "throughput_ratio"],
             );
             for &n in &n_list(scale.quick) {
-                let m = lab_run(queue.clone(), n, scale, 16_000 + n as u64);
-                let x = m.tfrc_valid_mean(|f| f.throughput);
-                let x_tcp = m.tcp_valid_mean(|f| f.throughput);
-                let p = m.tfrc_valid_mean(|f| f.loss_event_rate);
-                if x_tcp > 0.0 && p > 0.0 {
-                    t.push_row(vec![n as f64, p, x / x_tcp]);
+                let reps: Vec<(f64, f64)> = (0..scale.replica_count())
+                    .map(|_| values.next().expect("grid/result length mismatch"))
+                    .filter(|(p, _, x_tcp)| *x_tcp > 0.0 && *p > 0.0)
+                    .map(|(p, x, x_tcp)| (p, x / x_tcp))
+                    .collect();
+                if !reps.is_empty() {
+                    let p = mean(&reps.iter().map(|r| r.0).collect::<Vec<_>>());
+                    let ratio = mean(&reps.iter().map(|r| r.1).collect::<Vec<_>>());
+                    t.push_row(vec![n as f64, p, ratio]);
                 }
             }
             tables.push(t);
@@ -92,9 +133,33 @@ impl Experiment for Fig18to19 {
         "Figures 18, 19"
     }
 
-    fn run(&self, scale: Scale) -> Vec<Table> {
+    fn jobs(&self, scale: Scale) -> Vec<Job> {
+        grid(scale)
+            .into_iter()
+            .map(|(qi, n, rep)| {
+                let (name, _) = lab_queues()[qi];
+                Job::new(format!("fig18-19/{name}/n{n}/rep{rep}"), move |_| {
+                    let (_, queue) = lab_queues().remove(qi);
+                    let m = lab_run(queue, n, scale, replica_seed(18_000 + n as u64, rep));
+                    Breakdown::from_measurements(&m).map(|b| {
+                        [
+                            b.p,
+                            b.conservativeness,
+                            b.loss_rate_ratio,
+                            b.rtt_ratio,
+                            b.tcp_obedience,
+                            b.friendliness,
+                        ]
+                    })
+                })
+            })
+            .collect()
+    }
+
+    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
+        let mut values = results.into_iter().map(take::<Option<[f64; 6]>>);
         let mut tables = Vec::new();
-        for (name, queue) in lab_queues().into_iter().skip(1) {
+        for (name, _) in lab_queues().into_iter().skip(1) {
             let mut t = Table::new(
                 format!("fig18-19/{name}"),
                 format!("breakdown over {name}: x̄/f(p,r), p'/p, r'/r, x̄'/f(p',r')"),
@@ -109,18 +174,17 @@ impl Experiment for Fig18to19 {
                 ],
             );
             for &n in &n_list(scale.quick) {
-                let m = lab_run(queue.clone(), n, scale, 18_000 + n as u64);
-                if let Some(b) = Breakdown::from_measurements(&m) {
-                    t.push_row(vec![
-                        n as f64,
-                        b.p,
-                        b.conservativeness,
-                        b.loss_rate_ratio,
-                        b.rtt_ratio,
-                        b.tcp_obedience,
-                        b.friendliness,
-                    ]);
+                let reps: Vec<[f64; 6]> = (0..scale.replica_count())
+                    .filter_map(|_| values.next().expect("grid/result length mismatch"))
+                    .collect();
+                if reps.is_empty() {
+                    continue;
                 }
+                let mut row = vec![n as f64];
+                for c in 0..6 {
+                    row.push(mean(&reps.iter().map(|r| r[c]).collect::<Vec<_>>()));
+                }
+                t.push_row(row);
             }
             tables.push(t);
         }

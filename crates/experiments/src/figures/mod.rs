@@ -11,3 +11,13 @@ pub mod fig10;
 pub mod fig17;
 pub mod internet;
 pub mod lab;
+
+/// Arithmetic mean of the replica values of one sweep point (0 when no
+/// replica was valid) — the shared reducer primitive.
+pub(crate) fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}

@@ -1,20 +1,24 @@
 //! Reproduction harness: regenerates every table and figure of
 //! *“On the Long-Run Behavior of Equation-Based Rate Control”*.
 //!
-//! Each experiment implements [`Experiment`] and returns [`Table`]s with
-//! the same rows/series the paper reports. The full catalogue (the
-//! experiment index of DESIGN.md) is in [`registry::all_experiments`];
-//! the `repro` binary runs any of them:
+//! Each experiment implements [`Experiment`] as a job graph:
+//! [`Experiment::jobs`] decomposes it into labelled units (scenario ×
+//! parameter point × replica) and [`Experiment::reduce`] merges their
+//! outputs into [`Table`]s with the same rows/series the paper reports
+//! — in a fixed, thread-count-independent order. The catalogue runs
+//! sequentially ([`Experiment::run`]) or on a work-stealing pool
+//! ([`par_run`], [`par_run_all`]) with byte-identical output either
+//! way. The `repro` binary runs any of it:
 //!
 //! ```text
 //! cargo run -p ebrc-experiments --release --bin repro -- --list
 //! cargo run -p ebrc-experiments --release --bin repro -- fig03
-//! cargo run -p ebrc-experiments --release --bin repro -- all --scale quick
+//! cargo run -p ebrc-experiments --release --bin repro -- all --scale quick --threads 8
 //! ```
 //!
 //! Scales: `quick` keeps every experiment in seconds (the bench
-//! default); `paper` uses event counts and durations comparable to the
-//! paper's (minutes of CPU).
+//! default); `paper` uses event counts, durations, and replica counts
+//! comparable to the paper's (minutes of CPU).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,5 +29,8 @@ pub mod registry;
 pub mod scenarios;
 pub mod series;
 
-pub use registry::{all_experiments, find_experiment, Experiment, Scale};
+pub use registry::{
+    all_experiments, find_experiment, par_run, par_run_all, par_run_catalogue, replica_seed,
+    Experiment, ExperimentFailure, ExperimentReport, Scale, MASTER_SEED,
+};
 pub use series::Table;

@@ -1,6 +1,34 @@
-//! Experiment catalogue and scaling.
+//! Experiment catalogue, scaling, and the parallel entry points.
+//!
+//! Every experiment is a *job graph*: [`Experiment::jobs`] decomposes
+//! it into independent, labelled units (scenario × parameter point ×
+//! replica) and [`Experiment::reduce`] merges the per-job results into
+//! [`Table`]s in a fixed, thread-count-independent order. The
+//! sequential [`Experiment::run`] and the pool-backed [`par_run`] /
+//! [`par_run_all`] therefore produce byte-identical tables — the
+//! determinism contract the test suite enforces.
 
 use crate::series::Table;
+use ebrc_runner::{panic_message, Job, JobOutput, Pool};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Master seed of the whole catalogue: the runner derives each job's
+/// [`JobCtx`](ebrc_runner::JobCtx) stream from `(MASTER_SEED, job
+/// label)` alone, so the stream never depends on scheduling. (The
+/// decomposed paper figures predate the runner and keep their
+/// historical per-point seeds — equally schedule-independent, and
+/// byte-compatible with the pre-runner tables; new experiments should
+/// draw from `ctx.rng()` instead.)
+pub const MASTER_SEED: u64 = 0x2002_5EED;
+
+/// Offsets a scenario's base seed for replica `rep` of a sweep point.
+///
+/// Replica 0 keeps the base seed unchanged, so single-replica runs
+/// reproduce the historical (pre-runner) figures exactly; further
+/// replicas move by a large odd stride to keep streams apart.
+pub fn replica_seed(base: u64, rep: usize) -> u64 {
+    base.wrapping_add(rep as u64 * 0x0010_0003)
+}
 
 /// Effort scaling for an experiment run.
 ///
@@ -22,19 +50,20 @@ pub struct Scale {
 }
 
 impl Scale {
-    /// Interactive scale: every experiment in seconds.
+    /// Interactive scale: every experiment in seconds. One replica per
+    /// point — spread is a paper-scale concern.
     pub fn quick() -> Self {
         Self {
             mc_events: 20_000,
             sim_warmup: 20.0,
             sim_span: 60.0,
-            replicas: 2,
+            replicas: 1,
             quick: true,
         }
     }
 
     /// Paper-comparable scale (the paper ran 2500 s with a 200 s
-    /// truncation).
+    /// truncation, 5 replicas per box).
     pub fn paper() -> Self {
         Self {
             mc_events: 200_000,
@@ -44,9 +73,14 @@ impl Scale {
             quick: false,
         }
     }
+
+    /// Replica count, never below one.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.max(1)
+    }
 }
 
-/// One reproducible artifact of the paper.
+/// One reproducible artifact of the paper, decomposed into a job grid.
 pub trait Experiment: Sync {
     /// Stable identifier (`fig03`, `table1`, `claim4`, `ablate01`, …).
     fn id(&self) -> &'static str;
@@ -57,8 +91,183 @@ pub trait Experiment: Sync {
     /// Where it appears in the paper.
     fn paper_ref(&self) -> &'static str;
 
-    /// Regenerates the artifact's data.
-    fn run(&self, scale: Scale) -> Vec<Table>;
+    /// Decomposes the experiment into independent jobs. Labels must be
+    /// unique across the catalogue (convention: prefixed with the
+    /// experiment id); the catalogue test enforces this.
+    fn jobs(&self, scale: Scale) -> Vec<Job>;
+
+    /// Merges job outputs — in the exact order [`Experiment::jobs`]
+    /// produced them — into the artifact's tables.
+    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table>;
+
+    /// Regenerates the artifact's data sequentially: runs every job in
+    /// submission order, then reduces. Byte-identical to [`par_run`] at
+    /// any thread count.
+    fn run(&self, scale: Scale) -> Vec<Table> {
+        let results = self
+            .jobs(scale)
+            .into_iter()
+            .map(|job| job.run(MASTER_SEED))
+            .collect();
+        self.reduce(scale, results)
+    }
+}
+
+/// Why an experiment failed under [`par_run`] / [`par_run_all`].
+#[derive(Debug)]
+pub struct ExperimentFailure {
+    /// Experiment id.
+    pub id: String,
+    /// `(job label, panic message)` for every job that panicked; empty
+    /// when the failure came from `jobs()`/`reduce()` itself.
+    pub failed_jobs: Vec<(String, String)>,
+    /// Panic message of `jobs()` or `reduce()` when that is what failed.
+    pub phase_error: Option<String>,
+}
+
+impl std::fmt::Display for ExperimentFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} failed", self.id)?;
+        if let Some(e) = &self.phase_error {
+            write!(f, ": {e}")?;
+        }
+        for (label, msg) in &self.failed_jobs {
+            write!(f, "; job {label} panicked: {msg}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One experiment's outcome in a catalogue run.
+pub struct ExperimentReport {
+    /// Experiment id.
+    pub id: &'static str,
+    /// Experiment title.
+    pub title: &'static str,
+    /// Paper reference.
+    pub paper_ref: &'static str,
+    /// Tables, or what went wrong.
+    pub outcome: Result<Vec<Table>, ExperimentFailure>,
+}
+
+/// Runs one experiment's jobs on the pool. The tables are byte-identical
+/// to [`Experiment::run`] regardless of the pool's thread count.
+pub fn par_run(
+    exp: &dyn Experiment,
+    scale: Scale,
+    pool: &Pool,
+) -> Result<Vec<Table>, ExperimentFailure> {
+    let mut reports = par_run_catalogue(vec![exp], scale, pool, |_, _| {});
+    reports.remove(0).outcome
+}
+
+/// Runs the whole catalogue as one flattened job grid on the pool:
+/// jobs from every experiment interleave freely across workers (the
+/// work-stealing keeps them busy through heterogeneous job sizes), and
+/// each experiment reduces as usual. A panicking job or reducer marks
+/// only its own experiment failed.
+pub fn par_run_all(
+    scale: Scale,
+    pool: &Pool,
+    progress: impl Fn(usize, usize) + Sync,
+) -> Vec<ExperimentReport> {
+    let experiments = all_experiments();
+    let refs: Vec<&dyn Experiment> = experiments.iter().map(|e| e.as_ref()).collect();
+    par_run_catalogue(refs, scale, pool, progress)
+}
+
+/// The flattened-grid core shared by [`par_run`] and [`par_run_all`].
+pub fn par_run_catalogue(
+    experiments: Vec<&dyn Experiment>,
+    scale: Scale,
+    pool: &Pool,
+    progress: impl Fn(usize, usize) + Sync,
+) -> Vec<ExperimentReport> {
+    // Phase 1: decompose. A panicking `jobs()` fails its experiment but
+    // not the sweep.
+    let mut job_lists: Vec<Result<Vec<Job>, String>> = Vec::with_capacity(experiments.len());
+    for exp in &experiments {
+        job_lists.push(
+            catch_unwind(AssertUnwindSafe(|| exp.jobs(scale)))
+                .map_err(|p| panic_message(p.as_ref())),
+        );
+    }
+
+    // Phase 2: flatten into one grid and execute. Labels travel beside
+    // the jobs so failures can be attributed.
+    let mut flat: Vec<Job> = Vec::new();
+    let mut spans: Vec<Option<(usize, usize)>> = Vec::with_capacity(experiments.len());
+    for jobs in &mut job_lists {
+        match jobs {
+            Ok(list) => {
+                let start = flat.len();
+                flat.append(list);
+                spans.push(Some((start, flat.len())));
+            }
+            Err(_) => spans.push(None),
+        }
+    }
+    let labels: Vec<String> = flat.iter().map(|j| j.label().to_string()).collect();
+    let mut results: Vec<Option<std::thread::Result<JobOutput>>> =
+        ebrc_runner::job::run_jobs(pool, MASTER_SEED, flat, progress)
+            .into_iter()
+            .map(Some)
+            .collect();
+
+    // Phase 3: regroup per experiment and reduce.
+    experiments
+        .into_iter()
+        .zip(job_lists)
+        .zip(spans)
+        .map(|((exp, jobs), span)| {
+            let outcome = match span {
+                None => {
+                    let msg = jobs.err().unwrap_or_else(|| "decomposition failed".into());
+                    Err(ExperimentFailure {
+                        id: exp.id().to_string(),
+                        failed_jobs: Vec::new(),
+                        phase_error: Some(format!("jobs() panicked: {msg}")),
+                    })
+                }
+                Some((start, end)) => {
+                    let mut failed = Vec::new();
+                    let mut outputs = Vec::with_capacity(end - start);
+                    for idx in start..end {
+                        match results[idx].take().expect("each slot consumed once") {
+                            Ok(out) => outputs.push(out),
+                            Err(p) => {
+                                failed.push((labels[idx].clone(), panic_message(p.as_ref())));
+                            }
+                        }
+                    }
+                    if failed.is_empty() {
+                        catch_unwind(AssertUnwindSafe(|| exp.reduce(scale, outputs))).map_err(|p| {
+                            ExperimentFailure {
+                                id: exp.id().to_string(),
+                                failed_jobs: Vec::new(),
+                                phase_error: Some(format!(
+                                    "reduce panicked: {}",
+                                    panic_message(p.as_ref())
+                                )),
+                            }
+                        })
+                    } else {
+                        Err(ExperimentFailure {
+                            id: exp.id().to_string(),
+                            failed_jobs: failed,
+                            phase_error: None,
+                        })
+                    }
+                }
+            };
+            ExperimentReport {
+                id: exp.id(),
+                title: exp.title(),
+                paper_ref: exp.paper_ref(),
+                outcome,
+            }
+        })
+        .collect()
 }
 
 /// Every experiment, in paper order.
@@ -122,5 +331,78 @@ mod tests {
         assert!(find_experiment("fig03").is_some());
         assert!(find_experiment("nope").is_none());
         assert_eq!(find_experiment("claim4").unwrap().id(), "claim4");
+    }
+
+    #[test]
+    fn replica_zero_keeps_the_base_seed() {
+        assert_eq!(replica_seed(0x5eed, 0), 0x5eed);
+        assert_ne!(replica_seed(0x5eed, 1), 0x5eed);
+        assert_ne!(replica_seed(0x5eed, 1), replica_seed(0x5eed, 2));
+    }
+
+    /// A sweep member whose jobs fail in controlled ways, for the
+    /// catch-unwind plumbing.
+    struct Fragile {
+        broken_job: bool,
+    }
+
+    impl Experiment for Fragile {
+        fn id(&self) -> &'static str {
+            "fragile"
+        }
+        fn title(&self) -> &'static str {
+            "test double"
+        }
+        fn paper_ref(&self) -> &'static str {
+            "none"
+        }
+        fn jobs(&self, _scale: Scale) -> Vec<Job> {
+            let broken = self.broken_job;
+            vec![
+                Job::new("fragile/ok", |_| 1.0f64),
+                Job::new("fragile/maybe", move |_| {
+                    if broken {
+                        panic!("synthetic job failure");
+                    }
+                    2.0f64
+                }),
+            ]
+        }
+        fn reduce(&self, _scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
+            let mut t = Table::new("fragile", "test double", vec!["v"]);
+            for r in results {
+                t.push_row(vec![ebrc_runner::take::<f64>(r)]);
+            }
+            vec![t]
+        }
+    }
+
+    #[test]
+    fn a_panicking_job_fails_only_its_experiment() {
+        let good = Fragile { broken_job: false };
+        let bad = Fragile { broken_job: true };
+        let reports = par_run_catalogue(
+            vec![&good as &dyn Experiment, &bad as &dyn Experiment],
+            Scale::quick(),
+            &Pool::new(2),
+            |_, _| {},
+        );
+        assert!(reports[0].outcome.is_ok());
+        let failure = reports[1].outcome.as_ref().unwrap_err();
+        assert_eq!(failure.failed_jobs.len(), 1);
+        assert_eq!(failure.failed_jobs[0].0, "fragile/maybe");
+        assert!(failure.failed_jobs[0].1.contains("synthetic job failure"));
+        assert!(failure.to_string().contains("fragile/maybe"));
+    }
+
+    #[test]
+    fn par_run_matches_sequential_run_on_a_test_double() {
+        let exp = Fragile { broken_job: false };
+        let seq = exp.run(Scale::quick());
+        let par = par_run(&exp, Scale::quick(), &Pool::new(4)).unwrap();
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.to_json(), b.to_json());
+        }
     }
 }

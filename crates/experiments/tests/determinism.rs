@@ -1,0 +1,115 @@
+//! The runner's contract: `repro`-level tables are byte-identical at
+//! any thread count, and job labels (the RNG identities) never collide.
+//!
+//! The full-catalogue comparison runs at a tiny scale so the whole grid
+//! — including a replicated one — stays in test-suite territory; CI's
+//! `runner-determinism` job repeats the comparison at quick scale
+//! through the real binary.
+
+use ebrc_dist::Rng;
+use ebrc_experiments::{all_experiments, par_run, Experiment, Scale, MASTER_SEED};
+use ebrc_runner::Pool;
+use proptest::prelude::*;
+
+/// A scale small enough to run the whole catalogue three times over.
+fn tiny(replicas: usize) -> Scale {
+    Scale {
+        mc_events: 1_500,
+        sim_warmup: 4.0,
+        sim_span: 8.0,
+        replicas,
+        quick: true,
+    }
+}
+
+fn tables_json(exp: &dyn Experiment, scale: Scale, pool: &Pool) -> Vec<String> {
+    par_run(exp, scale, pool)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .iter()
+        .map(|t| t.to_json())
+        .collect()
+}
+
+#[test]
+fn catalogue_tables_identical_at_one_and_eight_threads() {
+    let one = Pool::new(1);
+    let eight = Pool::new(8);
+    let scale = tiny(1);
+    for exp in all_experiments() {
+        let sequential: Vec<String> = exp.run(scale).iter().map(|t| t.to_json()).collect();
+        let t1 = tables_json(exp.as_ref(), scale, &one);
+        let t8 = tables_json(exp.as_ref(), scale, &eight);
+        assert_eq!(t1, t8, "{}: 1 vs 8 threads diverged", exp.id());
+        assert_eq!(
+            sequential,
+            t1,
+            "{}: sequential run vs pool diverged",
+            exp.id()
+        );
+    }
+}
+
+#[test]
+fn replicated_grids_identical_across_thread_counts() {
+    // Two replicas exercise the replica grids off the rep-0 path; the
+    // subset covers the three replica-reduce shapes (per-point
+    // averaging with validity filters, heterogeneous job kinds per
+    // point, option-valued rows).
+    let scale = tiny(2);
+    let one = Pool::new(1);
+    let five = Pool::new(5);
+    for id in ["fig05", "fig17", "fig11"] {
+        let exp = ebrc_experiments::find_experiment(id).unwrap();
+        let a = tables_json(exp.as_ref(), scale, &one);
+        let b = tables_json(exp.as_ref(), scale, &five);
+        assert_eq!(a, b, "{id}: replicated grid diverged");
+    }
+}
+
+#[test]
+fn job_labels_are_unique_and_collision_free_across_the_catalogue() {
+    for scale in [tiny(1), tiny(3), Scale::quick(), Scale::paper()] {
+        let mut labels = std::collections::HashSet::new();
+        let mut streams = std::collections::HashSet::new();
+        for exp in all_experiments() {
+            for job in exp.jobs(scale) {
+                assert!(
+                    labels.insert(job.label().to_string()),
+                    "duplicate job label {}",
+                    job.label()
+                );
+                // The label *is* the RNG identity: first draws must be
+                // pairwise distinct over the whole grid.
+                let first = Rng::from_label(MASTER_SEED, job.label()).next_u64();
+                assert!(
+                    streams.insert(first),
+                    "RNG stream collision at {}",
+                    job.label()
+                );
+            }
+        }
+        assert!(
+            labels.len() > 100,
+            "suspiciously small grid: {}",
+            labels.len()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Property: for any thread count, a cheap analytic experiment and
+    /// a stochastic Monte-Carlo experiment reduce to the same bytes.
+    #[test]
+    fn any_thread_count_reproduces_fig01_and_ablate_phase(threads in 1usize..12) {
+        let pool = Pool::new(threads);
+        let scale = tiny(1);
+        for id in ["fig01", "ablate-phase", "claim4"] {
+            let exp = ebrc_experiments::find_experiment(id).unwrap();
+            let seq: Vec<String> = exp.run(scale).iter().map(|t| t.to_json()).collect();
+            let par = tables_json(exp.as_ref(), scale, &pool);
+            prop_assert_eq!(&seq, &par, "{} diverged at {} threads", id, threads);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! End-to-end checks of the `repro` binary: flag parsing, output
+//! spooling (directory creation included), and exit codes.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro-cli-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn list_names_the_catalogue() {
+    let out = repro().arg("--list").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for id in ["fig03", "table1", "claim4", "ablate-phase"] {
+        assert!(text.contains(id), "--list missing {id}");
+    }
+}
+
+#[test]
+fn unknown_experiment_exits_nonzero() {
+    let out = repro().arg("does-not-exist").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn bad_flags_exit_with_usage() {
+    for args in [
+        vec!["--scale", "warp"],
+        vec!["--threads", "0"],
+        vec!["--threads", "many"],
+        vec!["--frobnicate"],
+    ] {
+        let out = repro().args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+    }
+}
+
+#[test]
+fn out_dir_is_created_with_parents() {
+    // A nested path that does not exist: the CLI must create it instead
+    // of printing a write error per table.
+    let dir = scratch("nested").join("deep/ly/nested");
+    let out = repro().args(["fig01", "--out"]).arg(&dir).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mut files: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    files.sort();
+    assert_eq!(files, vec!["fig01_left.json", "fig01_right.json"]);
+    let _ = std::fs::remove_dir_all(scratch("nested"));
+}
+
+#[test]
+fn single_experiment_is_thread_count_invariant() {
+    // fig01 + fig02 are analytic (milliseconds); the heavyweight
+    // whole-catalogue comparison lives in the determinism test and the
+    // `runner-determinism` CI job.
+    for id in ["fig01", "fig02"] {
+        let one = repro()
+            .args([id, "--json", "--threads", "1"])
+            .output()
+            .unwrap();
+        let eight = repro()
+            .args([id, "--json", "--threads", "8"])
+            .output()
+            .unwrap();
+        assert!(one.status.success() && eight.status.success());
+        assert_eq!(one.stdout, eight.stdout, "{id} diverged across threads");
+    }
+}
+
+#[test]
+fn env_var_sets_the_thread_count() {
+    let out = repro()
+        .args(["fig01"])
+        .env("EBRC_THREADS", "3")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("3 thread(s)"), "stderr: {err}");
+}
+
+#[test]
+fn progress_line_reports_job_completion() {
+    let out = repro()
+        .args(["fig01", "--progress", "--threads", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("# progress 2/2 jobs"), "stderr: {err}");
+}
+
+#[test]
+fn bench_runner_writes_the_artifact() {
+    let dir = scratch("bench");
+    let path = dir.join("deep/BENCH_runner.json");
+    let out = repro()
+        .args(["bench-runner", "--scale", "tiny", "--bench-json"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("\"jobs\""), "artifact: {text}");
+    assert!(text.contains("\"speedup\""), "artifact: {text}");
+    assert!(text.contains("\"threads\": 1"), "artifact: {text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,25 @@
+//! Deterministic job-graph runner.
+//!
+//! The paper's results are Monte-Carlo sweeps over (scenario ×
+//! parameter point × replica). This crate turns each point of such a
+//! sweep into a [`Job`] — a labelled, self-contained closure with its
+//! own RNG stream derived from `(master seed, label)` alone — and
+//! executes job sets on a [`Pool`] of work-stealing workers built from
+//! `std` primitives only (the build environment is offline).
+//!
+//! The contract that makes parallelism safe for a *reproduction* is
+//! determinism: results come back in job-submission order, every job's
+//! randomness is a pure function of its label, and a panicking job is
+//! captured per-slot rather than tearing the sweep down. Together this
+//! makes the output of a sweep byte-identical at any thread count —
+//! `--threads 1` and `--threads 8` must (and do) produce the same
+//! tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod job;
+pub mod pool;
+
+pub use job::{take, Job, JobCtx, JobOutput};
+pub use pool::{default_threads, panic_message, Pool};

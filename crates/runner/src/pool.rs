@@ -1,0 +1,279 @@
+//! A work-stealing thread pool over `std` primitives.
+//!
+//! The pool executes a *static* batch of tasks: indices are dealt
+//! round-robin onto per-worker deques up front, each worker drains its
+//! own deque from the front, and an idle worker steals from the back of
+//! its peers. Because tasks never spawn tasks, one full fruitless
+//! victim scan means the batch is exhausted and the worker retires.
+//!
+//! Results are written into per-task slots, so the returned vector is
+//! in task-submission order no matter which worker ran what — the
+//! determinism half of the runner's contract. Panics are caught per
+//! task ([`std::thread::Result`] slots), the fault-isolation half.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of workers to use when the caller does not say: the machine's
+/// available parallelism (1 if that cannot be determined).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Renders a panic payload (as captured by `catch_unwind`) as text.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A fixed-width work-stealing pool.
+///
+/// `Pool` holds no threads between runs — workers are scoped to each
+/// [`Pool::run`] call, so a pool is cheap to create and freely shared.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// Creates a pool that runs batches on `threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "a pool needs at least one worker");
+        Self { threads }
+    }
+
+    /// A pool sized to the machine ([`default_threads`]).
+    pub fn with_default_threads() -> Self {
+        Self::new(default_threads())
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes every task, returning results in task order.
+    ///
+    /// A panicking task yields `Err(payload)` in its slot and does not
+    /// affect its neighbours or its worker.
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<std::thread::Result<T>>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        self.run_with_progress(tasks, |_, _| {})
+    }
+
+    /// [`Pool::run`] with a completion callback: `progress(done, total)`
+    /// fires after each task finishes (from the finishing worker's
+    /// thread).
+    pub fn run_with_progress<T, F, P>(
+        &self,
+        tasks: Vec<F>,
+        progress: P,
+    ) -> Vec<std::thread::Result<T>>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+        P: Fn(usize, usize) + Sync,
+    {
+        let total = tasks.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(total);
+        // One slot per task for the closure and for its result; a task
+        // is claimed by taking it out of its slot, so it runs at most
+        // once even if an index were ever handed out twice.
+        let task_slots: Vec<Mutex<Option<F>>> =
+            tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let result_slots: Vec<Mutex<Option<std::thread::Result<T>>>> =
+            (0..total).map(|_| Mutex::new(None)).collect();
+        // Deal indices round-robin so neighbouring (often similarly
+        // sized) jobs spread across workers from the start.
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| Mutex::new((w..total).step_by(workers).collect()))
+            .collect();
+        let done = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let queues = &queues;
+                let task_slots = &task_slots;
+                let result_slots = &result_slots;
+                let done = &done;
+                let progress = &progress;
+                scope.spawn(move || {
+                    while let Some(idx) = pop_or_steal(queues, w) {
+                        let task = task_slots[idx]
+                            .lock()
+                            .expect("task slot poisoned")
+                            .take()
+                            .expect("task index dequeued twice");
+                        let result = catch_unwind(AssertUnwindSafe(task));
+                        *result_slots[idx].lock().expect("result slot poisoned") = Some(result);
+                        let finished = done.fetch_add(1, Ordering::AcqRel) + 1;
+                        progress(finished, total);
+                    }
+                });
+            }
+        });
+
+        result_slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every task slot filled before the scope ends")
+            })
+            .collect()
+    }
+}
+
+/// Pops from the worker's own deque front, or steals from the back of
+/// the first non-empty peer. `None` means the whole batch is drained.
+fn pop_or_steal(queues: &[Mutex<VecDeque<usize>>], own: usize) -> Option<usize> {
+    if let Some(idx) = queues[own].lock().expect("queue poisoned").pop_front() {
+        return Some(idx);
+    }
+    let n = queues.len();
+    for offset in 1..n {
+        let victim = (own + offset) % n;
+        if let Some(idx) = queues[victim].lock().expect("queue poisoned").pop_back() {
+            return Some(idx);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let pool = Pool::new(4);
+        let tasks: Vec<_> = (0..64).map(|i| move || i * i).collect();
+        let out = pool.run(tasks);
+        for (i, r) in out.into_iter().enumerate() {
+            assert_eq!(r.unwrap(), i * i);
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = AtomicU64::new(0);
+        let pool = Pool::new(3);
+        let tasks: Vec<_> = (0..100)
+            .map(|_| {
+                let counter = &counter;
+                move || counter.fetch_add(1, Ordering::Relaxed)
+            })
+            .collect();
+        let out = pool.run(tasks);
+        assert_eq!(out.len(), 100);
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let run = |threads| {
+            let tasks: Vec<_> = (0..33u64)
+                .map(|i| move || i.wrapping_mul(0x9E37_79B9).rotate_left(13))
+                .collect();
+            Pool::new(threads)
+                .run(tasks)
+                .into_iter()
+                .map(|r| r.unwrap())
+                .collect::<Vec<_>>()
+        };
+        let one = run(1);
+        for threads in [2, 3, 8, 16] {
+            assert_eq!(run(threads), one, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn panic_is_captured_per_slot() {
+        let pool = Pool::new(2);
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("job exploded")),
+            Box::new(|| 3),
+        ];
+        let out = pool.run(tasks);
+        assert_eq!(*out[0].as_ref().unwrap(), 1);
+        let err = out[1].as_ref().unwrap_err();
+        assert_eq!(panic_message(err.as_ref()), "job exploded");
+        assert_eq!(*out[2].as_ref().unwrap(), 3);
+    }
+
+    #[test]
+    fn more_threads_than_tasks_is_fine() {
+        let pool = Pool::new(16);
+        let out = pool.run(vec![|| 7]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].as_ref().copied().unwrap(), 7);
+    }
+
+    #[test]
+    fn empty_batch_returns_empty() {
+        let pool = Pool::new(4);
+        let out: Vec<std::thread::Result<()>> = pool.run(Vec::<fn()>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn progress_reaches_total() {
+        let max_seen = AtomicUsize::new(0);
+        let pool = Pool::new(4);
+        let tasks: Vec<_> = (0..20).map(|i| move || i).collect();
+        pool.run_with_progress(tasks, |done, total| {
+            assert!(done <= total);
+            max_seen.fetch_max(done, Ordering::Relaxed);
+        });
+        assert_eq!(max_seen.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn imbalanced_batch_completes() {
+        // One long task at the front plus many short ones: the stealing
+        // path must drain everything.
+        let pool = Pool::new(4);
+        let mut tasks: Vec<Box<dyn FnOnce() -> u64 + Send>> = vec![Box::new(|| {
+            let mut acc = 0u64;
+            for i in 0..2_000_000u64 {
+                acc = acc.wrapping_add(i).rotate_left(1);
+            }
+            std::hint::black_box(acc)
+        })];
+        for i in 0..40u64 {
+            tasks.push(Box::new(move || i));
+        }
+        let out = pool.run(tasks);
+        assert_eq!(out.len(), 41);
+        for (i, r) in out.into_iter().enumerate().skip(1) {
+            assert_eq!(r.unwrap(), i as u64 - 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let _ = Pool::new(0);
+    }
+}

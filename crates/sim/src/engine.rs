@@ -99,6 +99,18 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// Why a budgeted run returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The calendar emptied.
+    Idle,
+    /// The next event lies strictly beyond the requested horizon.
+    Horizon,
+    /// The event budget was exhausted (the clock stays at the last
+    /// dispatched event).
+    Budget,
+}
+
 /// The discrete-event engine: clock + calendar + components.
 pub struct Engine<E: 'static> {
     clock: f64,
@@ -174,20 +186,47 @@ impl<E: 'static> Engine<E> {
     /// the last event, whichever is later). Returns the number of events
     /// dispatched by this call.
     pub fn run_until(&mut self, t_end: f64) -> u64 {
+        self.run_budgeted(t_end, u64::MAX).0
+    }
+
+    /// Dispatches events until the calendar empties, the next event lies
+    /// strictly beyond `t_end`, or `max_events` have been dispatched by
+    /// this call — whichever comes first.
+    ///
+    /// This is the whole-engine-as-a-job-body entry point: a runner job
+    /// can hand an engine a time horizon *and* an event budget, so a
+    /// pathological scenario (a zero-delay event storm, a runaway
+    /// sender) costs a bounded slice of a worker instead of wedging the
+    /// sweep. On [`StopReason::Budget`] the clock stays at the last
+    /// dispatched event; otherwise it finishes at `t_end` (or the last
+    /// event, whichever is later), exactly like [`Engine::run_until`].
+    pub fn run_budgeted(&mut self, t_end: f64, max_events: u64) -> (u64, StopReason) {
         let before = self.processed;
-        while let Some(head) = self.queue.peek() {
-            if head.time > t_end {
-                break;
+        let reason = loop {
+            if self.processed - before >= max_events {
+                break StopReason::Budget;
+            }
+            match self.queue.peek() {
+                None => break StopReason::Idle,
+                Some(head) if head.time > t_end => break StopReason::Horizon,
+                Some(_) => {}
             }
             let item = self.queue.pop().expect("peeked");
             debug_assert!(item.time >= self.clock, "time went backwards");
             self.clock = item.time;
             self.dispatch(item);
-        }
-        if self.clock < t_end {
+        };
+        if !matches!(reason, StopReason::Budget) && t_end.is_finite() && self.clock < t_end {
             self.clock = t_end;
         }
-        self.processed - before
+        (self.processed - before, reason)
+    }
+
+    /// Drains the calendar completely (up to `max_events`), returning
+    /// the number of events dispatched. Use for scenarios whose sources
+    /// stop on their own; the budget guards against the ones that don't.
+    pub fn run_to_completion(&mut self, max_events: u64) -> u64 {
+        self.run_budgeted(f64::INFINITY, max_events).0
     }
 
     /// Dispatches at most `n` events (or until idle). Returns the number
@@ -417,6 +456,77 @@ mod tests {
         eng.run_until(1.0);
         eng.get_mut::<Recorder>(rec).log.clear();
         assert!(eng.get::<Recorder>(rec).log.is_empty());
+    }
+
+    #[test]
+    fn run_budgeted_stops_on_each_reason() {
+        let mut eng = Engine::new();
+        let rec = eng.add(Box::new(Recorder { log: vec![] }));
+        for i in 0..5 {
+            eng.schedule(i as f64, rec, Ev::Ping(i));
+        }
+        // Budget first: only 2 of the 3 events at t ≤ 2 fit.
+        let (n, why) = eng.run_budgeted(2.0, 2);
+        assert_eq!((n, why), (2, StopReason::Budget));
+        assert_eq!(eng.now(), 1.0, "clock stays at the last event on Budget");
+        // Horizon next: one event left at t = 2.
+        let (n, why) = eng.run_budgeted(3.5, 10);
+        assert_eq!((n, why), (2, StopReason::Horizon));
+        assert_eq!(eng.now(), 3.5);
+        // Idle last: drain the rest.
+        let (n, why) = eng.run_budgeted(100.0, 10);
+        assert_eq!((n, why), (1, StopReason::Idle));
+        assert_eq!(eng.now(), 100.0);
+    }
+
+    #[test]
+    fn run_to_completion_drains_without_inventing_a_clock() {
+        let mut eng = Engine::new();
+        let rec = eng.add(Box::new(Recorder { log: vec![] }));
+        eng.schedule(1.0, rec, Ev::Ping(1));
+        eng.schedule(7.5, rec, Ev::Ping(2));
+        assert_eq!(eng.run_to_completion(u64::MAX), 2);
+        assert!(eng.is_idle());
+        assert_eq!(eng.now(), 7.5, "clock ends at the last event, not ∞");
+    }
+
+    #[test]
+    fn run_to_completion_respects_the_event_budget() {
+        let mut eng = Engine::new();
+        let rec = eng.add(Box::new(Recorder { log: vec![] }));
+        let ticker = eng.add(Box::new(Ticker {
+            period: 1.0,
+            t_stop: f64::INFINITY, // never stops on its own
+            peer: rec,
+            fired: 0,
+        }));
+        eng.schedule(0.0, ticker, Ev::Tick);
+        // Ticker + recorder each consume one dispatch per period.
+        assert_eq!(eng.run_to_completion(50), 50);
+        assert!(!eng.is_idle(), "budget must stop a runaway source");
+    }
+
+    #[test]
+    fn run_until_matches_budgeted_with_unlimited_budget() {
+        let build = || {
+            let mut eng = Engine::new();
+            let rec = eng.add(Box::new(Recorder { log: vec![] }));
+            let ticker = eng.add(Box::new(Ticker {
+                period: 0.5,
+                t_stop: 20.0,
+                peer: rec,
+                fired: 0,
+            }));
+            eng.schedule(0.0, ticker, Ev::Tick);
+            eng
+        };
+        let mut a = build();
+        let mut b = build();
+        let na = a.run_until(13.0);
+        let (nb, why) = b.run_budgeted(13.0, u64::MAX);
+        assert_eq!(na, nb);
+        assert_eq!(why, StopReason::Horizon);
+        assert_eq!(a.now(), b.now());
     }
 
     #[test]

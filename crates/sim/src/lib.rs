@@ -27,4 +27,4 @@
 
 pub mod engine;
 
-pub use engine::{Component, ComponentId, Context, Engine};
+pub use engine::{Component, ComponentId, Context, Engine, StopReason};

@@ -19,6 +19,7 @@
 //! | [`net`] | `ebrc-net` | links, queues, droppers, probes |
 //! | [`tcp`] | `ebrc-tcp` | TCP Sack1-style endpoints, AIMD fluid models |
 //! | [`tfrc`] | `ebrc-tfrc` | TFRC endpoints (incl. the audio mode) |
+//! | [`runner`] | `ebrc-runner` | deterministic job-graph runner (work-stealing pool) |
 //! | [`experiments`] | `ebrc-experiments` | figure/table reproduction harness |
 //!
 //! # Quick start
@@ -52,6 +53,7 @@ pub use ebrc_core as core;
 pub use ebrc_dist as dist;
 pub use ebrc_experiments as experiments;
 pub use ebrc_net as net;
+pub use ebrc_runner as runner;
 pub use ebrc_sim as sim;
 pub use ebrc_stats as stats;
 pub use ebrc_tcp as tcp;

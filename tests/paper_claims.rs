@@ -91,7 +91,7 @@ fn claim2_audio_sign_flip() {
 /// p''(Poisson), within simulation tolerance.
 #[test]
 fn claim3_loss_event_rate_ordering() {
-    let m = ns2_run(8, 8, Scale::quick(), true);
+    let m = ns2_run(8, 8, 0, Scale::quick(), true);
     let p_tfrc = m.tfrc_valid_mean(|f| f.loss_event_rate);
     let p_tcp = m.tcp_valid_mean(|f| f.loss_event_rate);
     let p_poisson = m.probe_loss_rate.unwrap();
