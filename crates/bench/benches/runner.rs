@@ -6,7 +6,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use ebrc_experiments::{find_experiment, Scale, MASTER_SEED};
-use ebrc_runner::{default_threads, Pool};
+use ebrc_runner::{default_threads, run_specs, Pool};
 
 /// A CPU-bound synthetic job: enough work that scheduling overhead is
 /// visible but not dominant.
@@ -36,7 +36,7 @@ fn bench_synthetic(c: &mut Criterion) {
 }
 
 fn bench_experiment_grid(c: &mut Criterion) {
-    // A small real grid: fig03's Monte-Carlo jobs at a reduced scale.
+    // A small real grid: fig03's Monte-Carlo specs at a reduced scale.
     let scale = Scale {
         mc_events: 4_000,
         sim_warmup: 4.0,
@@ -45,20 +45,20 @@ fn bench_experiment_grid(c: &mut Criterion) {
         quick: true,
     };
     let exp = find_experiment("fig03").unwrap();
-    let jobs_per_run = exp.jobs(scale).len() as u64;
+    let plan = exp.plan(scale);
     let mut g = c.benchmark_group("runner-fig03");
     g.sample_size(10);
-    g.throughput(Throughput::Elements(jobs_per_run));
+    g.throughput(Throughput::Elements(plan.unique_len() as u64));
     for threads in [1, default_threads()] {
-        g.bench_function(format!("jobs/{threads}-threads"), |b| {
+        g.bench_function(format!("sims/{threads}-threads"), |b| {
             let pool = Pool::new(threads);
             b.iter(|| {
-                let tasks: Vec<_> = exp
-                    .jobs(scale)
-                    .into_iter()
-                    .map(|job| move || job.run(MASTER_SEED))
-                    .collect();
-                black_box(pool.run(tasks))
+                black_box(run_specs(
+                    &pool,
+                    MASTER_SEED,
+                    black_box(plan.specs()),
+                    |_, _| {},
+                ))
             })
         });
     }

@@ -1,37 +1,51 @@
 //! Reproduction CLI: regenerate any table/figure of the paper.
 //!
 //! ```text
-//! repro --list                   # catalogue
+//! repro list                     # catalogue + per-experiment spec counts + dedup ratio
 //! repro fig03                    # one experiment, quick scale
+//! repro fig05 fig08              # several experiments, shared sims run once
 //! repro fig03 --scale paper      # paper-comparable effort
 //! repro all                      # everything (quick), all cores
 //! repro all --threads 1          # sequential (byte-identical output)
-//! repro all --progress           # live jobs-completed line on stderr
+//! repro all --progress           # live sims-completed line on stderr
 //! repro fig05 --json             # machine-readable output
-//! repro all --out results/       # one JSON file per table, for plotting
+//! repro all --out results/       # one JSON file per table, spooled as
+//!                                # each experiment's last sim completes
+//! repro plan all --shards 3      # inspect the plan a sweep would run
+//! repro run all --shard 0/2 --shard-dir shards   # execute one shard
+//! repro merge all --shard-dir shards             # reduce merged shards
 //! repro bench-runner --bench-json BENCH_runner.json
 //!                                # sweep-throughput benchmark artifact
 //! ```
 //!
-//! Experiments run as a flattened job grid on a work-stealing pool
-//! (`--threads N`, or the `EBRC_THREADS` environment variable; default:
-//! all cores). Output is byte-identical at any thread count. A
-//! panicking experiment is reported in the end-of-run summary and turns
-//! the exit code nonzero, without taking down the rest of the sweep.
+//! Experiments are *plan subscriptions*: the CLI merges the requested
+//! experiments into one deduplicated plan of content-hashed sims and
+//! executes its unique specs on a work-stealing pool (`--threads N`,
+//! or the `EBRC_THREADS` environment variable; default: all cores).
+//! Each experiment reduces the moment its last subscribed sim
+//! completes, and `--out` spools its tables from a writer thread while
+//! the rest of the grid is still running. Output is byte-identical at
+//! any thread count and any shard count. A panicking experiment is
+//! reported in the end-of-run summary and turns the exit code nonzero,
+//! without taking down the rest of the sweep.
 
 use ebrc_experiments::{
-    all_experiments, find_experiment, par_run_catalogue, Experiment, ExperimentReport, Scale,
+    all_experiments, find_experiment, global_plan, plan_run_catalogue, Experiment,
+    ExperimentFailure, ExperimentReport, Plan, Scale, SpecOutput, MASTER_SEED,
 };
-use ebrc_runner::Pool;
+use ebrc_runner::{panic_message, run_specs, Pool, Spec as _};
+use serde::Value;
+use std::collections::HashMap;
 use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro (--list | <experiment-id> | all | bench-runner) \
-         [--scale quick|paper] [--json] [--out DIR] [--threads N] [--progress] \
-         [--bench-json FILE]"
+        "usage: repro (list | plan | run | merge | bench-runner | <experiment-id>... | all) \
+         [--scale quick|paper|tiny] [--json] [--out DIR] [--threads N] [--progress] \
+         [--shard I/K] [--shards K] [--shard-dir DIR] [--bench-json FILE]"
     );
     ExitCode::from(2)
 }
@@ -44,6 +58,9 @@ struct Options {
     threads: usize,
     progress: bool,
     bench_json: Option<PathBuf>,
+    shard: (usize, usize),
+    shards: usize,
+    shard_dir: PathBuf,
 }
 
 /// Thread count: `--threads` beats `EBRC_THREADS` beats all cores.
@@ -58,61 +75,88 @@ fn env_threads() -> Option<usize> {
     }
 }
 
-/// Writes every table of a report set under `dir` as pretty JSON.
-/// Returns the number of write failures (each reported on stderr).
-fn spool_tables(dir: &Path, reports: &[ExperimentReport]) -> usize {
-    let mut failures = 0;
-    // The directory (and parents) may have vanished since argument
-    // parsing; (re)create rather than failing per table.
-    if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("cannot create {}: {e}", dir.display());
-        return reports.len().max(1);
+/// Maps a table name onto a safe file stem: path separators and every
+/// other non-`[A-Za-z0-9._-]` byte become `_`, and a name that
+/// sanitizes to nothing (or to dots alone) becomes `table`.
+fn table_file_name(name: &str) -> String {
+    let mut stem: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if stem.chars().all(|c| matches!(c, '.' | '_')) {
+        stem = "table".to_string();
     }
-    for report in reports {
-        if let Ok(tables) = &report.outcome {
-            for t in tables {
-                let file = dir.join(format!("{}.json", t.name.replace(['/', ' '], "_")));
-                if let Err(e) = std::fs::write(&file, t.to_json()) {
-                    eprintln!("# failed to write {}: {e}", file.display());
-                    failures += 1;
-                }
+    format!("{stem}.json")
+}
+
+/// Incremental table writer: one JSON file per table under `dir`,
+/// written as each experiment's report lands. Two tables mapping to
+/// the same file are reported — never silently overwritten.
+struct Spooler {
+    dir: PathBuf,
+    /// file name → the table name that claimed it.
+    seen: HashMap<String, String>,
+    failures: usize,
+}
+
+impl Spooler {
+    fn new(dir: &Path) -> Self {
+        Self {
+            dir: dir.to_path_buf(),
+            seen: HashMap::new(),
+            failures: 0,
+        }
+    }
+
+    fn spool(&mut self, report: &ExperimentReport) {
+        let Ok(tables) = &report.outcome else {
+            return;
+        };
+        // The directory (and parents) may have vanished since argument
+        // parsing; (re)create rather than failing per table.
+        if let Err(e) = std::fs::create_dir_all(&self.dir) {
+            eprintln!("# cannot create {}: {e}", self.dir.display());
+            self.failures += tables.len();
+            return;
+        }
+        for t in tables {
+            let file = table_file_name(&t.name);
+            if let Some(owner) = self.seen.get(&file) {
+                eprintln!(
+                    "# table {:?} collides with {:?} on {}; not overwriting",
+                    t.name,
+                    owner,
+                    self.dir.join(&file).display()
+                );
+                self.failures += 1;
+                continue;
+            }
+            self.seen.insert(file.clone(), t.name.clone());
+            let path = self.dir.join(&file);
+            if let Err(e) = std::fs::write(&path, t.to_json()) {
+                eprintln!("# failed to write {}: {e}", path.display());
+                self.failures += 1;
             }
         }
     }
-    failures
 }
 
-/// Runs a set of experiments on the pool and prints/spools the results.
-/// Returns `true` when everything succeeded.
-fn run_and_report(experiments: Vec<Box<dyn Experiment>>, opts: &Options) -> bool {
-    let pool = Pool::new(opts.threads);
-    eprintln!(
-        "# {} experiment(s), {} thread(s), scale {}",
-        experiments.len(),
-        pool.threads(),
-        opts.scale_name,
-    );
-    let started = std::time::Instant::now();
-    let show_progress = opts.progress;
-    // The executed job count, as the progress callback sees it — no
-    // second decomposition pass, no way for banner and summary to
-    // disagree.
-    let total_jobs = std::sync::atomic::AtomicUsize::new(0);
+/// Builds the merged plan, isolating a panicking `plan()` (those
+/// experiments are reported by the runner itself).
+fn try_global_plan(experiments: &[Box<dyn Experiment>], scale: Scale) -> Option<Plan> {
     let refs: Vec<&dyn Experiment> = experiments.iter().map(|e| e.as_ref()).collect();
-    let reports = par_run_catalogue(refs, opts.scale, &pool, |done, total| {
-        total_jobs.store(total, std::sync::atomic::Ordering::Relaxed);
-        if show_progress {
-            eprint!("\r# progress {done}/{total} jobs");
-            let _ = std::io::stderr().flush();
-        }
-    });
-    if show_progress {
-        eprintln!();
-    }
-    let wall = started.elapsed();
-    let total_jobs = total_jobs.into_inner();
+    catch_unwind(AssertUnwindSafe(|| global_plan(&refs, scale))).ok()
+}
 
-    for report in &reports {
+/// Prints a report set's tables to stdout in catalogue order.
+fn render_reports(reports: &[ExperimentReport], opts: &Options) {
+    for report in reports {
         eprintln!("# {} — {} ({})", report.id, report.title, report.paper_ref);
         if let Ok(tables) = &report.outcome {
             for t in tables {
@@ -124,38 +168,495 @@ fn run_and_report(experiments: Vec<Box<dyn Experiment>>, opts: &Options) -> bool
             }
         }
     }
-    let mut write_failures = 0;
-    if let Some(dir) = &opts.out {
-        write_failures = spool_tables(dir, &reports);
-    }
+}
 
+/// Prints the end-of-run summary (`detail` describes the work done —
+/// execution throughput for a run, merge provenance for a merge);
+/// returns `true` when every experiment succeeded.
+fn summarize(reports: &[ExperimentReport], detail: &str) -> bool {
     let failed: Vec<_> = reports.iter().filter(|r| r.outcome.is_err()).collect();
     eprintln!(
-        "# summary: {} ok, {} failed, {} jobs in {:.1?} ({:.1} jobs/s, {} threads)",
+        "# summary: {} ok, {} failed, {detail}",
         reports.len() - failed.len(),
         failed.len(),
-        total_jobs,
-        wall,
-        total_jobs as f64 / wall.as_secs_f64().max(1e-9),
-        pool.threads(),
     );
     for report in &failed {
         if let Err(e) = &report.outcome {
             eprintln!("#   {e}");
         }
     }
-    failed.is_empty() && write_failures == 0
+    failed.is_empty()
+}
+
+/// Runs a set of experiments as one merged plan and prints/spools the
+/// results. Returns `true` when everything succeeded.
+fn run_and_report(experiments: Vec<Box<dyn Experiment>>, opts: &Options) -> bool {
+    let pool = Pool::new(opts.threads);
+    match try_global_plan(&experiments, opts.scale) {
+        Some(plan) => eprintln!(
+            "# {} experiment(s), {} unique sims ({} subscribed, dedup {:.2}x), {} thread(s), scale {}",
+            experiments.len(),
+            plan.unique_len(),
+            plan.subscribed_len(),
+            plan.dedup_ratio(),
+            pool.threads(),
+            opts.scale_name,
+        ),
+        None => eprintln!(
+            "# {} experiment(s), {} thread(s), scale {}",
+            experiments.len(),
+            pool.threads(),
+            opts.scale_name,
+        ),
+    }
+    let started = std::time::Instant::now();
+    let show_progress = opts.progress;
+    // The executed sim count, as the progress callback sees it — no
+    // second decomposition pass, no way for banner and summary to
+    // disagree.
+    let total_sims = std::sync::atomic::AtomicUsize::new(0);
+    let refs: Vec<&dyn Experiment> = experiments.iter().map(|e| e.as_ref()).collect();
+    let mut spooler = opts.out.as_deref().map(Spooler::new);
+    let reports = plan_run_catalogue(
+        refs,
+        opts.scale,
+        &pool,
+        |done, total| {
+            total_sims.store(total, std::sync::atomic::Ordering::Relaxed);
+            if show_progress {
+                eprint!("\r# progress {done}/{total} sims");
+                let _ = std::io::stderr().flush();
+            }
+        },
+        |report| {
+            // The writer thread: spool each experiment's tables the
+            // moment it reduces, long before the sweep finishes.
+            if let Some(sp) = spooler.as_mut() {
+                sp.spool(report);
+            }
+        },
+    );
+    if show_progress {
+        eprintln!();
+    }
+    let wall = started.elapsed();
+    render_reports(&reports, opts);
+    let write_failures = spooler.map_or(0, |sp| sp.failures);
+    let sims = total_sims.into_inner();
+    let ok = summarize(
+        &reports,
+        &format!(
+            "{} sims in {:.1?} ({:.1} sims/s, {} threads)",
+            sims,
+            wall,
+            sims as f64 / wall.as_secs_f64().max(1e-9),
+            pool.threads(),
+        ),
+    );
+    ok && write_failures == 0
+}
+
+/// Resolves the positional experiment ids (`all` or nothing selects
+/// the whole catalogue). Every id must resolve — an unknown id next
+/// to `all` (e.g. a mistyped subcommand) is an error, not a silent
+/// catalogue run.
+fn select_experiments(targets: &[String]) -> Result<Vec<Box<dyn Experiment>>, String> {
+    let mut out = Vec::new();
+    let mut want_all = targets.is_empty();
+    for id in targets {
+        if id == "all" {
+            want_all = true;
+        } else {
+            match find_experiment(id) {
+                Some(e) => out.push(e),
+                None => return Err(format!("unknown experiment '{id}'; try `repro list`")),
+            }
+        }
+    }
+    if want_all {
+        return Ok(all_experiments());
+    }
+    Ok(out)
+}
+
+/// `repro list`: the catalogue with per-experiment spec counts and the
+/// plan-level dedup ratio at the requested scale.
+fn list_catalogue(opts: &Options) -> ExitCode {
+    let experiments = all_experiments();
+    for e in &experiments {
+        let n = e.specs(opts.scale).len();
+        println!(
+            "{:16} {:28} {:>4} sims  {}",
+            e.id(),
+            e.paper_ref(),
+            n,
+            e.title()
+        );
+    }
+    if let Some(plan) = try_global_plan(&experiments, opts.scale) {
+        println!(
+            "# {} experiments, {} subscribed sims -> {} unique (dedup {:.2}x) at scale {}",
+            experiments.len(),
+            plan.subscribed_len(),
+            plan.unique_len(),
+            plan.dedup_ratio(),
+            opts.scale_name,
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `repro plan`: plan summary plus the deterministic shard breakdown.
+fn print_plan(targets: &[String], opts: &Options) -> ExitCode {
+    let experiments = match select_experiments(targets) {
+        Ok(e) => e,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(plan) = try_global_plan(&experiments, opts.scale) else {
+        eprintln!("plan construction panicked");
+        return ExitCode::FAILURE;
+    };
+    println!(
+        "plan: {} experiment(s), scale {}, fingerprint {:016x}",
+        experiments.len(),
+        opts.scale_name,
+        plan.fingerprint()
+    );
+    println!(
+        "sims: {} unique, {} subscribed (dedup {:.2}x)",
+        plan.unique_len(),
+        plan.subscribed_len(),
+        plan.dedup_ratio()
+    );
+    for sub in plan.subscriptions() {
+        println!("  {:16} {:>4} sims", sub.id, sub.spec_indices.len());
+    }
+    let k = opts.shards.max(1);
+    if k > 1 {
+        for shard in 0..k {
+            println!(
+                "shard {shard}/{k}: {} sims",
+                plan.shard_indices(shard, k).len()
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// The shard artifact path for shard `i` of `k`.
+fn shard_path(dir: &Path, shard: usize, of: usize) -> PathBuf {
+    dir.join(format!("shard-{shard}-of-{of}.json"))
+}
+
+/// `repro run --shard i/k`: execute one deterministic shard of the
+/// plan and spool its raw spec outputs for a later `repro merge`.
+fn run_shard(targets: &[String], opts: &Options) -> ExitCode {
+    let experiments = match select_experiments(targets) {
+        Ok(e) => e,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(plan) = try_global_plan(&experiments, opts.scale) else {
+        eprintln!("plan construction panicked");
+        return ExitCode::FAILURE;
+    };
+    let (shard, of) = opts.shard;
+    if shard >= of {
+        eprintln!("--shard {shard}/{of} is out of range");
+        return ExitCode::FAILURE;
+    }
+    let indices = plan.shard_indices(shard, of);
+    let specs: Vec<_> = indices.iter().map(|&i| plan.specs()[i].clone()).collect();
+    let pool = Pool::new(opts.threads);
+    eprintln!(
+        "# shard {shard}/{of}: {} of {} unique sims, {} thread(s), scale {}",
+        specs.len(),
+        plan.unique_len(),
+        pool.threads(),
+        opts.scale_name,
+    );
+    let show_progress = opts.progress;
+    let started = std::time::Instant::now();
+    let results = run_specs(&pool, MASTER_SEED, &specs, |done, total| {
+        if show_progress {
+            eprint!("\r# progress {done}/{total} sims (shard {shard}/{of})");
+            let _ = std::io::stderr().flush();
+        }
+    });
+    if show_progress {
+        eprintln!();
+    }
+
+    let mut outputs = Vec::new();
+    let mut failures = Vec::new();
+    for (idx, result) in indices.iter().zip(results) {
+        let key = plan.specs()[*idx].key();
+        let hash = plan.spec_hashes()[*idx];
+        match result {
+            Ok(out) => outputs.push(Value::Object(vec![
+                ("key".into(), Value::String(key)),
+                ("hash".into(), Value::String(format!("{hash:016x}"))),
+                ("output".into(), out.to_value()),
+            ])),
+            Err(msg) => failures.push(Value::Object(vec![
+                ("key".into(), Value::String(key)),
+                ("error".into(), Value::String(msg)),
+            ])),
+        }
+    }
+    let failed = failures.len();
+    let artifact = Value::Object(vec![
+        (
+            "plan".into(),
+            Value::String(format!("{:016x}", plan.fingerprint())),
+        ),
+        ("scale".into(), Value::String(opts.scale_name.to_string())),
+        ("shard".into(), Value::Number(shard as f64)),
+        ("of".into(), Value::Number(of as f64)),
+        ("outputs".into(), Value::Array(outputs)),
+        ("failures".into(), Value::Array(failures)),
+    ]);
+    if let Err(e) = std::fs::create_dir_all(&opts.shard_dir) {
+        eprintln!("cannot create {}: {e}", opts.shard_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let path = shard_path(&opts.shard_dir, shard, of);
+    let json = serde_json::to_string_pretty(&artifact).expect("artifact is serializable");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "# shard {shard}/{of}: wrote {} ({} sims, {} failed) in {:.1?}",
+        path.display(),
+        specs.len() - failed,
+        failed,
+        started.elapsed(),
+    );
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `repro merge`: load every shard artifact, verify it against the
+/// rebuilt plan, and reduce — byte-identical to a single-host run.
+fn merge_shards(targets: &[String], opts: &Options) -> ExitCode {
+    let experiments = match select_experiments(targets) {
+        Ok(e) => e,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(plan) = try_global_plan(&experiments, opts.scale) else {
+        eprintln!("plan construction panicked");
+        return ExitCode::FAILURE;
+    };
+    let fingerprint = format!("{:016x}", plan.fingerprint());
+
+    let mut outputs: Vec<Option<SpecOutput>> = (0..plan.unique_len()).map(|_| None).collect();
+    let mut failures: HashMap<usize, String> = HashMap::new();
+    let entries = match std::fs::read_dir(&opts.shard_dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", opts.shard_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut files = 0usize;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().map(|e| e != "json").unwrap_or(true) {
+            continue;
+        }
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let value = match serde_json::from_str(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(msg) = absorb_shard(&value, &plan, &fingerprint, &mut outputs, &mut failures) {
+            eprintln!("{}: {msg}", path.display());
+            return ExitCode::FAILURE;
+        }
+        files += 1;
+    }
+    if files == 0 {
+        eprintln!("no shard artifacts under {}", opts.shard_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let missing: Vec<usize> = (0..plan.unique_len())
+        .filter(|i| outputs[*i].is_none() && !failures.contains_key(i))
+        .collect();
+    if !missing.is_empty() {
+        eprintln!(
+            "incomplete shard set: {} of {} sims missing (first missing: {})",
+            missing.len(),
+            plan.unique_len(),
+            plan.specs()[missing[0]].key(),
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Reduce every subscription from the merged outputs.
+    eprintln!(
+        "# merge: {} shard file(s), {} unique sims, {} experiment(s), scale {}",
+        files,
+        plan.unique_len(),
+        experiments.len(),
+        opts.scale_name,
+    );
+    let mut spooler = opts.out.as_deref().map(Spooler::new);
+    let reports: Vec<ExperimentReport> = experiments
+        .iter()
+        .zip(plan.subscriptions())
+        .map(|(exp, sub)| {
+            let mut failed_specs: Vec<(String, String)> = Vec::new();
+            let mut refs: Vec<&SpecOutput> = Vec::new();
+            for &idx in &sub.spec_indices {
+                match &outputs[idx] {
+                    Some(out) => refs.push(out),
+                    None => {
+                        let key = plan.specs()[idx].key();
+                        if !failed_specs.iter().any(|(k, _)| *k == key) {
+                            failed_specs.push((key, failures[&idx].clone()));
+                        }
+                    }
+                }
+            }
+            let outcome = if failed_specs.is_empty() {
+                catch_unwind(AssertUnwindSafe(|| exp.reduce(opts.scale, &refs))).map_err(|p| {
+                    ExperimentFailure {
+                        id: exp.id().to_string(),
+                        failed_specs: Vec::new(),
+                        phase_error: Some(format!(
+                            "reduce panicked: {}",
+                            panic_message(p.as_ref())
+                        )),
+                    }
+                })
+            } else {
+                Err(ExperimentFailure {
+                    id: exp.id().to_string(),
+                    failed_specs,
+                    phase_error: None,
+                })
+            };
+            ExperimentReport {
+                id: exp.id(),
+                title: exp.title(),
+                paper_ref: exp.paper_ref(),
+                outcome,
+            }
+        })
+        .collect();
+    for report in &reports {
+        if let Some(sp) = spooler.as_mut() {
+            sp.spool(report);
+        }
+    }
+    render_reports(&reports, opts);
+    let write_failures = spooler.map_or(0, |sp| sp.failures);
+    let ok = summarize(
+        &reports,
+        &format!(
+            "{} sims merged from {files} shard file(s)",
+            plan.unique_len()
+        ),
+    );
+    if ok && write_failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Folds one shard artifact into the output table, verifying the plan
+/// fingerprint and every spec key.
+fn absorb_shard(
+    value: &Value,
+    plan: &Plan,
+    fingerprint: &str,
+    outputs: &mut [Option<SpecOutput>],
+    failures: &mut HashMap<usize, String>,
+) -> Result<(), String> {
+    let found = value
+        .get("plan")
+        .and_then(Value::as_str)
+        .ok_or("not a shard artifact (no plan fingerprint)")?;
+    if found != fingerprint {
+        return Err(format!(
+            "shard was cut from a different plan (fingerprint {found}, want {fingerprint}) — \
+             same experiments and --scale required"
+        ));
+    }
+    let resolve = |entry: &Value| -> Result<usize, String> {
+        let key = entry
+            .get("key")
+            .and_then(Value::as_str)
+            .ok_or("entry without key")?;
+        let idx = plan
+            .index_of(ebrc_runner::stable_hash(key))
+            .ok_or_else(|| format!("spec {key:?} is not in this plan"))?;
+        if plan.specs()[idx].key() != key {
+            return Err(format!("hash collision on {key:?}"));
+        }
+        Ok(idx)
+    };
+    match value.get("outputs") {
+        Some(Value::Array(entries)) => {
+            for entry in entries {
+                let idx = resolve(entry)?;
+                let out = entry.get("output").ok_or("entry without output")?;
+                outputs[idx] = Some(SpecOutput::from_value(out)?);
+            }
+        }
+        _ => return Err("shard artifact without outputs".into()),
+    }
+    if let Some(Value::Array(entries)) = value.get("failures") {
+        for entry in entries {
+            let idx = resolve(entry)?;
+            let msg = entry
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("sim failed");
+            failures.insert(idx, msg.to_string());
+        }
+    }
+    Ok(())
 }
 
 /// `bench-runner`: times `repro all` at 1 thread and at 8-or-all-cores
-/// (whichever is larger), writing wall-clock and jobs/sec to a JSON
-/// artifact — the start of the perf trajectory CI tracks. The 8-thread
-/// entry is always recorded, so the artifact answers the determinism
-/// contract's companion question (how much does N buy?) on any host;
-/// the speedup is only meaningful on a multi-core runner.
+/// (whichever is larger), writing wall-clock, sims/sec, and the
+/// plan-level dedup counters to a JSON artifact — the perf trajectory
+/// CI tracks. The 8-thread entry is always recorded, so the artifact
+/// answers the determinism contract's companion question (how much
+/// does N buy?) on any host; the speedup is only meaningful on a
+/// multi-core runner.
 fn bench_runner(opts: &Options) -> ExitCode {
     let thread_counts = vec![1, ebrc_runner::default_threads().max(opts.threads).max(8)];
-    let mut total_jobs = 0usize;
+    let (unique_sims, subscribed_sims) = match try_global_plan(&all_experiments(), opts.scale) {
+        Some(plan) => (plan.unique_len(), plan.subscribed_len()),
+        None => {
+            eprintln!("# bench-runner: plan construction panicked; aborting");
+            return ExitCode::FAILURE;
+        }
+    };
     let mut entries = Vec::new();
     let mut walls = Vec::new();
     for &threads in &thread_counts {
@@ -163,11 +664,7 @@ fn bench_runner(opts: &Options) -> ExitCode {
         let started = std::time::Instant::now();
         let experiments = all_experiments();
         let refs: Vec<&dyn Experiment> = experiments.iter().map(|e| e.as_ref()).collect();
-        let executed = std::sync::atomic::AtomicUsize::new(0);
-        let reports = par_run_catalogue(refs, opts.scale, &pool, |_, total| {
-            executed.store(total, std::sync::atomic::Ordering::Relaxed);
-        });
-        total_jobs = executed.into_inner();
+        let reports = ebrc_experiments::par_run_catalogue(refs, opts.scale, &pool, |_, _| {});
         let wall = started.elapsed().as_secs_f64();
         let failed = reports.iter().filter(|r| r.outcome.is_err()).count();
         if failed > 0 {
@@ -175,13 +672,13 @@ fn bench_runner(opts: &Options) -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!(
-            "# bench-runner: {threads} thread(s): {wall:.2} s wall, {:.1} jobs/s",
-            total_jobs as f64 / wall
+            "# bench-runner: {threads} thread(s): {wall:.2} s wall, {:.1} sims/s",
+            unique_sims as f64 / wall
         );
         walls.push(wall);
         entries.push(format!(
             "    {{ \"threads\": {threads}, \"wall_s\": {wall:.4}, \"jobs_per_sec\": {:.4} }}",
-            total_jobs as f64 / wall
+            unique_sims as f64 / wall
         ));
     }
     let speedup = if walls.len() > 1 {
@@ -190,9 +687,12 @@ fn bench_runner(opts: &Options) -> ExitCode {
         1.0
     };
     let json = format!(
-        "{{\n  \"bench\": \"repro all --scale {}\",\n  \"jobs\": {},\n  \"runs\": [\n{}\n  ],\n  \"speedup\": {:.4}\n}}\n",
+        "{{\n  \"bench\": \"repro all --scale {}\",\n  \"jobs\": {},\n  \"unique_sims\": {},\n  \"subscribed_sims\": {},\n  \"deduped_sims\": {},\n  \"runs\": [\n{}\n  ],\n  \"speedup\": {:.4}\n}}\n",
         opts.scale_name,
-        total_jobs,
+        unique_sims,
+        unique_sims,
+        subscribed_sims,
+        subscribed_sims - unique_sims,
         entries.join(",\n"),
         speedup
     );
@@ -215,12 +715,21 @@ fn bench_runner(opts: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Parses `I/K` for `--shard`.
+fn parse_shard(raw: &str) -> Option<(usize, usize)> {
+    let (i, k) = raw.split_once('/')?;
+    let i = i.trim().parse::<usize>().ok()?;
+    let k = k.trim().parse::<usize>().ok()?;
+    (k > 0 && i < k).then_some((i, k))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         return usage();
     }
-    let mut target: Option<String> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut command: Option<String> = None;
     let mut list = false;
     let mut opts = Options {
         scale: Scale::quick(),
@@ -230,6 +739,9 @@ fn main() -> ExitCode {
         threads: env_threads().unwrap_or_else(ebrc_runner::default_threads),
         progress: false,
         bench_json: None,
+        shard: (0, 1),
+        shards: 1,
+        shard_dir: PathBuf::from("shards"),
     };
     let mut i = 0;
     while i < args.len() {
@@ -251,13 +763,7 @@ fn main() -> ExitCode {
                     // Undocumented test scale: the whole catalogue in
                     // ~a second, for CI plumbing and the test suite.
                     Some("tiny") => {
-                        opts.scale = Scale {
-                            mc_events: 1_500,
-                            sim_warmup: 4.0,
-                            sim_span: 8.0,
-                            replicas: 1,
-                            quick: true,
-                        };
+                        opts.scale = Scale::tiny();
                         opts.scale_name = "tiny";
                     }
                     _ => return usage(),
@@ -287,6 +793,27 @@ fn main() -> ExitCode {
                     None => return usage(),
                 }
             }
+            "--shard" => {
+                i += 1;
+                match args.get(i).and_then(|s| parse_shard(s)) {
+                    Some(shard) => opts.shard = shard,
+                    None => return usage(),
+                }
+            }
+            "--shards" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(k) if k > 0 => opts.shards = k,
+                    _ => return usage(),
+                }
+            }
+            "--shard-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => opts.shard_dir = PathBuf::from(dir),
+                    None => return usage(),
+                }
+            }
             "--bench-json" => {
                 i += 1;
                 match args.get(i) {
@@ -295,39 +822,93 @@ fn main() -> ExitCode {
                 }
             }
             s if s.starts_with('-') => return usage(),
-            s => target = Some(s.to_string()),
+            // A subcommand keyword only counts as the *first*
+            // positional — `repro fig03 list` must not silently turn
+            // into a catalogue listing (the stray word becomes an
+            // unknown-experiment error instead).
+            s @ ("list" | "plan" | "run" | "merge" | "bench-runner")
+                if command.is_none() && targets.is_empty() =>
+            {
+                command = Some(s.to_string());
+            }
+            s => targets.push(s.to_string()),
         }
         i += 1;
     }
 
     if list {
-        for e in all_experiments() {
-            println!("{:12} {:28} {}", e.id(), e.paper_ref(), e.title());
-        }
-        return ExitCode::SUCCESS;
+        return list_catalogue(&opts);
     }
-    match target.as_deref() {
-        Some("all") => {
-            if run_and_report(all_experiments(), &opts) {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
-            }
-        }
+    match command.as_deref() {
+        Some("list") => list_catalogue(&opts),
+        Some("plan") => print_plan(&targets, &opts),
+        Some("run") => run_shard(&targets, &opts),
+        Some("merge") => merge_shards(&targets, &opts),
         Some("bench-runner") => bench_runner(&opts),
-        Some(id) => match find_experiment(id) {
-            Some(e) => {
-                if run_and_report(vec![e], &opts) {
-                    ExitCode::SUCCESS
-                } else {
+        Some(_) => usage(),
+        None => {
+            if targets.is_empty() {
+                return usage();
+            }
+            match select_experiments(&targets) {
+                Ok(experiments) => {
+                    if run_and_report(experiments, &opts) {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(msg) => {
+                    eprintln!("{msg}");
                     ExitCode::FAILURE
                 }
             }
-            None => {
-                eprintln!("unknown experiment '{id}'; try --list");
-                ExitCode::FAILURE
-            }
-        },
-        None => usage(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_names_are_sanitized() {
+        assert_eq!(table_file_name("fig01/left"), "fig01_left.json");
+        assert_eq!(table_file_name("a b/c"), "a_b_c.json");
+        assert_eq!(table_file_name("../../etc/passwd"), ".._.._etc_passwd.json");
+        assert_eq!(table_file_name("..."), "table.json");
+        assert_eq!(table_file_name(""), "table.json");
+    }
+
+    #[test]
+    fn colliding_tables_are_reported_not_overwritten() {
+        use ebrc_experiments::Table;
+        let dir = std::env::temp_dir().join(format!("repro-spool-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut spooler = Spooler::new(&dir);
+        let mut t1 = Table::new("fig/x", "first", vec!["a"]);
+        t1.push_row(vec![1.0]);
+        let mut t2 = Table::new("fig x", "second", vec!["a"]);
+        t2.push_row(vec![2.0]);
+        let report = ExperimentReport {
+            id: "t",
+            title: "t",
+            paper_ref: "t",
+            outcome: Ok(vec![t1, t2]),
+        };
+        spooler.spool(&report);
+        assert_eq!(spooler.failures, 1, "second table collides");
+        let kept = std::fs::read_to_string(dir.join("fig_x.json")).unwrap();
+        assert!(kept.contains("first"), "first writer wins: {kept}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_flag_parses() {
+        assert_eq!(parse_shard("0/2"), Some((0, 2)));
+        assert_eq!(parse_shard("1/3"), Some((1, 3)));
+        assert_eq!(parse_shard("2/2"), None);
+        assert_eq!(parse_shard("0/0"), None);
+        assert_eq!(parse_shard("x/2"), None);
     }
 }

@@ -10,28 +10,13 @@
 //!   throughput *boost*, the non-conservative regime of Section III-B.2.
 //!
 //! Every Monte-Carlo point (one control law, one weight profile, one
-//! formula, one sojourn) is its own runner job.
+//! formula, one sojourn) is its own declarative spec.
 
 use crate::registry::{Experiment, Scale};
 use crate::series::Table;
-use ebrc_core::control::{BasicControl, ComprehensiveControl, ControlConfig};
-use ebrc_core::formula::{PftkSimplified, PftkStandard, Sqrt, ThroughputFormula};
+use crate::spec::{ControlLaw, SimSpec, SpecOutput, WeightKind};
 use ebrc_core::weights::WeightProfile;
-use ebrc_dist::{IidProcess, LossProcess, MarkovModulated, Rng, ShiftedExponential};
-use ebrc_runner::{take, Job, JobOutput};
-
-fn basic_normalized<F: ThroughputFormula + Clone, P: LossProcess>(
-    f: &F,
-    weights: WeightProfile,
-    process: &mut P,
-    events: usize,
-    seed: u64,
-) -> f64 {
-    let mut rng = Rng::seed_from(seed);
-    let trace =
-        BasicControl::new(f.clone(), ControlConfig::new(weights)).run(process, &mut rng, events);
-    trace.normalized_throughput(f)
-}
+use ebrc_tfrc::FormulaKind;
 
 /// Basic vs comprehensive control.
 pub struct AblateControlLaw;
@@ -51,41 +36,36 @@ impl Experiment for AblateControlLaw {
         "Proposition 2 / Section V-B remark"
     }
 
-    fn jobs(&self, scale: Scale) -> Vec<Job> {
-        let mut jobs = Vec::new();
+    fn specs(&self, scale: Scale) -> Vec<SimSpec> {
+        let mut specs = Vec::new();
         for (i, p) in CONTROL_PS.into_iter().enumerate() {
             let seed = 400 + i as u64;
-            let events = scale.mc_events;
-            jobs.push(Job::new(format!("ablate-control/basic/p{p}"), move |_| {
-                let f = PftkSimplified::with_rtt(1.0);
-                let mut pr = IidProcess::new(ShiftedExponential::from_mean_cv(1.0 / p, 0.9));
-                basic_normalized(&f, WeightProfile::tfrc(8), &mut pr, events, seed)
-            }));
-            jobs.push(Job::new(
-                format!("ablate-control/comprehensive/p{p}"),
-                move |_| {
-                    let f = PftkSimplified::with_rtt(1.0);
-                    let mut pr = IidProcess::new(ShiftedExponential::from_mean_cv(1.0 / p, 0.9));
-                    let mut rng = Rng::seed_from(seed);
-                    ComprehensiveControl::new(f.clone(), ControlConfig::new(WeightProfile::tfrc(8)))
-                        .run(&mut pr, &mut rng, events)
-                        .normalized_throughput(&f)
-                },
-            ));
+            for control in [ControlLaw::Basic, ControlLaw::Comprehensive] {
+                specs.push(SimSpec::Mc {
+                    control,
+                    formula: FormulaKind::PftkSimplified,
+                    weights: WeightKind::Tfrc,
+                    window: 8,
+                    p,
+                    cv: 0.9,
+                    events: scale.mc_events,
+                    seed,
+                });
+            }
         }
-        jobs
+        specs
     }
 
-    fn reduce(&self, _scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
+    fn reduce(&self, _scale: Scale, outputs: &[&SpecOutput]) -> Vec<Table> {
         let mut t = Table::new(
             "ablate-control",
             "normalized throughput of both control laws vs p (PFTK-simplified, L = 8)",
             vec!["p", "basic", "comprehensive"],
         );
-        let mut values = results.into_iter().map(take::<f64>);
+        let mut values = outputs.iter().map(|o| o.scalar());
         for p in CONTROL_PS {
-            let basic = values.next().expect("basic job");
-            let comp = values.next().expect("comprehensive job");
+            let basic = values.next().expect("basic spec");
+            let comp = values.next().expect("comprehensive spec");
             t.push_row(vec![p, basic, comp]);
         }
         vec![t]
@@ -110,39 +90,38 @@ impl Experiment for AblateEstimator {
         "Claim 1, second bullet"
     }
 
-    fn jobs(&self, scale: Scale) -> Vec<Job> {
-        let mut jobs = Vec::new();
+    fn specs(&self, scale: Scale) -> Vec<SimSpec> {
+        let mut specs = Vec::new();
         for (i, l) in ESTIMATOR_LS.into_iter().enumerate() {
             let seed = 500 + i as u64;
-            let events = scale.mc_events;
-            for profile in ["tfrc", "uniform"] {
-                jobs.push(Job::new(
-                    format!("ablate-estimator/{profile}/L{l}"),
-                    move |_| {
-                        let f = PftkSimplified::with_rtt(1.0);
-                        let weights = match profile {
-                            "tfrc" => WeightProfile::tfrc(l),
-                            _ => WeightProfile::uniform(l),
-                        };
-                        let mut pr = IidProcess::new(ShiftedExponential::from_mean_cv(10.0, 0.999));
-                        basic_normalized(&f, weights, &mut pr, events, seed)
-                    },
-                ));
+            for weights in [WeightKind::Tfrc, WeightKind::Uniform] {
+                // p = 0.1 reproduces the historical mean-10 intervals
+                // exactly (1.0/0.1 rounds to 10.0).
+                specs.push(SimSpec::Mc {
+                    control: ControlLaw::Basic,
+                    formula: FormulaKind::PftkSimplified,
+                    weights,
+                    window: l,
+                    p: 0.1,
+                    cv: 0.999,
+                    events: scale.mc_events,
+                    seed,
+                });
             }
         }
-        jobs
+        specs
     }
 
-    fn reduce(&self, _scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
+    fn reduce(&self, _scale: Scale, outputs: &[&SpecOutput]) -> Vec<Table> {
         let mut t = Table::new(
             "ablate-estimator",
             "normalized throughput vs L for TFRC and uniform weights (PFTK-simplified, p = 0.1, cv ≈ 1)",
             vec!["L", "tfrc_weights", "uniform_weights", "effective_window_tfrc"],
         );
-        let mut values = results.into_iter().map(take::<f64>);
+        let mut values = outputs.iter().map(|o| o.scalar());
         for l in ESTIMATOR_LS {
-            let tfrc = values.next().expect("tfrc job");
-            let unif = values.next().expect("uniform job");
+            let tfrc = values.next().expect("tfrc spec");
+            let unif = values.next().expect("uniform spec");
             t.push_row(vec![
                 l as f64,
                 tfrc,
@@ -173,54 +152,37 @@ impl Experiment for AblateFormula {
         "Claim 1 application / Section VI"
     }
 
-    fn jobs(&self, scale: Scale) -> Vec<Job> {
-        let mut jobs = Vec::new();
+    fn specs(&self, scale: Scale) -> Vec<SimSpec> {
+        let mut specs = Vec::new();
         for (i, p) in FORMULA_PS.into_iter().enumerate() {
             let seed = 600 + i as u64;
-            let events = scale.mc_events;
             for name in FORMULA_NAMES {
-                jobs.push(Job::new(format!("ablate-formula/{name}/p{p}"), move |_| {
-                    let mut pr = IidProcess::new(ShiftedExponential::from_mean_cv(1.0 / p, 0.999));
-                    match name {
-                        "sqrt" => basic_normalized(
-                            &Sqrt::with_rtt(1.0),
-                            WeightProfile::tfrc(8),
-                            &mut pr,
-                            events,
-                            seed,
-                        ),
-                        "pftk-standard" => basic_normalized(
-                            &PftkStandard::with_rtt(1.0),
-                            WeightProfile::tfrc(8),
-                            &mut pr,
-                            events,
-                            seed,
-                        ),
-                        _ => basic_normalized(
-                            &PftkSimplified::with_rtt(1.0),
-                            WeightProfile::tfrc(8),
-                            &mut pr,
-                            events,
-                            seed,
-                        ),
-                    }
-                }));
+                specs.push(SimSpec::Mc {
+                    control: ControlLaw::Basic,
+                    formula: FormulaKind::from_key_name(name).expect("known formula"),
+                    weights: WeightKind::Tfrc,
+                    window: 8,
+                    p,
+                    cv: 0.999,
+                    events: scale.mc_events,
+                    seed,
+                });
             }
         }
-        jobs
+        specs
     }
 
-    fn reduce(&self, _scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
+    fn reduce(&self, _scale: Scale, outputs: &[&SpecOutput]) -> Vec<Table> {
         let mut t = Table::new(
             "ablate-formula",
             "normalized throughput vs p per formula (basic control, L = 8, cv ≈ 1)",
             vec!["p", "sqrt", "pftk_standard", "pftk_simplified"],
         );
-        let mut values = results.into_iter().map(take::<f64>);
+        let mut values = outputs.iter().map(|o| o.scalar());
         for p in FORMULA_PS {
             let mut row = vec![p];
             for _ in FORMULA_NAMES {
-                row.push(values.next().expect("formula job"));
+                row.push(values.next().expect("formula spec"));
             }
             t.push_row(row);
         }
@@ -246,29 +208,19 @@ impl Experiment for AblatePhaseLoss {
         "Section III-B.2 (when the sufficient conditions do not hold)"
     }
 
-    fn jobs(&self, scale: Scale) -> Vec<Job> {
+    fn specs(&self, scale: Scale) -> Vec<SimSpec> {
         SOJOURNS
             .into_iter()
             .enumerate()
-            .map(|(i, sojourn)| {
-                let events = scale.mc_events;
-                Job::new(format!("ablate-phase/sojourn{sojourn}"), move |_| {
-                    let f = Sqrt::with_rtt(1.0);
-                    let mut process = MarkovModulated::congestion_oscillation(60.0, 4.0, sojourn);
-                    let mut rng = Rng::seed_from(700 + i as u64);
-                    let trace =
-                        BasicControl::new(f.clone(), ControlConfig::new(WeightProfile::tfrc(8)))
-                            .run(&mut process, &mut rng, events);
-                    (
-                        trace.normalized_throughput(&f),
-                        trace.normalized_covariance(),
-                    )
-                })
+            .map(|(i, sojourn)| SimSpec::PhaseMc {
+                sojourn,
+                events: scale.mc_events,
+                seed: 700 + i as u64,
             })
             .collect()
     }
 
-    fn reduce(&self, _scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
+    fn reduce(&self, _scale: Scale, outputs: &[&SpecOutput]) -> Vec<Table> {
         let mut t = Table::new(
             "ablate-phase",
             "normalized throughput and cov[θ0,θ̂0]p² vs phase sojourn (SQRT, L = 8)",
@@ -278,9 +230,12 @@ impl Experiment for AblatePhaseLoss {
                 "normalized_covariance",
             ],
         );
-        let mut values = results.into_iter().map(take::<(f64, f64)>);
+        let mut values = outputs.iter().map(|o| {
+            let s = o.scalars();
+            (s[0], s[1])
+        });
         for sojourn in SOJOURNS {
-            let (tput, cov) = values.next().expect("sojourn job");
+            let (tput, cov) = values.next().expect("sojourn spec");
             t.push_row(vec![sojourn, tput, cov]);
         }
         vec![t]

@@ -1,19 +1,17 @@
 //! Section IV-A.2: the fixed-capacity-link analysis behind Claim 4,
 //! including the "not displayed" shared-link simulation.
 //!
-//! Each β point yields two jobs: the isolated fixed-point measurement
+//! Each β point yields two specs: the isolated fixed-point measurement
 //! and the shared-link fluid simulation.
 
 use crate::registry::{Experiment, Scale};
 use crate::series::Table;
-use ebrc_core::formula::AimdFormula;
+use crate::spec::{SimSpec, SpecOutput};
 use ebrc_core::theory::claim4;
-use ebrc_core::weights::WeightProfile;
-use ebrc_runner::{take, Job, JobOutput};
-use ebrc_tcp::{AimdFixedLink, EbrcFixedLink, SharedFixedLink};
+use ebrc_tcp::AimdFixedLink;
 
-const CAPACITY: f64 = 100.0;
-const ALPHA: f64 = 1.0;
+pub(crate) const CAPACITY: f64 = 100.0;
+pub(crate) const ALPHA: f64 = 1.0;
 
 fn beta_list(quick: bool) -> Vec<f64> {
     if quick {
@@ -39,42 +37,22 @@ impl Experiment for Claim4 {
         "Section IV-A.2 / Claim 4"
     }
 
-    fn jobs(&self, scale: Scale) -> Vec<Job> {
+    fn specs(&self, scale: Scale) -> Vec<SimSpec> {
         let events = if scale.quick { 3_000 } else { 30_000 };
         let t_end = if scale.quick { 1_500.0 } else { 10_000.0 };
-        let mut jobs = Vec::new();
+        let mut specs = Vec::new();
         for beta in beta_list(scale.quick) {
-            jobs.push(Job::new(format!("claim4/iso/b{beta}"), move |_| {
-                let mut ebrc = EbrcFixedLink::new(
-                    AimdFormula::new(ALPHA, beta),
-                    WeightProfile::tfrc(8),
-                    CAPACITY,
-                );
-                ebrc.measured_loss_event_rate(events)
-            }));
+            specs.push(SimSpec::Claim4Iso { beta, events });
         }
         for beta in beta_list(scale.quick) {
-            jobs.push(Job::new(format!("claim4/shared/b{beta}"), move |_| {
-                let aimd = AimdFixedLink::new(ALPHA, beta, CAPACITY);
-                let mut link = SharedFixedLink::new(
-                    aimd,
-                    AimdFormula::new(ALPHA, beta),
-                    WeightProfile::tfrc(8),
-                );
-                let out = link.run(t_end * 0.1, t_end);
-                (
-                    out.loss_rate_ratio(),
-                    out.aimd_throughput,
-                    out.ebrc_throughput,
-                )
-            }));
+            specs.push(SimSpec::Claim4Shared { beta, t_end });
         }
-        jobs
+        specs
     }
 
-    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
+    fn reduce(&self, scale: Scale, outputs: &[&SpecOutput]) -> Vec<Table> {
         let betas = beta_list(scale.quick);
-        let mut results = results.into_iter();
+        let mut results = outputs.iter();
 
         let mut iso = Table::new(
             "claim4/isolated",
@@ -89,7 +67,7 @@ impl Experiment for Claim4 {
             ],
         );
         for &beta in &betas {
-            let measured = take::<f64>(results.next().expect("iso job"));
+            let measured = results.next().expect("iso spec").scalar();
             let aimd = AimdFixedLink::new(ALPHA, beta, CAPACITY);
             iso.push_row(vec![
                 beta,
@@ -107,9 +85,8 @@ impl Experiment for Claim4 {
             vec!["beta", "ratio_shared", "aimd_tput", "ebrc_tput"],
         );
         for &beta in &betas {
-            let (ratio, aimd_tput, ebrc_tput) =
-                take::<(f64, f64, f64)>(results.next().expect("shared job"));
-            shared.push_row(vec![beta, ratio, aimd_tput, ebrc_tput]);
+            let s = results.next().expect("shared spec").scalars().to_vec();
+            shared.push_row(vec![beta, s[0], s[1], s[2]]);
         }
         vec![iso, shared]
     }

@@ -3,8 +3,8 @@
 
 use crate::registry::{Experiment, Scale};
 use crate::series::Table;
+use crate::spec::{Panel, SimSpec, SpecOutput};
 use ebrc_core::formula::{PftkSimplified, PftkStandard, Sqrt, ThroughputFormula};
-use ebrc_runner::{take, Job, JobOutput};
 
 fn formulae() -> (Sqrt, PftkStandard, PftkSimplified) {
     (
@@ -15,7 +15,7 @@ fn formulae() -> (Sqrt, PftkStandard, PftkSimplified) {
 }
 
 /// The left panel: `x → f(1/x)` on `(0, 50]`.
-fn left_panel(n: usize) -> Table {
+pub(crate) fn left_panel(n: usize) -> Table {
     let (sqrt, std, simp) = formulae();
     let mut t = Table::new(
         "fig01/left",
@@ -30,7 +30,7 @@ fn left_panel(n: usize) -> Table {
 }
 
 /// The right panel: the Theorem-1 functional `g` on `(0, 10]`.
-fn right_panel(n: usize) -> Table {
+pub(crate) fn right_panel(n: usize) -> Table {
     let (sqrt, std, simp) = formulae();
     let mut t = Table::new(
         "fig01/right",
@@ -60,16 +60,22 @@ impl Experiment for Fig01 {
         "Figure 1"
     }
 
-    fn jobs(&self, scale: Scale) -> Vec<Job> {
-        let n = if scale.quick { 26 } else { 501 };
+    fn specs(&self, scale: Scale) -> Vec<SimSpec> {
+        let points = if scale.quick { 26 } else { 501 };
         vec![
-            Job::new("fig01/left", move |_| left_panel(n)),
-            Job::new("fig01/right", move |_| right_panel(n)),
+            SimSpec::Functional {
+                panel: Panel::Left,
+                points,
+            },
+            SimSpec::Functional {
+                panel: Panel::Right,
+                points,
+            },
         ]
     }
 
-    fn reduce(&self, _scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
-        results.into_iter().map(take::<Table>).collect()
+    fn reduce(&self, _scale: Scale, outputs: &[&SpecOutput]) -> Vec<Table> {
+        outputs.iter().map(|o| o.as_table().clone()).collect()
     }
 }
 

@@ -8,12 +8,12 @@
 
 use crate::registry::{Experiment, Scale};
 use crate::series::Table;
+use crate::spec::{SimSpec, SpecOutput};
 use ebrc_convex::{convex_closure, deviation_ratio};
 use ebrc_core::formula::{c1, c2, PftkStandard, ThroughputFormula};
-use ebrc_runner::{take, Job, JobOutput};
 
 /// The `b = 1` instance: curve table around the kink plus its ratio.
-fn kink_instance(n: usize) -> (Table, f64) {
+pub(crate) fn kink_instance(n: usize) -> (Table, f64) {
     // The paper's instance: b = 1 (kink at c2² = 3.375), r = 1, q = 4.
     let f = PftkStandard::new(c1(1.0), c2(1.0), 1.0, 4.0);
     let g = f.sample_g(3.25, 3.5, n);
@@ -32,7 +32,7 @@ fn kink_instance(n: usize) -> (Table, f64) {
 }
 
 /// The same bound for the `b = 2` default constants.
-fn b2_ratio(n: usize) -> f64 {
+pub(crate) fn b2_ratio(n: usize) -> f64 {
     let f2 = PftkStandard::with_rtt(1.0);
     deviation_ratio(&f2.sample_g(6.0, 7.6, n))
 }
@@ -53,26 +53,25 @@ impl Experiment for Fig02 {
         "Figure 2 / Proposition 4"
     }
 
-    fn jobs(&self, scale: Scale) -> Vec<Job> {
-        let n = if scale.quick { 2_001 } else { 40_001 };
+    fn specs(&self, scale: Scale) -> Vec<SimSpec> {
+        let points = if scale.quick { 2_001 } else { 40_001 };
         vec![
-            Job::new("fig02/b1", move |_| kink_instance(n)),
-            Job::new("fig02/b2", move |_| b2_ratio(n)),
+            SimSpec::KinkCurves { points },
+            SimSpec::KinkRatioB2 { points },
         ]
     }
 
-    fn reduce(&self, _scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
-        let mut results = results.into_iter();
-        let (curves, ratio_b1) = take::<(Table, f64)>(results.next().expect("b1 job"));
-        let ratio_b2 = take::<f64>(results.next().expect("b2 job"));
+    fn reduce(&self, _scale: Scale, outputs: &[&SpecOutput]) -> Vec<Table> {
+        let (curves, b1) = outputs[0].as_table_and_scalars();
+        let ratio_b2 = outputs[1].scalar();
         let mut summary = Table::new(
             "fig02/summary",
             "sup g/g** (paper: 1.0026) and the same bound for the b = 2 default",
             vec!["b", "kink_x", "deviation_ratio"],
         );
-        summary.push_row(vec![1.0, 3.375, ratio_b1]);
+        summary.push_row(vec![1.0, 3.375, b1[0]]);
         summary.push_row(vec![2.0, 6.75, ratio_b2]);
-        vec![curves, summary]
+        vec![curves.clone(), summary]
     }
 }
 

@@ -14,28 +14,8 @@
 
 use crate::registry::{Experiment, Scale};
 use crate::series::Table;
-use ebrc_core::control::{BasicControl, ControlConfig};
-use ebrc_core::formula::{PftkSimplified, Sqrt, ThroughputFormula};
-use ebrc_core::weights::WeightProfile;
-use ebrc_dist::{IidProcess, Rng, ShiftedExponential};
-use ebrc_runner::{take, Job, JobOutput};
-
-/// Monte-Carlo estimate of the basic control's normalized throughput
-/// under i.i.d. shifted-exponential intervals.
-pub fn normalized_throughput<F: ThroughputFormula + Clone>(
-    formula: &F,
-    l: usize,
-    p: f64,
-    cv: f64,
-    events: usize,
-    seed: u64,
-) -> f64 {
-    let mut process = IidProcess::new(ShiftedExponential::from_mean_cv(1.0 / p, cv));
-    let mut rng = Rng::seed_from(seed);
-    let cfg = ControlConfig::new(WeightProfile::tfrc(l));
-    let trace = BasicControl::new(formula.clone(), cfg).run(&mut process, &mut rng, events);
-    trace.normalized_throughput(formula)
-}
+use crate::spec::{ControlLaw, SimSpec, SpecOutput, WeightKind};
+use ebrc_tfrc::FormulaKind;
 
 fn window_list(quick: bool) -> Vec<usize> {
     if quick {
@@ -56,30 +36,21 @@ struct McPoint {
 }
 
 impl McPoint {
-    fn into_job_with_events(self, figure: &str, events: usize) -> Job {
-        let Self {
-            formula,
-            p,
-            cv,
-            l,
-            seed,
-        } = self;
-        Job::new(
-            format!("{figure}/{formula}/p{p}/cv{cv}/L{l}"),
-            move |_| -> f64 {
-                match formula {
-                    "sqrt" => normalized_throughput(&Sqrt::with_rtt(1.0), l, p, cv, events, seed),
-                    _ => normalized_throughput(
-                        &PftkSimplified::with_rtt(1.0),
-                        l,
-                        p,
-                        cv,
-                        events,
-                        seed,
-                    ),
-                }
+    fn into_spec(self, events: usize) -> SimSpec {
+        SimSpec::Mc {
+            control: ControlLaw::Basic,
+            formula: if self.formula == "sqrt" {
+                FormulaKind::Sqrt
+            } else {
+                FormulaKind::PftkSimplified
             },
-        )
+            weights: WeightKind::Tfrc,
+            window: self.l,
+            p: self.p,
+            cv: self.cv,
+            events,
+            seed: self.seed,
+        }
     }
 }
 
@@ -126,18 +97,18 @@ impl Experiment for Fig03 {
         "Figure 3"
     }
 
-    fn jobs(&self, scale: Scale) -> Vec<Job> {
+    fn specs(&self, scale: Scale) -> Vec<SimSpec> {
         fig03_grid(scale)
             .into_iter()
-            .map(|pt| pt.into_job_with_events("fig03", scale.mc_events))
+            .map(|pt| pt.into_spec(scale.mc_events))
             .collect()
     }
 
-    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
+    fn reduce(&self, scale: Scale, outputs: &[&SpecOutput]) -> Vec<Table> {
         let grid = fig03_grid(scale);
         let ls = window_list(scale.quick);
         let cv = 1.0 - 1.0 / 1000.0;
-        let mut values = results.into_iter().map(take::<f64>);
+        let mut values = outputs.iter().map(|o| o.scalar());
         let mut tables = Vec::new();
         for formula in ["sqrt", "pftk-simplified"] {
             let mut cols: Vec<String> = vec!["p".into()];
@@ -206,21 +177,21 @@ impl Experiment for Fig04 {
         "Figure 4"
     }
 
-    fn jobs(&self, scale: Scale) -> Vec<Job> {
+    fn specs(&self, scale: Scale) -> Vec<SimSpec> {
         fig04_grid(scale)
             .into_iter()
-            .map(|pt| pt.into_job_with_events("fig04", scale.mc_events))
+            .map(|pt| pt.into_spec(scale.mc_events))
             .collect()
     }
 
-    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
+    fn reduce(&self, scale: Scale, outputs: &[&SpecOutput]) -> Vec<Table> {
         let ls = window_list(scale.quick);
         let cvs: Vec<f64> = fig04_grid(scale)
             .iter()
             .filter(|pt| pt.p == 0.01 && pt.l == ls[0])
             .map(|pt| pt.cv)
             .collect();
-        let mut values = results.into_iter().map(take::<f64>);
+        let mut values = outputs.iter().map(|o| o.scalar());
         let mut tables = Vec::new();
         for p in [0.01, 0.1] {
             let mut cols: Vec<String> = vec!["cv".into()];

@@ -10,14 +10,17 @@
 //! * Figure 8 — the TFRC/TCP throughput ratio versus N;
 //! * Figure 9 — TCP against its own formula (obedience).
 //!
-//! Each `(L, N, replica)` grid point is one runner job (a whole engine
-//! instance); reducers average over `Scale::replicas` per point.
+//! Figures 5 and 8 subscribe to the *same* [`SimSpec::Ns2Dumbbell`]
+//! grid, and Figure 9 rides its `L = 8` column — the plan runs each
+//! `(L, N, replica)` instance once and fans the measurements out to
+//! every reducer. Figure 7's runs carry the Poisson probe, a different
+//! simulation, so they stay separate specs.
 
 use crate::figures::mean;
-use crate::registry::{replica_seed, Experiment, Scale};
-use crate::scenarios::{DumbbellConfig, DumbbellRun, RunMeasurements};
+use crate::registry::{Experiment, Scale};
+use crate::scenarios::{DumbbellRun, RunMeasurements};
 use crate::series::Table;
-use ebrc_runner::{take, Job, JobOutput};
+use crate::spec::{ns2_config, SimSpec, SpecOutput};
 
 fn n_list(quick: bool) -> Vec<usize> {
     if quick {
@@ -36,15 +39,23 @@ fn l_list(quick: bool) -> Vec<usize> {
 }
 
 /// Runs replica `rep` of the ns-2 scenario for `(n, l)` and returns its
-/// measurements.
+/// measurements — the direct (spec-less) path kept for unit tests.
 pub fn ns2_run(n: usize, l: usize, rep: usize, scale: Scale, probe: bool) -> RunMeasurements {
-    let base = 0x5eed + (n as u64) * 31 + l as u64;
-    let mut cfg = DumbbellConfig::ns2_paper(n, l, replica_seed(base, rep));
-    if probe {
-        cfg.poisson_probe = Some(5.0);
-    }
+    let cfg = ns2_config(n, l, rep, probe.then_some(5.0));
     let mut run = DumbbellRun::build(&cfg);
     run.measure(scale.sim_warmup, scale.sim_span)
+}
+
+/// The shared `(L, N, replica)` spec for one grid point.
+fn ns2_spec(l: usize, n: usize, rep: usize, scale: Scale, probe: bool) -> SimSpec {
+    SimSpec::Ns2Dumbbell {
+        n,
+        l,
+        rep,
+        probe: probe.then_some(5.0),
+        warmup: scale.sim_warmup,
+        span: scale.sim_span,
+    }
 }
 
 /// The `(L, N, replica)` grid shared by Figures 5, 7 and 8, in table
@@ -77,23 +88,14 @@ impl Experiment for Fig05 {
         "Figure 5"
     }
 
-    fn jobs(&self, scale: Scale) -> Vec<Job> {
+    fn specs(&self, scale: Scale) -> Vec<SimSpec> {
         grid(scale)
             .into_iter()
-            .map(|(l, n, rep)| {
-                Job::new(format!("fig05/L{l}/n{n}/rep{rep}"), move |_| {
-                    let m = ns2_run(n, l, rep, scale, false);
-                    (
-                        m.tfrc_valid_mean(|f| f.loss_event_rate),
-                        m.tfrc_normalized_throughput(),
-                        m.tfrc_valid_mean(|f| f.normalized_covariance),
-                    )
-                })
-            })
+            .map(|(l, n, rep)| ns2_spec(l, n, rep, scale, false))
             .collect()
     }
 
-    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
+    fn reduce(&self, scale: Scale, outputs: &[&SpecOutput]) -> Vec<Table> {
         let mut tput = Table::new(
             "fig05/top",
             "normalized throughput x̄/f(p, r) vs loss-event rate p",
@@ -104,7 +106,14 @@ impl Experiment for Fig05 {
             "normalized covariance cov[θ0, θ̂0]·p² vs p",
             vec!["L", "n_pairs", "p", "normalized_covariance"],
         );
-        let mut values = results.into_iter().map(take::<(f64, f64, f64)>);
+        let mut values = outputs.iter().map(|o| {
+            let m = o.as_run();
+            (
+                m.tfrc_valid_mean(|f| f.loss_event_rate),
+                m.tfrc_normalized_throughput(),
+                m.tfrc_valid_mean(|f| f.normalized_covariance),
+            )
+        });
         for &l in &l_list(scale.quick) {
             for &n in &n_list(scale.quick) {
                 // Pool replicas of this point; only replicas that saw
@@ -143,29 +152,27 @@ impl Experiment for Fig07 {
         "Figure 7 / Claim 3"
     }
 
-    fn jobs(&self, scale: Scale) -> Vec<Job> {
+    fn specs(&self, scale: Scale) -> Vec<SimSpec> {
         grid(scale)
             .into_iter()
-            .map(|(l, n, rep)| {
-                Job::new(format!("fig07/L{l}/n{n}/rep{rep}"), move |_| {
-                    let m = ns2_run(n, l, rep, scale, true);
-                    (
-                        m.tfrc_valid_mean(|f| f.loss_event_rate),
-                        m.tcp_valid_mean(|f| f.loss_event_rate),
-                        m.probe_loss_rate.unwrap_or(0.0),
-                    )
-                })
-            })
+            .map(|(l, n, rep)| ns2_spec(l, n, rep, scale, true))
             .collect()
     }
 
-    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
+    fn reduce(&self, scale: Scale, outputs: &[&SpecOutput]) -> Vec<Table> {
         let mut t = Table::new(
             "fig07",
             "p' ≤ p ≤ p'' ordering in the many-sources regime",
             vec!["L", "connections", "p_tfrc", "p_tcp", "p_poisson"],
         );
-        let mut values = results.into_iter().map(take::<(f64, f64, f64)>);
+        let mut values = outputs.iter().map(|o| {
+            let m = o.as_run();
+            (
+                m.tfrc_valid_mean(|f| f.loss_event_rate),
+                m.tcp_valid_mean(|f| f.loss_event_rate),
+                m.probe_loss_rate.unwrap_or(0.0),
+            )
+        });
         for &l in &l_list(scale.quick) {
             for &n in &n_list(scale.quick) {
                 let reps: Vec<(f64, f64, f64)> = (0..scale.replica_count())
@@ -200,28 +207,27 @@ impl Experiment for Fig08 {
         "Figure 8"
     }
 
-    fn jobs(&self, scale: Scale) -> Vec<Job> {
+    fn specs(&self, scale: Scale) -> Vec<SimSpec> {
+        // The exact grid Figure 5 subscribes to — zero extra sims.
         grid(scale)
             .into_iter()
-            .map(|(l, n, rep)| {
-                Job::new(format!("fig08/L{l}/n{n}/rep{rep}"), move |_| {
-                    let m = ns2_run(n, l, rep, scale, false);
-                    (
-                        m.tfrc_valid_mean(|f| f.throughput),
-                        m.tcp_valid_mean(|f| f.throughput),
-                    )
-                })
-            })
+            .map(|(l, n, rep)| ns2_spec(l, n, rep, scale, false))
             .collect()
     }
 
-    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
+    fn reduce(&self, scale: Scale, outputs: &[&SpecOutput]) -> Vec<Table> {
         let mut t = Table::new(
             "fig08",
             "x̄(TFRC)/x̄'(TCP) vs connections, per estimator window L",
             vec!["L", "connections", "throughput_ratio"],
         );
-        let mut values = results.into_iter().map(take::<(f64, f64)>);
+        let mut values = outputs.iter().map(|o| {
+            let m = o.as_run();
+            (
+                m.tfrc_valid_mean(|f| f.throughput),
+                m.tcp_valid_mean(|f| f.throughput),
+            )
+        });
         for &l in &l_list(scale.quick) {
             for &n in &n_list(scale.quick) {
                 let ratios: Vec<f64> = (0..scale.replica_count())
@@ -254,33 +260,35 @@ impl Experiment for Fig09 {
         "Figure 9"
     }
 
-    fn jobs(&self, scale: Scale) -> Vec<Job> {
-        let mut jobs = Vec::new();
+    fn specs(&self, scale: Scale) -> Vec<SimSpec> {
+        // The L = 8 column of the shared grid: at any scale whose
+        // l_list contains 8 these specs dedup against Figures 5/8.
+        let mut specs = Vec::new();
         for &n in &n_list(scale.quick) {
             for rep in 0..scale.replica_count() {
-                jobs.push(Job::new(format!("fig09/n{n}/rep{rep}"), move |_| {
-                    let m = ns2_run(n, 8, rep, scale, false);
-                    let mut points: Vec<(f64, f64)> = Vec::new();
-                    for f in &m.tcp {
-                        if f.loss_event_rate > 0.0 && f.rtt_mean > 0.0 {
-                            let predicted = m.tfrc_formula.rate(f.loss_event_rate, f.rtt_mean);
-                            points.push((predicted, f.throughput));
-                        }
-                    }
-                    points
-                }));
+                specs.push(ns2_spec(8, n, rep, scale, false));
             }
         }
-        jobs
+        specs
     }
 
-    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
+    fn reduce(&self, scale: Scale, outputs: &[&SpecOutput]) -> Vec<Table> {
         let mut t = Table::new(
             "fig09",
             "per-run mean TCP throughput against f(p', r') — below the diagonal means TCP underperforms its formula",
             vec!["connections", "f_predicted", "measured"],
         );
-        let mut values = results.into_iter().map(take::<Vec<(f64, f64)>>);
+        let mut values = outputs.iter().map(|o| {
+            let m = o.as_run();
+            let mut points: Vec<(f64, f64)> = Vec::new();
+            for f in &m.tcp {
+                if f.loss_event_rate > 0.0 && f.rtt_mean > 0.0 {
+                    let predicted = m.tfrc_formula.rate(f.loss_event_rate, f.rtt_mean);
+                    points.push((predicted, f.throughput));
+                }
+            }
+            points
+        });
         for &n in &n_list(scale.quick) {
             for _rep in 0..scale.replica_count() {
                 for (predicted, measured) in values.next().expect("grid/result length mismatch") {
@@ -295,6 +303,7 @@ impl Experiment for Fig09 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::registry::global_plan;
 
     /// Shared quick-scale smoke test covering the Claim 3 ordering.
     #[test]
@@ -324,16 +333,45 @@ mod tests {
 
     #[test]
     fn replicated_scale_pools_the_same_grid() {
-        // Two replicas of the cheapest point: the job grid doubles and
+        // Two replicas of the cheapest point: the spec grid doubles and
         // the reduce still emits one row per (L, n).
         let mut scale = Scale::quick();
         scale.replicas = 2;
-        let jobs = Fig05.jobs(scale);
+        let specs = Fig05.specs(scale);
         assert_eq!(
-            jobs.len(),
+            specs.len(),
             2 * l_list(true).len() * n_list(true).len(),
-            "one job per (L, n, replica)"
+            "one spec per (L, n, replica)"
         );
-        assert!(jobs.iter().any(|j| j.label().ends_with("/rep1")));
+        let plan = Fig05.plan(scale);
+        assert_eq!(plan.unique_len(), specs.len(), "replicas never collide");
+    }
+
+    #[test]
+    fn fig05_fig08_fig09_share_one_grid() {
+        let scale = Scale::quick();
+        let plan = global_plan(
+            &[
+                &Fig05 as &dyn Experiment,
+                &Fig08 as &dyn Experiment,
+                &Fig09 as &dyn Experiment,
+            ],
+            scale,
+        );
+        // fig08 adds nothing; fig09's three L = 8 points ride along.
+        assert_eq!(plan.unique_len(), Fig05.specs(scale).len());
+        assert_eq!(
+            plan.subscribed_len(),
+            Fig05.specs(scale).len() + Fig08.specs(scale).len() + Fig09.specs(scale).len()
+        );
+        // fig07 carries the probe and shares nothing with the others.
+        let with_probe = global_plan(
+            &[&Fig05 as &dyn Experiment, &Fig07 as &dyn Experiment],
+            scale,
+        );
+        assert_eq!(
+            with_probe.unique_len(),
+            Fig05.specs(scale).len() + Fig07.specs(scale).len()
+        );
     }
 }

@@ -11,10 +11,10 @@
 
 use crate::registry::{Experiment, Scale};
 use crate::series::Table;
+use crate::spec::{SimSpec, SpecOutput};
 use ebrc_core::weights::WeightProfile;
 use ebrc_dist::Rng;
 use ebrc_net::{BernoulliDropper, FlowId, NetEvent};
-use ebrc_runner::{take, Job, JobOutput};
 use ebrc_sim::Engine;
 use ebrc_tfrc::{AudioTfrcSender, FormulaKind, RttMode, TfrcReceiver, TfrcReceiverConfig};
 
@@ -99,23 +99,26 @@ impl Experiment for Fig06 {
         "Figure 6 / Claim 2"
     }
 
-    fn jobs(&self, scale: Scale) -> Vec<Job> {
+    fn specs(&self, scale: Scale) -> Vec<SimSpec> {
         // Audio loss events arrive at ~p·50/s; size the run for enough
         // events.
         let duration = if scale.quick { 3_000.0 } else { 20_000.0 };
-        let mut jobs = Vec::new();
+        let mut specs = Vec::new();
         for (i, &pd) in drop_list(scale.quick).iter().enumerate() {
-            for (name, formula, seed_offset) in FORMULAE {
-                let seed = 60 + i as u64 + seed_offset;
-                jobs.push(Job::new(format!("fig06/p{pd}/{name}"), move |_| {
-                    audio_point(pd, formula, 4, duration, seed)
-                }));
+            for (_name, formula, seed_offset) in FORMULAE {
+                specs.push(SimSpec::Audio {
+                    p_drop: pd,
+                    formula,
+                    window: 4,
+                    duration,
+                    seed: 60 + i as u64 + seed_offset,
+                });
             }
         }
-        jobs
+        specs
     }
 
-    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
+    fn reduce(&self, scale: Scale, outputs: &[&SpecOutput]) -> Vec<Table> {
         let mut top = Table::new(
             "fig06/top",
             "normalized throughput E[X]/f(p) vs p, L = 4",
@@ -126,7 +129,10 @@ impl Experiment for Fig06 {
             "squared CV of the estimator θ̂ vs p",
             vec!["p", "sqrt", "pftk_standard", "pftk_simplified"],
         );
-        let mut values = results.into_iter().map(take::<(f64, f64, f64)>);
+        let mut values = outputs.iter().map(|o| {
+            let s = o.scalars();
+            (s[0], s[1], s[2])
+        });
         for _ in drop_list(scale.quick) {
             // The x coordinate is SQRT's measured p (first formula).
             let (p1, n1, c1) = values.next().expect("grid/result length mismatch");

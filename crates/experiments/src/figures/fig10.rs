@@ -11,27 +11,12 @@
 //! Every `(environment, replica)` pair is one runner job; the reducer
 //! pools each environment's replica samples into its box summary.
 
-use crate::figures::internet::{site_run, sites};
-use crate::figures::lab::{lab_queues, lab_run};
+use crate::figures::internet::sites;
+use crate::figures::lab::lab_queues;
 use crate::registry::{Experiment, Scale};
-use crate::scenarios::{DumbbellConfig, DumbbellRun, QueueSpec};
 use crate::series::Table;
-use ebrc_runner::{take, Job, JobOutput};
+use crate::spec::{SimSpec, SpecOutput};
 use ebrc_stats::FiveNumber;
-
-/// Cable-modem scenario: one TFRC + one TCP into 56 kb/s with small
-/// packets (the EPFL cable-modem receiver).
-pub fn cable_modem_run(scale: Scale, seed: u64) -> f64 {
-    let mut cfg = DumbbellConfig::lab_paper(1, QueueSpec::DropTail(20), seed);
-    cfg.bottleneck_bps = 56e3;
-    cfg.tfrc.sender.packet_size = 250;
-    cfg.tcp.packet_size = 250;
-    cfg.one_way_delay = 0.05;
-    let mut run = DumbbellRun::build(&cfg);
-    // The slow link needs a longer span for enough loss events.
-    let m = run.measure(scale.sim_warmup, scale.sim_span * 4.0);
-    m.tfrc_valid_mean(|f| f.normalized_covariance)
-}
 
 /// The environment list, in figure order.
 fn environments() -> Vec<String> {
@@ -60,49 +45,62 @@ impl Experiment for Fig10 {
         "Figure 10"
     }
 
-    fn jobs(&self, scale: Scale) -> Vec<Job> {
-        let mut jobs = Vec::new();
-        for (qi, (name, _)) in lab_queues().into_iter().enumerate() {
+    fn specs(&self, scale: Scale) -> Vec<SimSpec> {
+        let mut specs = Vec::new();
+        for (qi, _) in lab_queues().into_iter().enumerate() {
             for rep in 0..scale.replica_count() {
-                jobs.push(Job::new(format!("fig10/lab/{name}/rep{rep}"), move |_| {
-                    let (_, queue) = lab_queues().remove(qi);
-                    let m = lab_run(queue, 4, scale, 100 + rep as u64 * 7);
-                    m.tfrc_valid()
-                        .map(|f| f.normalized_covariance)
-                        .collect::<Vec<f64>>()
-                }));
+                specs.push(SimSpec::LabDumbbell {
+                    queue: qi,
+                    n: 4,
+                    seed: 100 + rep as u64 * 7,
+                    warmup: scale.sim_warmup,
+                    span: scale.sim_span,
+                });
             }
         }
-        for (si, site) in sites().iter().enumerate() {
+        for (si, _) in sites().iter().enumerate() {
             for rep in 0..scale.replica_count() {
-                jobs.push(Job::new(
-                    format!("fig10/internet/{}/rep{rep}", site.name),
-                    move |_| {
-                        let site = sites()[si];
-                        let m = site_run(&site, 2, scale, 200 + rep as u64 * 13);
-                        m.tfrc_valid()
-                            .map(|f| f.normalized_covariance)
-                            .collect::<Vec<f64>>()
-                    },
-                ));
+                specs.push(SimSpec::SiteDumbbell {
+                    site: si,
+                    n: 2,
+                    seed: 200 + rep as u64 * 13,
+                    quick: scale.quick,
+                    warmup: scale.sim_warmup,
+                    span: scale.sim_span,
+                });
             }
         }
         for rep in 0..scale.replica_count() {
-            jobs.push(Job::new(format!("fig10/cable-modem/rep{rep}"), move |_| {
-                vec![cable_modem_run(scale, 300 + rep as u64 * 17)]
-            }));
+            specs.push(SimSpec::CableModem {
+                seed: 300 + rep as u64 * 17,
+                warmup: scale.sim_warmup,
+                // The slow link needs a longer span for enough loss
+                // events.
+                span: scale.sim_span * 4.0,
+            });
         }
-        jobs
+        specs
     }
 
-    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
+    fn reduce(&self, scale: Scale, outputs: &[&SpecOutput]) -> Vec<Table> {
         let mut t = Table::new(
             "fig10",
             "box summaries (min, q1, median, q3, max) of cov[θ0, θ̂0]p² per environment",
             vec!["env_index", "min", "q1", "median", "q3", "max"],
         );
-        let mut values = results.into_iter().map(take::<Vec<f64>>);
         let names = environments();
+        // Lab and Internet environments pool every valid flow's
+        // covariance; the cable modem contributes its per-run mean.
+        let mut values = outputs.iter().enumerate().map(|(i, o)| {
+            let m = o.as_run();
+            if i < (names.len() - 1) * scale.replica_count() {
+                m.tfrc_valid()
+                    .map(|f| f.normalized_covariance)
+                    .collect::<Vec<f64>>()
+            } else {
+                vec![m.tfrc_valid_mean(|f| f.normalized_covariance)]
+            }
+        });
         for (idx, _) in names.iter().enumerate() {
             let mut samples = Vec::new();
             for _ in 0..scale.replica_count() {

@@ -11,9 +11,8 @@
 
 use crate::figures::mean;
 use crate::registry::{replica_seed, Experiment, Scale};
-use crate::scenarios::{DumbbellConfig, DumbbellRun, QueueSpec};
 use crate::series::Table;
-use ebrc_runner::{take, Job, JobOutput};
+use crate::spec::{SimSpec, SpecOutput, SweepMode};
 
 fn buffers(quick: bool) -> Vec<usize> {
     if quick {
@@ -21,37 +20,6 @@ fn buffers(quick: bool) -> Vec<usize> {
     } else {
         vec![10, 25, 50, 100, 150, 200, 250]
     }
-}
-
-/// One TCP alone on the bottleneck: its loss-event rate.
-fn tcp_alone_rate(buffer: usize, scale: Scale, seed: u64) -> f64 {
-    let mut cfg = DumbbellConfig::lab_paper(0, QueueSpec::DropTail(buffer), seed);
-    cfg.n_tcp = 1;
-    cfg.n_tfrc = 0;
-    let mut run = DumbbellRun::build(&cfg);
-    let m = run.measure(scale.sim_warmup, scale.sim_span);
-    m.tcp_mean(|f| f.loss_event_rate)
-}
-
-/// One TFRC alone on the bottleneck: its loss-event rate.
-fn tfrc_alone_rate(buffer: usize, scale: Scale, seed: u64) -> f64 {
-    let mut cfg = DumbbellConfig::lab_paper(0, QueueSpec::DropTail(buffer), seed);
-    cfg.n_tcp = 0;
-    cfg.n_tfrc = 1;
-    let mut run = DumbbellRun::build(&cfg);
-    let m = run.measure(scale.sim_warmup, scale.sim_span);
-    m.tfrc_mean(|f| f.loss_event_rate)
-}
-
-/// One TCP and one TFRC sharing: `(p_tcp, p_tfrc)`.
-fn sharing_rates(buffer: usize, scale: Scale, seed: u64) -> (f64, f64) {
-    let cfg = DumbbellConfig::lab_paper(1, QueueSpec::DropTail(buffer), seed);
-    let mut run = DumbbellRun::build(&cfg);
-    let m = run.measure(scale.sim_warmup, scale.sim_span);
-    (
-        m.tcp_mean(|f| f.loss_event_rate),
-        m.tfrc_mean(|f| f.loss_event_rate),
-    )
 }
 
 /// Figure 17 reproduction.
@@ -70,29 +38,31 @@ impl Experiment for Fig17 {
         "Figure 17 / Claim 4"
     }
 
-    fn jobs(&self, scale: Scale) -> Vec<Job> {
-        let mut jobs = Vec::new();
+    fn specs(&self, scale: Scale) -> Vec<SimSpec> {
+        let mut specs = Vec::new();
         for (i, &b) in buffers(scale.quick).iter().enumerate() {
             for rep in 0..scale.replica_count() {
                 let iso_seed = replica_seed(170 + i as u64 * 3, rep);
                 let shared_seed = replica_seed(270 + i as u64 * 3, rep);
-                jobs.push(Job::new(
-                    format!("fig17/iso-tcp/b{b}/rep{rep}"),
-                    move |_| tcp_alone_rate(b, scale, iso_seed),
-                ));
-                jobs.push(Job::new(
-                    format!("fig17/iso-tfrc/b{b}/rep{rep}"),
-                    move |_| tfrc_alone_rate(b, scale, iso_seed + 1),
-                ));
-                jobs.push(Job::new(format!("fig17/shared/b{b}/rep{rep}"), move |_| {
-                    sharing_rates(b, scale, shared_seed)
-                }));
+                for (mode, seed) in [
+                    (SweepMode::TcpAlone, iso_seed),
+                    (SweepMode::TfrcAlone, iso_seed + 1),
+                    (SweepMode::Shared, shared_seed),
+                ] {
+                    specs.push(SimSpec::BufferSweep {
+                        mode,
+                        buffer: b,
+                        seed,
+                        warmup: scale.sim_warmup,
+                        span: scale.sim_span,
+                    });
+                }
             }
         }
-        jobs
+        specs
     }
 
-    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
+    fn reduce(&self, scale: Scale, outputs: &[&SpecOutput]) -> Vec<Table> {
         let mut iso = Table::new(
             "fig17/isolation",
             "each protocol alone on the bottleneck",
@@ -103,16 +73,19 @@ impl Experiment for Fig17 {
             "one TCP and one TFRC sharing the bottleneck",
             vec!["buffer", "p_tcp", "p_tfrc", "ratio"],
         );
-        let mut results = results.into_iter();
+        let mut results = outputs.iter();
+        let mut next = || *results.next().expect("grid/result length mismatch");
         for &b in &buffers(scale.quick) {
             let mut iso_pairs: Vec<(f64, f64)> = Vec::new();
             let mut shared_pairs: Vec<(f64, f64)> = Vec::new();
             for _ in 0..scale.replica_count() {
-                let pt = take::<f64>(results.next().expect("grid/result length mismatch"));
-                let pf = take::<f64>(results.next().expect("grid/result length mismatch"));
+                let pt = next().as_run().tcp_mean(|f| f.loss_event_rate);
+                let pf = next().as_run().tfrc_mean(|f| f.loss_event_rate);
                 iso_pairs.push((pt, pf));
-                shared_pairs.push(take::<(f64, f64)>(
-                    results.next().expect("grid/result length mismatch"),
+                let shared = next().as_run();
+                shared_pairs.push((
+                    shared.tcp_mean(|f| f.loss_event_rate),
+                    shared.tfrc_mean(|f| f.loss_event_rate),
                 ));
             }
             for (pairs, table) in [(iso_pairs, &mut iso), (shared_pairs, &mut shared)] {

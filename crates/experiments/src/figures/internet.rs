@@ -16,7 +16,7 @@ use crate::figures::mean;
 use crate::registry::{replica_seed, Experiment, Scale};
 use crate::scenarios::{DumbbellConfig, DumbbellRun, QueueSpec, RunMeasurements};
 use crate::series::Table;
-use ebrc_runner::{take, Job, JobOutput};
+use crate::spec::{SimSpec, SpecOutput};
 use ebrc_tfrc::FormulaKind;
 
 /// A synthetic Table-I site.
@@ -117,6 +117,25 @@ fn pair_list(quick: bool) -> Vec<usize> {
     }
 }
 
+/// The Table I constants as a table — the body of the `table1` spec.
+pub(crate) fn site_table() -> Table {
+    let mut t = Table::new(
+        "table1",
+        "site parameters: access Mb/s, hops, base RTT (ms), buffer (pkts)",
+        vec!["site_index", "mbps", "hops", "rtt_ms", "buffer"],
+    );
+    for (i, s) in sites().iter().enumerate() {
+        t.push_row(vec![
+            i as f64,
+            s.access_bps / 1e6,
+            s.hops as f64,
+            s.rtt * 1e3,
+            s.buffer as f64,
+        ]);
+    }
+    t
+}
+
 /// The `(site, pairs, replica)` grid shared by Figures 11 and 12–15, in
 /// table order.
 fn grid(scale: Scale) -> Vec<(usize, usize, usize)> {
@@ -147,28 +166,12 @@ impl Experiment for Table1 {
         "Table I"
     }
 
-    fn jobs(&self, _scale: Scale) -> Vec<Job> {
-        vec![Job::new("table1/sites", |_| {
-            let mut t = Table::new(
-                "table1",
-                "site parameters: access Mb/s, hops, base RTT (ms), buffer (pkts)",
-                vec!["site_index", "mbps", "hops", "rtt_ms", "buffer"],
-            );
-            for (i, s) in sites().iter().enumerate() {
-                t.push_row(vec![
-                    i as f64,
-                    s.access_bps / 1e6,
-                    s.hops as f64,
-                    s.rtt * 1e3,
-                    s.buffer as f64,
-                ]);
-            }
-            t
-        })]
+    fn specs(&self, _scale: Scale) -> Vec<SimSpec> {
+        vec![SimSpec::SiteTable]
     }
 
-    fn reduce(&self, _scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
-        results.into_iter().map(take::<Table>).collect()
+    fn reduce(&self, _scale: Scale, outputs: &[&SpecOutput]) -> Vec<Table> {
+        outputs.iter().map(|o| o.as_table().clone()).collect()
     }
 }
 
@@ -188,27 +191,32 @@ impl Experiment for Fig11 {
         "Figure 11"
     }
 
-    fn jobs(&self, scale: Scale) -> Vec<Job> {
+    fn specs(&self, scale: Scale) -> Vec<SimSpec> {
         grid(scale)
             .into_iter()
             .map(|(si, n, rep)| {
-                let name = sites()[si].name;
-                Job::new(format!("fig11/{name}/n{n}/rep{rep}"), move |_| {
-                    let site = sites()[si];
-                    let base = 7_000 + si as u64 * 97 + n as u64;
-                    let m = site_run(&site, n, scale, replica_seed(base, rep));
-                    (
-                        m.tfrc_valid_mean(|f| f.loss_event_rate),
-                        m.tfrc_valid_mean(|f| f.throughput),
-                        m.tcp_valid_mean(|f| f.throughput),
-                    )
-                })
+                let base = 7_000 + si as u64 * 97 + n as u64;
+                SimSpec::SiteDumbbell {
+                    site: si,
+                    n,
+                    seed: replica_seed(base, rep),
+                    quick: scale.quick,
+                    warmup: scale.sim_warmup,
+                    span: scale.sim_span,
+                }
             })
             .collect()
     }
 
-    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
-        let mut values = results.into_iter().map(take::<(f64, f64, f64)>);
+    fn reduce(&self, scale: Scale, outputs: &[&SpecOutput]) -> Vec<Table> {
+        let mut values = outputs.iter().map(|o| {
+            let m = o.as_run();
+            (
+                m.tfrc_valid_mean(|f| f.loss_event_rate),
+                m.tfrc_valid_mean(|f| f.throughput),
+                m.tcp_valid_mean(|f| f.throughput),
+            )
+        });
         let mut tables = Vec::new();
         for site in &sites() {
             let mut t = Table::new(
@@ -250,32 +258,36 @@ impl Experiment for Fig12to15 {
         "Figures 12, 13, 14, 15"
     }
 
-    fn jobs(&self, scale: Scale) -> Vec<Job> {
+    fn specs(&self, scale: Scale) -> Vec<SimSpec> {
         grid(scale)
             .into_iter()
             .map(|(si, n, rep)| {
-                let name = sites()[si].name;
-                Job::new(format!("fig12-15/{name}/n{n}/rep{rep}"), move |_| {
-                    let site = sites()[si];
-                    let base = 8_000 + si as u64 * 131 + n as u64;
-                    let m = site_run(&site, n, scale, replica_seed(base, rep));
-                    Breakdown::from_measurements(&m).map(|b| {
-                        [
-                            b.p,
-                            b.conservativeness,
-                            b.loss_rate_ratio,
-                            b.rtt_ratio,
-                            b.tcp_obedience,
-                            b.friendliness,
-                        ]
-                    })
-                })
+                let base = 8_000 + si as u64 * 131 + n as u64;
+                SimSpec::SiteDumbbell {
+                    site: si,
+                    n,
+                    seed: replica_seed(base, rep),
+                    quick: scale.quick,
+                    warmup: scale.sim_warmup,
+                    span: scale.sim_span,
+                }
             })
             .collect()
     }
 
-    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
-        let mut values = results.into_iter().map(take::<Option<[f64; 6]>>);
+    fn reduce(&self, scale: Scale, outputs: &[&SpecOutput]) -> Vec<Table> {
+        let mut values = outputs.iter().map(|o| {
+            Breakdown::from_measurements(o.as_run()).map(|b| {
+                [
+                    b.p,
+                    b.conservativeness,
+                    b.loss_rate_ratio,
+                    b.rtt_ratio,
+                    b.tcp_obedience,
+                    b.friendliness,
+                ]
+            })
+        });
         let mut tables = Vec::new();
         for site in &sites() {
             let mut t = Table::new(

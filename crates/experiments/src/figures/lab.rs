@@ -13,8 +13,8 @@ use crate::figures::mean;
 use crate::registry::{replica_seed, Experiment, Scale};
 use crate::scenarios::{DumbbellConfig, DumbbellRun, QueueSpec, RunMeasurements};
 use crate::series::Table;
+use crate::spec::{SimSpec, SpecOutput};
 use ebrc_net::RedConfig;
-use ebrc_runner::{take, Job, JobOutput};
 
 fn n_list(quick: bool) -> Vec<usize> {
     if quick {
@@ -72,26 +72,28 @@ impl Experiment for Fig16 {
         "Figure 16"
     }
 
-    fn jobs(&self, scale: Scale) -> Vec<Job> {
+    fn specs(&self, scale: Scale) -> Vec<SimSpec> {
         grid(scale)
             .into_iter()
-            .map(|(qi, n, rep)| {
-                let (name, _) = lab_queues()[qi];
-                Job::new(format!("fig16/{name}/n{n}/rep{rep}"), move |_| {
-                    let (_, queue) = lab_queues().remove(qi);
-                    let m = lab_run(queue, n, scale, replica_seed(16_000 + n as u64, rep));
-                    (
-                        m.tfrc_valid_mean(|f| f.loss_event_rate),
-                        m.tfrc_valid_mean(|f| f.throughput),
-                        m.tcp_valid_mean(|f| f.throughput),
-                    )
-                })
+            .map(|(qi, n, rep)| SimSpec::LabDumbbell {
+                queue: qi,
+                n,
+                seed: replica_seed(16_000 + n as u64, rep),
+                warmup: scale.sim_warmup,
+                span: scale.sim_span,
             })
             .collect()
     }
 
-    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
-        let mut values = results.into_iter().map(take::<(f64, f64, f64)>);
+    fn reduce(&self, scale: Scale, outputs: &[&SpecOutput]) -> Vec<Table> {
+        let mut values = outputs.iter().map(|o| {
+            let m = o.as_run();
+            (
+                m.tfrc_valid_mean(|f| f.loss_event_rate),
+                m.tfrc_valid_mean(|f| f.throughput),
+                m.tcp_valid_mean(|f| f.throughput),
+            )
+        });
         let mut tables = Vec::new();
         for (name, _) in lab_queues().into_iter().skip(1) {
             let mut t = Table::new(
@@ -133,31 +135,32 @@ impl Experiment for Fig18to19 {
         "Figures 18, 19"
     }
 
-    fn jobs(&self, scale: Scale) -> Vec<Job> {
+    fn specs(&self, scale: Scale) -> Vec<SimSpec> {
         grid(scale)
             .into_iter()
-            .map(|(qi, n, rep)| {
-                let (name, _) = lab_queues()[qi];
-                Job::new(format!("fig18-19/{name}/n{n}/rep{rep}"), move |_| {
-                    let (_, queue) = lab_queues().remove(qi);
-                    let m = lab_run(queue, n, scale, replica_seed(18_000 + n as u64, rep));
-                    Breakdown::from_measurements(&m).map(|b| {
-                        [
-                            b.p,
-                            b.conservativeness,
-                            b.loss_rate_ratio,
-                            b.rtt_ratio,
-                            b.tcp_obedience,
-                            b.friendliness,
-                        ]
-                    })
-                })
+            .map(|(qi, n, rep)| SimSpec::LabDumbbell {
+                queue: qi,
+                n,
+                seed: replica_seed(18_000 + n as u64, rep),
+                warmup: scale.sim_warmup,
+                span: scale.sim_span,
             })
             .collect()
     }
 
-    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
-        let mut values = results.into_iter().map(take::<Option<[f64; 6]>>);
+    fn reduce(&self, scale: Scale, outputs: &[&SpecOutput]) -> Vec<Table> {
+        let mut values = outputs.iter().map(|o| {
+            Breakdown::from_measurements(o.as_run()).map(|b| {
+                [
+                    b.p,
+                    b.conservativeness,
+                    b.loss_rate_ratio,
+                    b.rtt_ratio,
+                    b.tcp_obedience,
+                    b.friendliness,
+                ]
+            })
+        });
         let mut tables = Vec::new();
         for (name, _) in lab_queues().into_iter().skip(1) {
             let mut t = Table::new(

@@ -1,19 +1,24 @@
 //! Reproduction harness: regenerates every table and figure of
 //! *“On the Long-Run Behavior of Equation-Based Rate Control”*.
 //!
-//! Each experiment implements [`Experiment`] as a job graph:
-//! [`Experiment::jobs`] decomposes it into labelled units (scenario ×
-//! parameter point × replica) and [`Experiment::reduce`] merges their
-//! outputs into [`Table`]s with the same rows/series the paper reports
-//! — in a fixed, thread-count-independent order. The catalogue runs
-//! sequentially ([`Experiment::run`]) or on a work-stealing pool
-//! ([`par_run`], [`par_run_all`]) with byte-identical output either
-//! way. The `repro` binary runs any of it:
+//! Each experiment is a declarative *plan subscription*:
+//! [`Experiment::specs`] lists the content-hashed [`SimSpec`]s its
+//! reducer consumes (scenario × parameter point × replica, no
+//! closures) and [`Experiment::reduce`] merges their outputs into
+//! [`Table`]s with the same rows/series the paper reports — in a
+//! fixed, thread-count-independent order. [`global_plan`] merges the
+//! catalogue into one deduplicated plan (shared scenario instances run
+//! once and fan out to every subscriber), which runs sequentially
+//! ([`Experiment::run`]), on a work-stealing pool ([`par_run`],
+//! [`par_run_all`], [`plan_run_catalogue`]), or split across hosts as
+//! deterministic shards — with byte-identical output every way. The
+//! `repro` binary runs any of it:
 //!
 //! ```text
-//! cargo run -p ebrc-experiments --release --bin repro -- --list
+//! cargo run -p ebrc-experiments --release --bin repro -- list
 //! cargo run -p ebrc-experiments --release --bin repro -- fig03
 //! cargo run -p ebrc-experiments --release --bin repro -- all --scale quick --threads 8
+//! cargo run -p ebrc-experiments --release --bin repro -- plan all --shards 2
 //! ```
 //!
 //! Scales: `quick` keeps every experiment in seconds (the bench
@@ -28,9 +33,12 @@ pub mod figures;
 pub mod registry;
 pub mod scenarios;
 pub mod series;
+pub mod spec;
 
 pub use registry::{
-    all_experiments, find_experiment, par_run, par_run_all, par_run_catalogue, replica_seed,
-    Experiment, ExperimentFailure, ExperimentReport, Scale, MASTER_SEED,
+    all_experiments, find_experiment, global_plan, par_run, par_run_all, par_run_catalogue,
+    plan_run_catalogue, replica_seed, Experiment, ExperimentFailure, ExperimentReport, Plan, Scale,
+    MASTER_SEED,
 };
 pub use series::Table;
+pub use spec::{SimSpec, SpecOutput};

@@ -1,24 +1,40 @@
-//! Experiment catalogue, scaling, and the parallel entry points.
+//! Experiment catalogue, scaling, and the plan-based entry points.
 //!
-//! Every experiment is a *job graph*: [`Experiment::jobs`] decomposes
-//! it into independent, labelled units (scenario × parameter point ×
-//! replica) and [`Experiment::reduce`] merges the per-job results into
-//! [`Table`]s in a fixed, thread-count-independent order. The
-//! sequential [`Experiment::run`] and the pool-backed [`par_run`] /
-//! [`par_run_all`] therefore produce byte-identical tables — the
+//! Every experiment is declarative: [`Experiment::specs`] lists the
+//! [`SimSpec`]s its reducer consumes (scenario × parameter point ×
+//! replica, in reduce order) and [`Experiment::reduce`] turns their
+//! outputs into [`Table`]s. [`Experiment::plan`] wraps the
+//! subscription in a [`Plan`]; [`global_plan`] merges the whole
+//! catalogue into one plan whose unique, content-hashed specs feed
+//! every subscribed reducer — Figures 5, 8, and 9 (at `L = 8`) share
+//! one simulation per `(n, L, replica)` point instead of re-running
+//! it.
+//!
+//! [`plan_run_catalogue`] executes a plan on the pool and reduces each
+//! experiment *the moment its last subscribed spec completes*, handing
+//! finished reports to a dedicated writer thread (the `on_report`
+//! sink) so output spools while the rest of the grid is still
+//! simulating. Tables are byte-identical to the sequential
+//! [`Experiment::run`] at any thread count and any shard count — the
 //! determinism contract the test suite enforces.
 
 use crate::series::Table;
-use ebrc_runner::{panic_message, Job, JobOutput, Pool};
+use crate::spec::{SimSpec, SpecOutput};
+use ebrc_runner::{panic_message, run_plan, Pool, SubscriptionResult};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Mutex;
 
-/// Master seed of the whole catalogue: the runner derives each job's
-/// [`JobCtx`](ebrc_runner::JobCtx) stream from `(MASTER_SEED, job
-/// label)` alone, so the stream never depends on scheduling. (The
+/// A plan over the catalogue's concrete spec vocabulary.
+pub type Plan = ebrc_runner::Plan<SimSpec>;
+
+/// Master seed of the whole catalogue: the runner derives each spec's
+/// [`JobCtx`](ebrc_runner::JobCtx) stream from `(MASTER_SEED, spec
+/// key)` alone, so the stream never depends on scheduling. (The
 /// decomposed paper figures predate the runner and keep their
-/// historical per-point seeds — equally schedule-independent, and
-/// byte-compatible with the pre-runner tables; new experiments should
-/// draw from `ctx.rng()` instead.)
+/// historical parameter-derived seeds — equally schedule-independent,
+/// and byte-compatible with the pre-runner tables; new experiments
+/// should draw from `ctx.rng()` instead.)
 pub const MASTER_SEED: u64 = 0x2002_5EED;
 
 /// Offsets a scenario's base seed for replica `rep` of a sweep point.
@@ -74,13 +90,26 @@ impl Scale {
         }
     }
 
+    /// The undocumented test scale: the whole catalogue in about a
+    /// second, for CI plumbing and the test suite.
+    pub fn tiny() -> Self {
+        Self {
+            mc_events: 1_500,
+            sim_warmup: 4.0,
+            sim_span: 8.0,
+            replicas: 1,
+            quick: true,
+        }
+    }
+
     /// Replica count, never below one.
     pub fn replica_count(&self) -> usize {
         self.replicas.max(1)
     }
 }
 
-/// One reproducible artifact of the paper, decomposed into a job grid.
+/// One reproducible artifact of the paper, declared as a plan
+/// subscription.
 pub trait Experiment: Sync {
     /// Stable identifier (`fig03`, `table1`, `claim4`, `ablate01`, …).
     fn id(&self) -> &'static str;
@@ -91,37 +120,45 @@ pub trait Experiment: Sync {
     /// Where it appears in the paper.
     fn paper_ref(&self) -> &'static str;
 
-    /// Decomposes the experiment into independent jobs. Labels must be
-    /// unique across the catalogue (convention: prefixed with the
-    /// experiment id); the catalogue test enforces this.
-    fn jobs(&self, scale: Scale) -> Vec<Job>;
+    /// The specs this experiment's reducer consumes, in reduce order.
+    /// Specs are content-addressed: listing a spec another experiment
+    /// also lists costs nothing extra — the plan runs it once and fans
+    /// the output out.
+    fn specs(&self, scale: Scale) -> Vec<SimSpec>;
 
-    /// Merges job outputs — in the exact order [`Experiment::jobs`]
-    /// produced them — into the artifact's tables.
-    fn reduce(&self, scale: Scale, results: Vec<JobOutput>) -> Vec<Table>;
+    /// The experiment's declarative plan: its specs deduplicated by
+    /// content hash, plus one subscription mapping them — in reduce
+    /// order — to this experiment's reducer.
+    fn plan(&self, scale: Scale) -> Plan {
+        Plan::for_experiment(self.id(), self.specs(scale))
+    }
 
-    /// Regenerates the artifact's data sequentially: runs every job in
-    /// submission order, then reduces. Byte-identical to [`par_run`] at
-    /// any thread count.
+    /// Merges subscribed spec outputs — in [`Experiment::specs`] order
+    /// — into the artifact's tables.
+    fn reduce(&self, scale: Scale, outputs: &[&SpecOutput]) -> Vec<Table>;
+
+    /// Regenerates the artifact's data sequentially: runs every unique
+    /// spec in plan order, then reduces. Byte-identical to [`par_run`]
+    /// at any thread count.
     fn run(&self, scale: Scale) -> Vec<Table> {
-        let results = self
-            .jobs(scale)
-            .into_iter()
-            .map(|job| job.run(MASTER_SEED))
-            .collect();
-        self.reduce(scale, results)
+        let plan = self.plan(scale);
+        let outputs = plan.run_sequential(MASTER_SEED);
+        let refs = plan.subscription_outputs(0, &outputs);
+        self.reduce(scale, &refs)
     }
 }
 
-/// Why an experiment failed under [`par_run`] / [`par_run_all`].
+/// Why an experiment failed under the plan runner.
 #[derive(Debug)]
 pub struct ExperimentFailure {
     /// Experiment id.
     pub id: String,
-    /// `(job label, panic message)` for every job that panicked; empty
-    /// when the failure came from `jobs()`/`reduce()` itself.
-    pub failed_jobs: Vec<(String, String)>,
-    /// Panic message of `jobs()` or `reduce()` when that is what failed.
+    /// `(spec key, panic message)` for every subscribed spec that
+    /// panicked; empty when the failure came from `plan()`/`reduce()`
+    /// itself.
+    pub failed_specs: Vec<(String, String)>,
+    /// Panic message of `plan()` or `reduce()` when that is what
+    /// failed.
     pub phase_error: Option<String>,
 }
 
@@ -131,8 +168,8 @@ impl std::fmt::Display for ExperimentFailure {
         if let Some(e) = &self.phase_error {
             write!(f, ": {e}")?;
         }
-        for (label, msg) in &self.failed_jobs {
-            write!(f, "; job {label} panicked: {msg}")?;
+        for (key, msg) in &self.failed_specs {
+            write!(f, "; spec {key} panicked: {msg}")?;
         }
         Ok(())
     }
@@ -150,8 +187,41 @@ pub struct ExperimentReport {
     pub outcome: Result<Vec<Table>, ExperimentFailure>,
 }
 
-/// Runs one experiment's jobs on the pool. The tables are byte-identical
-/// to [`Experiment::run`] regardless of the pool's thread count.
+/// Builds the merged plan of a set of experiments: unique specs
+/// (content-hash deduplicated across experiments) plus one
+/// subscription per experiment — callers may therefore zip
+/// `experiments` with [`Plan::subscriptions`] index for index.
+///
+/// # Panics
+/// Propagates a panicking `plan()` ([`plan_run_catalogue`] isolates
+/// those per experiment instead), and panics if any experiment's
+/// `plan()` breaks the one-subscription-per-experiment contract —
+/// silently misaligning subscriptions would hand reducers another
+/// experiment's outputs.
+pub fn global_plan(experiments: &[&dyn Experiment], scale: Scale) -> Plan {
+    let mut plan = Plan::new();
+    for exp in experiments {
+        let before = plan.subscriptions().len();
+        plan.merge(exp.plan(scale));
+        assert_eq!(
+            plan.subscriptions().len(),
+            before + 1,
+            "{}: plan() must contain exactly one subscription",
+            exp.id()
+        );
+        assert_eq!(
+            plan.subscriptions()[before].id,
+            exp.id(),
+            "{}: plan() subscribed under a different id",
+            exp.id()
+        );
+    }
+    plan
+}
+
+/// Runs one experiment's plan on the pool. The tables are
+/// byte-identical to [`Experiment::run`] regardless of the pool's
+/// thread count.
 pub fn par_run(
     exp: &dyn Experiment,
     scale: Scale,
@@ -161,11 +231,9 @@ pub fn par_run(
     reports.remove(0).outcome
 }
 
-/// Runs the whole catalogue as one flattened job grid on the pool:
-/// jobs from every experiment interleave freely across workers (the
-/// work-stealing keeps them busy through heterogeneous job sizes), and
-/// each experiment reduces as usual. A panicking job or reducer marks
-/// only its own experiment failed.
+/// Runs the whole catalogue as one merged plan on the pool. A
+/// panicking spec or reducer marks only the subscribed experiment(s)
+/// failed.
 pub fn par_run_all(
     scale: Scale,
     pool: &Pool,
@@ -176,96 +244,151 @@ pub fn par_run_all(
     par_run_catalogue(refs, scale, pool, progress)
 }
 
-/// The flattened-grid core shared by [`par_run`] and [`par_run_all`].
+/// [`plan_run_catalogue`] without a streaming sink — for callers that
+/// only want the final reports.
 pub fn par_run_catalogue(
     experiments: Vec<&dyn Experiment>,
     scale: Scale,
     pool: &Pool,
     progress: impl Fn(usize, usize) + Sync,
 ) -> Vec<ExperimentReport> {
-    // Phase 1: decompose. A panicking `jobs()` fails its experiment but
-    // not the sweep.
-    let mut job_lists: Vec<Result<Vec<Job>, String>> = Vec::with_capacity(experiments.len());
-    for exp in &experiments {
-        job_lists.push(
-            catch_unwind(AssertUnwindSafe(|| exp.jobs(scale)))
-                .map_err(|p| panic_message(p.as_ref())),
-        );
-    }
+    plan_run_catalogue(experiments, scale, pool, progress, |_| {})
+}
 
-    // Phase 2: flatten into one grid and execute. Labels travel beside
-    // the jobs so failures can be attributed.
-    let mut flat: Vec<Job> = Vec::new();
-    let mut spans: Vec<Option<(usize, usize)>> = Vec::with_capacity(experiments.len());
-    for jobs in &mut job_lists {
-        match jobs {
-            Ok(list) => {
-                let start = flat.len();
-                flat.append(list);
-                spans.push(Some((start, flat.len())));
+/// The merged-plan execution core.
+///
+/// Builds one global plan (specs deduplicated across experiments),
+/// executes its unique specs on the pool, and reduces each experiment
+/// on a dedicated reducer thread the moment its last subscribed spec
+/// completes. Finished reports stream — in completion order — through
+/// `on_report` on a separate writer thread, so callers can spool
+/// tables to disk while the grid is still running; the returned
+/// reports are in catalogue (argument) order regardless.
+pub fn plan_run_catalogue(
+    experiments: Vec<&dyn Experiment>,
+    scale: Scale,
+    pool: &Pool,
+    progress: impl Fn(usize, usize) + Sync,
+    mut on_report: impl FnMut(&ExperimentReport) + Send,
+) -> Vec<ExperimentReport> {
+    // Phase 1: merge per-experiment plans. A panicking `plan()` fails
+    // its experiment but not the sweep.
+    let mut plan = Plan::new();
+    let mut plan_errors: Vec<Option<String>> = Vec::with_capacity(experiments.len());
+    let mut exp_for_sub: Vec<usize> = Vec::new();
+    for (ei, exp) in experiments.iter().enumerate() {
+        match catch_unwind(AssertUnwindSafe(|| exp.plan(scale))) {
+            Ok(p) => {
+                let before = plan.subscriptions().len();
+                plan.merge(p);
+                assert_eq!(
+                    plan.subscriptions().len(),
+                    before + 1,
+                    "{}: plan() must contain exactly one subscription",
+                    exp.id()
+                );
+                exp_for_sub.push(ei);
+                plan_errors.push(None);
             }
-            Err(_) => spans.push(None),
+            Err(p) => plan_errors.push(Some(panic_message(p.as_ref()))),
         }
     }
-    let labels: Vec<String> = flat.iter().map(|j| j.label().to_string()).collect();
-    let mut results: Vec<Option<std::thread::Result<JobOutput>>> =
-        ebrc_runner::job::run_jobs(pool, MASTER_SEED, flat, progress)
-            .into_iter()
-            .map(Some)
-            .collect();
 
-    // Phase 3: regroup per experiment and reduce.
-    experiments
-        .into_iter()
-        .zip(job_lists)
-        .zip(spans)
-        .map(|((exp, jobs), span)| {
-            let outcome = match span {
-                None => {
-                    let msg = jobs.err().unwrap_or_else(|| "decomposition failed".into());
-                    Err(ExperimentFailure {
-                        id: exp.id().to_string(),
-                        failed_jobs: Vec::new(),
-                        phase_error: Some(format!("jobs() panicked: {msg}")),
-                    })
-                }
-                Some((start, end)) => {
-                    let mut failed = Vec::new();
-                    let mut outputs = Vec::with_capacity(end - start);
-                    for idx in start..end {
-                        match results[idx].take().expect("each slot consumed once") {
-                            Ok(out) => outputs.push(out),
-                            Err(p) => {
-                                failed.push((labels[idx].clone(), panic_message(p.as_ref())));
-                            }
-                        }
-                    }
-                    if failed.is_empty() {
-                        catch_unwind(AssertUnwindSafe(|| exp.reduce(scale, outputs))).map_err(|p| {
+    // Phase 2: execute the unique specs; reduce on completion; stream
+    // reports through the writer sink.
+    let mut slots: Vec<Option<ExperimentReport>> = Vec::new();
+    for _ in 0..experiments.len() {
+        slots.push(None);
+    }
+    std::thread::scope(|s| {
+        let (ready_tx, ready_rx) = mpsc::channel::<SubscriptionResult<SimSpec>>();
+        let (report_tx, report_rx) = mpsc::channel::<(usize, ExperimentReport)>();
+        let experiments = &experiments;
+        let exp_for_sub = &exp_for_sub;
+
+        // Reducer: turns completed subscriptions into reports.
+        s.spawn(move || {
+            for res in ready_rx {
+                let ei = exp_for_sub[res.subscription];
+                let exp = experiments[ei];
+                let outcome = match res.outcome {
+                    Ok(outputs) => {
+                        let refs: Vec<&SpecOutput> = outputs.iter().map(|a| a.as_ref()).collect();
+                        catch_unwind(AssertUnwindSafe(|| exp.reduce(scale, &refs))).map_err(|p| {
                             ExperimentFailure {
                                 id: exp.id().to_string(),
-                                failed_jobs: Vec::new(),
+                                failed_specs: Vec::new(),
                                 phase_error: Some(format!(
                                     "reduce panicked: {}",
                                     panic_message(p.as_ref())
                                 )),
                             }
                         })
-                    } else {
-                        Err(ExperimentFailure {
-                            id: exp.id().to_string(),
-                            failed_jobs: failed,
-                            phase_error: None,
-                        })
                     }
+                    Err(failed_specs) => Err(ExperimentFailure {
+                        id: exp.id().to_string(),
+                        failed_specs,
+                        phase_error: None,
+                    }),
+                };
+                let report = ExperimentReport {
+                    id: exp.id(),
+                    title: exp.title(),
+                    paper_ref: exp.paper_ref(),
+                    outcome,
+                };
+                if report_tx.send((ei, report)).is_err() {
+                    break;
                 }
-            };
-            ExperimentReport {
+            }
+        });
+
+        // Writer: hands each finished report to the sink as it lands.
+        let writer = s.spawn(move || {
+            let mut done: Vec<(usize, ExperimentReport)> = Vec::new();
+            for (ei, report) in report_rx {
+                on_report(&report);
+                done.push((ei, report));
+            }
+            done
+        });
+
+        // The pool: `Sender` is not `Sync`, so completion events go
+        // through a mutex — the send is two orders of magnitude cheaper
+        // than any spec body.
+        let ready_tx = Mutex::new(ready_tx);
+        run_plan(pool, MASTER_SEED, &plan, None, progress, |res| {
+            let _ = ready_tx
+                .lock()
+                .expect("completion channel poisoned")
+                .send(res);
+        });
+        drop(ready_tx);
+        for (ei, report) in writer.join().expect("writer thread panicked") {
+            slots[ei] = Some(report);
+        }
+    });
+
+    // Phase 3: fold in plan-phase failures and restore catalogue order.
+    experiments
+        .into_iter()
+        .zip(plan_errors)
+        .zip(slots)
+        .map(|((exp, plan_error), slot)| match slot {
+            Some(report) => report,
+            None => ExperimentReport {
                 id: exp.id(),
                 title: exp.title(),
                 paper_ref: exp.paper_ref(),
-                outcome,
-            }
+                outcome: Err(ExperimentFailure {
+                    id: exp.id().to_string(),
+                    failed_specs: Vec::new(),
+                    phase_error: Some(format!(
+                        "plan() panicked: {}",
+                        plan_error.unwrap_or_else(|| "decomposition failed".into())
+                    )),
+                }),
+            },
         })
         .collect()
 }
@@ -340,10 +463,30 @@ mod tests {
         assert_ne!(replica_seed(0x5eed, 1), replica_seed(0x5eed, 2));
     }
 
-    /// A sweep member whose jobs fail in controlled ways, for the
-    /// catch-unwind plumbing.
+    #[test]
+    fn the_catalogue_plan_dedups_shared_simulations() {
+        let experiments = all_experiments();
+        let refs: Vec<&dyn Experiment> = experiments.iter().map(|e| e.as_ref()).collect();
+        let plan = global_plan(&refs, Scale::quick());
+        assert!(
+            plan.unique_len() < plan.subscribed_len(),
+            "expected shared specs: {} unique vs {} subscribed",
+            plan.unique_len(),
+            plan.subscribed_len()
+        );
+        // Figures 5 and 8 subscribe to identical grids; Figure 9 rides
+        // the L = 8 column. At quick scale that is 6 + 3 shared refs.
+        assert_eq!(
+            plan.subscribed_len() - plan.unique_len(),
+            9,
+            "quick-scale dedup changed; update this count deliberately"
+        );
+    }
+
+    /// A sweep member whose specs fail in controlled ways, exercising
+    /// the catch-unwind plumbing end to end.
     struct Fragile {
-        broken_job: bool,
+        broken_spec: bool,
     }
 
     impl Experiment for Fragile {
@@ -356,31 +499,31 @@ mod tests {
         fn paper_ref(&self) -> &'static str {
             "none"
         }
-        fn jobs(&self, _scale: Scale) -> Vec<Job> {
-            let broken = self.broken_job;
+        fn specs(&self, _scale: Scale) -> Vec<SimSpec> {
             vec![
-                Job::new("fragile/ok", |_| 1.0f64),
-                Job::new("fragile/maybe", move |_| {
-                    if broken {
-                        panic!("synthetic job failure");
-                    }
-                    2.0f64
-                }),
+                SimSpec::Diagnostic {
+                    value: 1,
+                    fail: false,
+                },
+                SimSpec::Diagnostic {
+                    value: 2,
+                    fail: self.broken_spec,
+                },
             ]
         }
-        fn reduce(&self, _scale: Scale, results: Vec<JobOutput>) -> Vec<Table> {
+        fn reduce(&self, _scale: Scale, outputs: &[&SpecOutput]) -> Vec<Table> {
             let mut t = Table::new("fragile", "test double", vec!["v"]);
-            for r in results {
-                t.push_row(vec![ebrc_runner::take::<f64>(r)]);
+            for out in outputs {
+                t.push_row(vec![out.scalar()]);
             }
             vec![t]
         }
     }
 
     #[test]
-    fn a_panicking_job_fails_only_its_experiment() {
-        let good = Fragile { broken_job: false };
-        let bad = Fragile { broken_job: true };
+    fn a_panicking_spec_fails_only_its_subscribers() {
+        let good = Fragile { broken_spec: false };
+        let bad = Fragile { broken_spec: true };
         let reports = par_run_catalogue(
             vec![&good as &dyn Experiment, &bad as &dyn Experiment],
             Scale::quick(),
@@ -389,20 +532,40 @@ mod tests {
         );
         assert!(reports[0].outcome.is_ok());
         let failure = reports[1].outcome.as_ref().unwrap_err();
-        assert_eq!(failure.failed_jobs.len(), 1);
-        assert_eq!(failure.failed_jobs[0].0, "fragile/maybe");
-        assert!(failure.failed_jobs[0].1.contains("synthetic job failure"));
-        assert!(failure.to_string().contains("fragile/maybe"));
+        assert_eq!(failure.failed_specs.len(), 1);
+        assert_eq!(failure.failed_specs[0].0, "diag/v2/fail=true");
+        assert!(failure.failed_specs[0]
+            .1
+            .contains("diagnostic spec failure"));
+        assert!(failure.to_string().contains("diag/v2"));
     }
 
     #[test]
     fn par_run_matches_sequential_run_on_a_test_double() {
-        let exp = Fragile { broken_job: false };
+        let exp = Fragile { broken_spec: false };
         let seq = exp.run(Scale::quick());
         let par = par_run(&exp, Scale::quick(), &Pool::new(4)).unwrap();
         assert_eq!(seq.len(), par.len());
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a.to_json(), b.to_json());
         }
+    }
+
+    #[test]
+    fn reports_stream_in_completion_order_and_return_in_catalogue_order() {
+        let a = Fragile { broken_spec: false };
+        let b = Fragile { broken_spec: true };
+        let mut streamed: Vec<String> = Vec::new();
+        let reports = plan_run_catalogue(
+            vec![&a as &dyn Experiment, &b as &dyn Experiment],
+            Scale::quick(),
+            &Pool::new(2),
+            |_, _| {},
+            |report| streamed.push(format!("{}:{}", report.id, report.outcome.is_ok())),
+        );
+        assert_eq!(streamed.len(), 2, "every experiment streamed once");
+        assert_eq!(reports.len(), 2);
+        assert!(reports[0].outcome.is_ok());
+        assert!(reports[1].outcome.is_err());
     }
 }

@@ -140,6 +140,75 @@ impl DumbbellConfig {
     }
 }
 
+impl QueueSpec {
+    /// Canonical content key of the queue discipline — every parameter
+    /// that changes packet fate, in fixed order.
+    pub fn content_key(&self) -> String {
+        match self {
+            QueueSpec::DropTail(n) => format!("droptail(limit={n})"),
+            QueueSpec::Red(rc) => format!(
+                "red(limit={},min_th={},max_th={},max_p={},wq={},gentle={},mpt={})",
+                rc.limit, rc.min_th, rc.max_th, rc.max_p, rc.wq, rc.gentle, rc.mean_pkt_time
+            ),
+        }
+    }
+}
+
+impl DumbbellConfig {
+    /// Canonical content key: a fixed-order rendering of *every* field
+    /// that influences the simulation. Two configs with equal keys are
+    /// guaranteed to produce bit-identical runs (given equal
+    /// measurement windows), which is what lets the experiment plan
+    /// dedup shared scenario instances by hash.
+    pub fn content_key(&self) -> String {
+        let rtt_mode = match self.tfrc.sender.rtt_mode {
+            ebrc_tfrc::RttMode::Fixed(r) => format!("fixed({r})"),
+            ebrc_tfrc::RttMode::Measured => "measured".to_string(),
+        };
+        let probe = match self.poisson_probe {
+            Some(rate) => format!("poisson({rate})"),
+            None => "none".to_string(),
+        };
+        let onoff = match self.onoff_background {
+            Some((rate, on, off)) => format!("onoff({rate},{on},{off})"),
+            None => "none".to_string(),
+        };
+        format!(
+            "bps={}/queue={}/owd={}/ntfrc={}/ntcp={}/probe={}/onoff={}/\
+             tfrc(pkt={},formula={},rtt={},nominal={},cap={},init={},min={},max={},L={},comp={})/\
+             tcp(pkt={},icwnd={},maxcwnd={},dupack={},rto=[{},{}],nominal={},burst={})/\
+             seed={}/stagger={}",
+            self.bottleneck_bps,
+            self.queue.content_key(),
+            self.one_way_delay,
+            self.n_tfrc,
+            self.n_tcp,
+            probe,
+            onoff,
+            self.tfrc.sender.packet_size,
+            self.tfrc.sender.formula.key_name(),
+            rtt_mode,
+            self.tfrc.sender.nominal_rtt,
+            self.tfrc.sender.receive_rate_cap,
+            self.tfrc.sender.initial_rate,
+            self.tfrc.sender.min_rate,
+            self.tfrc.sender.max_rate,
+            self.tfrc.window,
+            self.tfrc.comprehensive,
+            self.tcp.packet_size,
+            self.tcp.initial_cwnd,
+            self.tcp.max_cwnd,
+            self.tcp.dupack_threshold,
+            self.tcp.min_rto,
+            self.tcp.max_rto,
+            self.tcp.nominal_rtt,
+            self.tcp.max_burst,
+            self.seed,
+            self.start_stagger,
+        )
+    }
+}
+
 /// Ids of everything in a built dumbbell.
 pub struct DumbbellRun {
     /// The engine, ready to run.
@@ -505,6 +574,25 @@ mod tests {
         let m2 = DumbbellRun::build(&cfg).measure(10.0, 20.0);
         assert_eq!(m1.tfrc[0].throughput, m2.tfrc[0].throughput);
         assert_eq!(m1.tcp[0].loss_event_rate, m2.tcp[0].loss_event_rate);
+    }
+
+    #[test]
+    fn content_key_tracks_every_varied_field() {
+        let base = DumbbellConfig::ns2_paper(4, 8, 42);
+        assert_eq!(base.content_key(), base.clone().content_key());
+        let mut probe = base.clone();
+        probe.poisson_probe = Some(5.0);
+        assert_ne!(base.content_key(), probe.content_key());
+        let mut reseeded = base.clone();
+        reseeded.seed = 43;
+        assert_ne!(base.content_key(), reseeded.content_key());
+        let mut window = base.clone();
+        window.tfrc.window = 16;
+        assert_ne!(base.content_key(), window.content_key());
+        assert_ne!(
+            DumbbellConfig::lab_paper(1, QueueSpec::DropTail(64), 1).content_key(),
+            DumbbellConfig::lab_paper(1, QueueSpec::DropTail(100), 1).content_key()
+        );
     }
 
     #[test]

@@ -1,0 +1,952 @@
+//! The declarative simulation vocabulary of the catalogue.
+//!
+//! A [`SimSpec`] is one fully-serializable simulation description —
+//! scenario × parameter point × replica — with **no closures**: every
+//! parameter that influences the result (including seeds and effort
+//! knobs) is a field, and [`SimSpec::key`] renders them into a
+//! canonical content key. Experiments *subscribe* to specs instead of
+//! owning jobs, so two figures that need the same `(n, L, rep)`
+//! dumbbell instance (Figures 5, 8, and 9's `L = 8` column) hash to the
+//! same spec and the simulation runs once.
+//!
+//! A [`SpecOutput`] is the matching serializable result. Dumbbell specs
+//! return the full measurement bundle ([`RunMeasurements`]) and each
+//! subscribed reducer extracts its own statistics at reduce time — that
+//! is what makes the fan-out lossless. Outputs round-trip through the
+//! shard interchange format ([`SpecOutput::to_value`] /
+//! [`SpecOutput::from_value`]) with `f64`s encoded as exact bit
+//! patterns, so a sweep merged from `k` shard files is byte-identical
+//! to a single-host run.
+
+use crate::figures::fig01;
+use crate::figures::fig02;
+use crate::figures::fig06::audio_point;
+use crate::figures::internet::{site_config, site_table, sites};
+use crate::figures::lab::lab_queues;
+use crate::registry::replica_seed;
+use crate::scenarios::{DumbbellConfig, DumbbellRun, FlowMeasure, QueueSpec, RunMeasurements};
+use crate::series::Table;
+use ebrc_core::control::{BasicControl, ComprehensiveControl, ControlConfig};
+use ebrc_core::formula::{AimdFormula, PftkSimplified, PftkStandard, Sqrt, ThroughputFormula};
+use ebrc_core::weights::WeightProfile;
+use ebrc_dist::{IidProcess, LossProcess, MarkovModulated, Rng, ShiftedExponential};
+use ebrc_runner::JobCtx;
+use ebrc_tcp::{AimdFixedLink, EbrcFixedLink, SharedFixedLink};
+use ebrc_tfrc::FormulaKind;
+use serde::Value;
+
+/// Which control law a Monte-Carlo spec runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlLaw {
+    /// The basic control of Section II.
+    Basic,
+    /// The comprehensive control (Proposition 2).
+    Comprehensive,
+}
+
+impl ControlLaw {
+    fn key_name(&self) -> &'static str {
+        match self {
+            ControlLaw::Basic => "basic",
+            ControlLaw::Comprehensive => "comprehensive",
+        }
+    }
+}
+
+/// Which loss-interval weight profile an estimator uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightKind {
+    /// The TFRC draft weights.
+    Tfrc,
+    /// Uniform weights.
+    Uniform,
+}
+
+impl WeightKind {
+    fn key_name(&self) -> &'static str {
+        match self {
+            WeightKind::Tfrc => "tfrc",
+            WeightKind::Uniform => "uniform",
+        }
+    }
+
+    fn profile(&self, l: usize) -> WeightProfile {
+        match self {
+            WeightKind::Tfrc => WeightProfile::tfrc(l),
+            WeightKind::Uniform => WeightProfile::uniform(l),
+        }
+    }
+}
+
+/// Which Figure 1 panel a [`SimSpec::Functional`] spec tabulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Panel {
+    /// `x → f(1/x)`.
+    Left,
+    /// `x → 1/f(1/x)`.
+    Right,
+}
+
+/// Which flows share the Figure 17 bottleneck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepMode {
+    /// One TCP alone.
+    TcpAlone,
+    /// One TFRC alone.
+    TfrcAlone,
+    /// One TCP and one TFRC sharing.
+    Shared,
+}
+
+/// One declarative simulation of the catalogue: scenario × parameter
+/// point × replica, fully serializable. Adding a scenario family means
+/// adding a variant here — the plan/shard/merge machinery then covers
+/// it for free.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimSpec {
+    /// The ns-2 RED dumbbell of Figures 5/7/8/9: `n` TFRC + `n` TCP
+    /// pairs, estimator window `l`, replica `rep`, optional Poisson
+    /// probe (packets/second).
+    Ns2Dumbbell {
+        /// Flow pairs per protocol.
+        n: usize,
+        /// Estimator window.
+        l: usize,
+        /// Replica index (seeds the scenario via [`replica_seed`]).
+        rep: usize,
+        /// Poisson probe rate, if any (Figure 7's `p''`).
+        probe: Option<f64>,
+        /// Discarded warm-up, seconds.
+        warmup: f64,
+        /// Measurement span, seconds.
+        span: f64,
+    },
+    /// A lab-testbed dumbbell (Figures 10/16/18–19): queue index into
+    /// [`lab_queues`], `n` pairs, explicit seed.
+    LabDumbbell {
+        /// Index into [`lab_queues`].
+        queue: usize,
+        /// Flow pairs per protocol.
+        n: usize,
+        /// Scenario seed.
+        seed: u64,
+        /// Discarded warm-up, seconds.
+        warmup: f64,
+        /// Measurement span, seconds.
+        span: f64,
+    },
+    /// A synthetic Internet site run (Figures 10–15): site index into
+    /// [`sites`], `n` pairs.
+    SiteDumbbell {
+        /// Index into [`sites`].
+        site: usize,
+        /// Flow pairs per protocol.
+        n: usize,
+        /// Scenario seed.
+        seed: u64,
+        /// Quick scale halves the fast access links.
+        quick: bool,
+        /// Discarded warm-up, seconds.
+        warmup: f64,
+        /// Measurement span, seconds.
+        span: f64,
+    },
+    /// The cable-modem receiver of Figure 10 (56 kb/s, small packets).
+    CableModem {
+        /// Scenario seed.
+        seed: u64,
+        /// Discarded warm-up, seconds.
+        warmup: f64,
+        /// Measurement span, seconds (already ×4 — the slow link needs
+        /// longer for enough loss events).
+        span: f64,
+    },
+    /// A Figure 17 buffer-sweep run over DropTail(`buffer`).
+    BufferSweep {
+        /// Who is on the bottleneck.
+        mode: SweepMode,
+        /// DropTail buffer, packets.
+        buffer: usize,
+        /// Scenario seed.
+        seed: u64,
+        /// Discarded warm-up, seconds.
+        warmup: f64,
+        /// Measurement span, seconds.
+        span: f64,
+    },
+    /// The Figure 6 audio sender through a Bernoulli dropper.
+    Audio {
+        /// Length-independent drop probability.
+        p_drop: f64,
+        /// Throughput formula.
+        formula: FormulaKind,
+        /// Estimator window.
+        window: usize,
+        /// Run duration, seconds.
+        duration: f64,
+        /// Dropper seed.
+        seed: u64,
+    },
+    /// A Monte-Carlo control run against i.i.d. shifted-exponential
+    /// loss intervals (Figures 3–4 and the control/estimator/formula
+    /// ablations).
+    Mc {
+        /// Control law.
+        control: ControlLaw,
+        /// Throughput formula (instantiated at `r = 1`).
+        formula: FormulaKind,
+        /// Weight profile.
+        weights: WeightKind,
+        /// Estimator window.
+        window: usize,
+        /// Loss-event rate (interval mean is `1/p`).
+        p: f64,
+        /// Coefficient of variation of the intervals.
+        cv: f64,
+        /// Loss events to simulate.
+        events: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Markov-modulated (phase) loss violating (C1) — the
+    /// `ablate-phase` points (congestion oscillation between mean
+    /// intervals 60 and 4).
+    PhaseMc {
+        /// Mean phase sojourn, in loss events.
+        sojourn: f64,
+        /// Loss events to simulate.
+        events: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Claim 4, isolated: the equation-based fixed point on a fixed
+    /// link (`α = 1`, capacity 100).
+    Claim4Iso {
+        /// AIMD decrease factor.
+        beta: f64,
+        /// Loss events to simulate.
+        events: usize,
+    },
+    /// Claim 4, shared: one AIMD + one EBRC on the fluid link.
+    Claim4Shared {
+        /// AIMD decrease factor.
+        beta: f64,
+        /// Simulated time horizon, seconds.
+        t_end: f64,
+    },
+    /// A Figure 1 panel (pure functional tabulation).
+    Functional {
+        /// Which panel.
+        panel: Panel,
+        /// Sample points.
+        points: usize,
+    },
+    /// Figure 2's `b = 1` kink instance: curves plus the deviation
+    /// ratio.
+    KinkCurves {
+        /// Sample points of `g`.
+        points: usize,
+    },
+    /// Figure 2's `b = 2` deviation ratio.
+    KinkRatioB2 {
+        /// Sample points of `g`.
+        points: usize,
+    },
+    /// Table I's site constants.
+    SiteTable,
+    /// Test-only controllable spec for harness plumbing tests: yields
+    /// `value` as its single scalar, or panics on demand.
+    Diagnostic {
+        /// Value to return.
+        value: u64,
+        /// Panic instead of returning.
+        fail: bool,
+    },
+}
+
+/// The ns-2 scenario config shared by Figures 5/7/8/9 — the historical
+/// per-point seed arithmetic lives here so every subscriber agrees on
+/// the exact instance.
+pub fn ns2_config(n: usize, l: usize, rep: usize, probe: Option<f64>) -> DumbbellConfig {
+    let base = 0x5eed + (n as u64) * 31 + l as u64;
+    let mut cfg = DumbbellConfig::ns2_paper(n, l, replica_seed(base, rep));
+    cfg.poisson_probe = probe;
+    cfg
+}
+
+/// The Figure 10 cable-modem scenario config.
+pub fn cable_modem_config(seed: u64) -> DumbbellConfig {
+    let mut cfg = DumbbellConfig::lab_paper(1, QueueSpec::DropTail(20), seed);
+    cfg.bottleneck_bps = 56e3;
+    cfg.tfrc.sender.packet_size = 250;
+    cfg.tcp.packet_size = 250;
+    cfg.one_way_delay = 0.05;
+    cfg
+}
+
+/// A Figure 17 buffer-sweep scenario config.
+pub fn buffer_sweep_config(mode: SweepMode, buffer: usize, seed: u64) -> DumbbellConfig {
+    match mode {
+        SweepMode::TcpAlone => {
+            let mut cfg = DumbbellConfig::lab_paper(0, QueueSpec::DropTail(buffer), seed);
+            cfg.n_tcp = 1;
+            cfg.n_tfrc = 0;
+            cfg
+        }
+        SweepMode::TfrcAlone => {
+            let mut cfg = DumbbellConfig::lab_paper(0, QueueSpec::DropTail(buffer), seed);
+            cfg.n_tcp = 0;
+            cfg.n_tfrc = 1;
+            cfg
+        }
+        SweepMode::Shared => DumbbellConfig::lab_paper(1, QueueSpec::DropTail(buffer), seed),
+    }
+}
+
+impl SimSpec {
+    /// The scenario config of a dumbbell-family spec, when it has one.
+    fn dumbbell_config(&self) -> Option<DumbbellConfig> {
+        match *self {
+            SimSpec::Ns2Dumbbell {
+                n, l, rep, probe, ..
+            } => Some(ns2_config(n, l, rep, probe)),
+            SimSpec::LabDumbbell { queue, n, seed, .. } => {
+                let (_, q) = lab_queues().remove(queue);
+                Some(DumbbellConfig::lab_paper(n, q, seed))
+            }
+            SimSpec::SiteDumbbell {
+                site,
+                n,
+                seed,
+                quick,
+                ..
+            } => Some(site_config(&sites()[site], n, seed, quick)),
+            SimSpec::CableModem { seed, .. } => Some(cable_modem_config(seed)),
+            SimSpec::BufferSweep {
+                mode, buffer, seed, ..
+            } => Some(buffer_sweep_config(mode, buffer, seed)),
+            _ => None,
+        }
+    }
+
+    /// The measurement window of a dumbbell-family spec.
+    fn window(&self) -> Option<(f64, f64)> {
+        match *self {
+            SimSpec::Ns2Dumbbell { warmup, span, .. }
+            | SimSpec::LabDumbbell { warmup, span, .. }
+            | SimSpec::SiteDumbbell { warmup, span, .. }
+            | SimSpec::CableModem { warmup, span, .. }
+            | SimSpec::BufferSweep { warmup, span, .. } => Some((warmup, span)),
+            _ => None,
+        }
+    }
+}
+
+impl ebrc_runner::Spec for SimSpec {
+    type Output = SpecOutput;
+
+    /// Canonical content key. Dumbbell-family specs key on the *full*
+    /// scenario config ([`DumbbellConfig::content_key`]) plus the
+    /// measurement window, so equal keys guarantee bit-identical runs
+    /// and distinct parameters can never alias.
+    fn key(&self) -> String {
+        if let (Some(cfg), Some((warmup, span))) = (self.dumbbell_config(), self.window()) {
+            return format!("dumbbell/{}/warmup={warmup}/span={span}", cfg.content_key());
+        }
+        match *self {
+            SimSpec::Audio {
+                p_drop,
+                formula,
+                window,
+                duration,
+                seed,
+            } => format!(
+                "audio/p={p_drop}/formula={}/L{window}/dur={duration}/seed={seed}",
+                formula.key_name()
+            ),
+            SimSpec::Mc {
+                control,
+                formula,
+                weights,
+                window,
+                p,
+                cv,
+                events,
+                seed,
+            } => format!(
+                "mc/{}/{}/{}/L{window}/p={p}/cv={cv}/events={events}/seed={seed}",
+                control.key_name(),
+                formula.key_name(),
+                weights.key_name()
+            ),
+            SimSpec::PhaseMc {
+                sojourn,
+                events,
+                seed,
+            } => format!("mc-phase/high=60/low=4/sojourn={sojourn}/events={events}/seed={seed}"),
+            SimSpec::Claim4Iso { beta, events } => {
+                format!("claim4/iso/alpha=1/cap=100/beta={beta}/events={events}")
+            }
+            SimSpec::Claim4Shared { beta, t_end } => {
+                format!("claim4/shared/alpha=1/cap=100/beta={beta}/t_end={t_end}")
+            }
+            SimSpec::Functional { panel, points } => format!(
+                "functional/{}/points={points}",
+                match panel {
+                    Panel::Left => "left",
+                    Panel::Right => "right",
+                }
+            ),
+            SimSpec::KinkCurves { points } => format!("convex-kink/b1/points={points}"),
+            SimSpec::KinkRatioB2 { points } => format!("convex-kink/b2/points={points}"),
+            SimSpec::SiteTable => "table1/sites".to_string(),
+            SimSpec::Diagnostic { value, fail } => format!("diag/v{value}/fail={fail}"),
+            _ => unreachable!("dumbbell specs keyed above"),
+        }
+    }
+
+    fn run(&self, _ctx: &mut JobCtx) -> SpecOutput {
+        if let (Some(cfg), Some((warmup, span))) = (self.dumbbell_config(), self.window()) {
+            let mut run = DumbbellRun::build(&cfg);
+            return SpecOutput::Run(run.measure(warmup, span));
+        }
+        match *self {
+            SimSpec::Audio {
+                p_drop,
+                formula,
+                window,
+                duration,
+                seed,
+            } => {
+                let (p, norm, cv2) = audio_point(p_drop, formula, window, duration, seed);
+                SpecOutput::Scalars(vec![p, norm, cv2])
+            }
+            SimSpec::Mc { .. } => SpecOutput::Scalars(vec![self.mc_normalized()]),
+            SimSpec::PhaseMc {
+                sojourn,
+                events,
+                seed,
+            } => {
+                let f = Sqrt::with_rtt(1.0);
+                let mut process = MarkovModulated::congestion_oscillation(60.0, 4.0, sojourn);
+                let mut rng = Rng::seed_from(seed);
+                let trace = BasicControl::new(
+                    f.clone(),
+                    ControlConfig::new(WeightProfile::tfrc(8)),
+                )
+                .run(&mut process, &mut rng, events);
+                SpecOutput::Scalars(vec![
+                    trace.normalized_throughput(&f),
+                    trace.normalized_covariance(),
+                ])
+            }
+            SimSpec::Claim4Iso { beta, events } => {
+                let mut ebrc = EbrcFixedLink::new(
+                    AimdFormula::new(crate::figures::claim4::ALPHA, beta),
+                    WeightProfile::tfrc(8),
+                    crate::figures::claim4::CAPACITY,
+                );
+                SpecOutput::Scalars(vec![ebrc.measured_loss_event_rate(events)])
+            }
+            SimSpec::Claim4Shared { beta, t_end } => {
+                let alpha = crate::figures::claim4::ALPHA;
+                let aimd = AimdFixedLink::new(alpha, beta, crate::figures::claim4::CAPACITY);
+                let mut link = SharedFixedLink::new(
+                    aimd,
+                    AimdFormula::new(alpha, beta),
+                    WeightProfile::tfrc(8),
+                );
+                let out = link.run(t_end * 0.1, t_end);
+                SpecOutput::Scalars(vec![
+                    out.loss_rate_ratio(),
+                    out.aimd_throughput,
+                    out.ebrc_throughput,
+                ])
+            }
+            SimSpec::Functional { panel, points } => SpecOutput::Table(match panel {
+                Panel::Left => fig01::left_panel(points),
+                Panel::Right => fig01::right_panel(points),
+            }),
+            SimSpec::KinkCurves { points } => {
+                let (curves, ratio) = fig02::kink_instance(points);
+                SpecOutput::TableAndScalars(curves, vec![ratio])
+            }
+            SimSpec::KinkRatioB2 { points } => SpecOutput::Scalars(vec![fig02::b2_ratio(points)]),
+            SimSpec::SiteTable => SpecOutput::Table(site_table()),
+            SimSpec::Diagnostic { value, fail } => {
+                if fail {
+                    panic!("diagnostic spec failure");
+                }
+                SpecOutput::Scalars(vec![value as f64])
+            }
+            _ => unreachable!("dumbbell specs run above"),
+        }
+    }
+}
+
+impl SimSpec {
+    /// One Monte-Carlo normalized-throughput point — the body of every
+    /// [`SimSpec::Mc`] spec (the historical Figures 3–4 seeds live in
+    /// the spec fields, so the output is byte-compatible with the
+    /// pre-plan decomposition).
+    ///
+    /// # Panics
+    /// Panics if `self` is not a [`SimSpec::Mc`].
+    fn mc_normalized(&self) -> f64 {
+        let SimSpec::Mc {
+            control,
+            formula,
+            weights,
+            window,
+            p,
+            cv,
+            events,
+            seed,
+        } = *self
+        else {
+            unreachable!("mc_normalized is only called on Mc specs");
+        };
+        mc_body(control, formula, (weights, window), (p, cv), events, seed)
+    }
+}
+
+/// The formula-dispatched Monte-Carlo body behind
+/// [`SimSpec::mc_normalized`].
+fn mc_body(
+    control: ControlLaw,
+    formula: FormulaKind,
+    (weights, window): (WeightKind, usize),
+    (p, cv): (f64, f64),
+    events: usize,
+    seed: u64,
+) -> f64 {
+    fn run_one<F: ThroughputFormula + Clone>(
+        f: &F,
+        control: ControlLaw,
+        weights: WeightProfile,
+        process: &mut impl LossProcess,
+        events: usize,
+        seed: u64,
+    ) -> f64 {
+        let mut rng = Rng::seed_from(seed);
+        let cfg = ControlConfig::new(weights);
+        match control {
+            ControlLaw::Basic => BasicControl::new(f.clone(), cfg)
+                .run(process, &mut rng, events)
+                .normalized_throughput(f),
+            ControlLaw::Comprehensive => ComprehensiveControl::new(f.clone(), cfg)
+                .run(process, &mut rng, events)
+                .normalized_throughput(f),
+        }
+    }
+    let mut process = IidProcess::new(ShiftedExponential::from_mean_cv(1.0 / p, cv));
+    let profile = weights.profile(window);
+    match formula {
+        FormulaKind::Sqrt => run_one(
+            &Sqrt::with_rtt(1.0),
+            control,
+            profile,
+            &mut process,
+            events,
+            seed,
+        ),
+        FormulaKind::PftkStandard => run_one(
+            &PftkStandard::with_rtt(1.0),
+            control,
+            profile,
+            &mut process,
+            events,
+            seed,
+        ),
+        FormulaKind::PftkSimplified => run_one(
+            &PftkSimplified::with_rtt(1.0),
+            control,
+            profile,
+            &mut process,
+            events,
+            seed,
+        ),
+    }
+}
+
+/// The serializable result of one [`SimSpec`]. Reducers extract their
+/// statistics from these — the same output feeds every subscriber.
+#[derive(Debug, Clone)]
+pub enum SpecOutput {
+    /// Full dumbbell measurement bundle.
+    Run(RunMeasurements),
+    /// A vector of scalar results.
+    Scalars(Vec<f64>),
+    /// A finished table (the analytic specs).
+    Table(Table),
+    /// A finished table plus scalar results (Figure 2's kink instance).
+    TableAndScalars(Table, Vec<f64>),
+}
+
+impl SpecOutput {
+    /// Variant name, for error messages and the shard format.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SpecOutput::Run(_) => "run",
+            SpecOutput::Scalars(_) => "scalars",
+            SpecOutput::Table(_) => "table",
+            SpecOutput::TableAndScalars(..) => "table+scalars",
+        }
+    }
+
+    /// The measurement bundle.
+    ///
+    /// # Panics
+    /// Panics if the output is not a [`SpecOutput::Run`] — a reducer
+    /// out of sync with its plan is a bug worth failing loudly on.
+    pub fn as_run(&self) -> &RunMeasurements {
+        match self {
+            SpecOutput::Run(m) => m,
+            other => panic!("spec output mismatch: wanted run, got {}", other.kind()),
+        }
+    }
+
+    /// The scalar vector.
+    ///
+    /// # Panics
+    /// Panics if the output is not [`SpecOutput::Scalars`].
+    pub fn scalars(&self) -> &[f64] {
+        match self {
+            SpecOutput::Scalars(v) => v,
+            other => panic!("spec output mismatch: wanted scalars, got {}", other.kind()),
+        }
+    }
+
+    /// The single scalar of a one-element [`SpecOutput::Scalars`].
+    ///
+    /// # Panics
+    /// Panics unless the output is exactly one scalar.
+    pub fn scalar(&self) -> f64 {
+        let s = self.scalars();
+        assert_eq!(s.len(), 1, "expected exactly one scalar, got {}", s.len());
+        s[0]
+    }
+
+    /// The finished table.
+    ///
+    /// # Panics
+    /// Panics if the output is not [`SpecOutput::Table`].
+    pub fn as_table(&self) -> &Table {
+        match self {
+            SpecOutput::Table(t) => t,
+            other => panic!("spec output mismatch: wanted table, got {}", other.kind()),
+        }
+    }
+
+    /// The table-plus-scalars pair.
+    ///
+    /// # Panics
+    /// Panics if the output is not [`SpecOutput::TableAndScalars`].
+    pub fn as_table_and_scalars(&self) -> (&Table, &[f64]) {
+        match self {
+            SpecOutput::TableAndScalars(t, s) => (t, s),
+            other => panic!(
+                "spec output mismatch: wanted table+scalars, got {}",
+                other.kind()
+            ),
+        }
+    }
+
+    /// Renders the output for the shard interchange format. Floats are
+    /// encoded as 16-digit hex bit patterns — exact for every value
+    /// including negative zero, infinities, and NaN — so a merge
+    /// reduces over bit-identical inputs.
+    pub fn to_value(&self) -> Value {
+        let obj = |kind: &str, fields: Vec<(String, Value)>| {
+            let mut all = vec![("kind".to_string(), Value::String(kind.to_string()))];
+            all.extend(fields);
+            Value::Object(all)
+        };
+        match self {
+            SpecOutput::Run(m) => obj(
+                "run",
+                vec![
+                    ("tfrc".into(), flows_to_value(&m.tfrc)),
+                    ("tcp".into(), flows_to_value(&m.tcp)),
+                    (
+                        "probe".into(),
+                        match m.probe_loss_rate {
+                            Some(p) => f64_to_value(p),
+                            None => Value::Null,
+                        },
+                    ),
+                    ("nominal_rtt".into(), f64_to_value(m.nominal_rtt)),
+                    (
+                        "formula".into(),
+                        Value::String(m.tfrc_formula.key_name().to_string()),
+                    ),
+                ],
+            ),
+            SpecOutput::Scalars(v) => obj("scalars", vec![("values".into(), floats_to_value(v))]),
+            SpecOutput::Table(t) => obj("table", vec![("table".into(), table_to_value(t))]),
+            SpecOutput::TableAndScalars(t, v) => obj(
+                "table+scalars",
+                vec![
+                    ("table".into(), table_to_value(t)),
+                    ("values".into(), floats_to_value(v)),
+                ],
+            ),
+        }
+    }
+
+    /// Parses the shard interchange rendering back into an output.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let kind = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or("output without kind")?;
+        match kind {
+            "run" => {
+                let probe = match v.get("probe") {
+                    None | Some(Value::Null) => None,
+                    Some(p) => Some(value_to_f64(p)?),
+                };
+                let formula = v
+                    .get("formula")
+                    .and_then(Value::as_str)
+                    .and_then(FormulaKind::from_key_name)
+                    .ok_or("run output without a known formula")?;
+                Ok(SpecOutput::Run(RunMeasurements {
+                    tfrc: flows_from_value(v.get("tfrc").ok_or("run without tfrc")?)?,
+                    tcp: flows_from_value(v.get("tcp").ok_or("run without tcp")?)?,
+                    probe_loss_rate: probe,
+                    nominal_rtt: value_to_f64(v.get("nominal_rtt").ok_or("run without rtt")?)?,
+                    tfrc_formula: formula,
+                }))
+            }
+            "scalars" => Ok(SpecOutput::Scalars(floats_from_value(
+                v.get("values").ok_or("scalars without values")?,
+            )?)),
+            "table" => Ok(SpecOutput::Table(table_from_value(
+                v.get("table").ok_or("table output without table")?,
+            )?)),
+            "table+scalars" => Ok(SpecOutput::TableAndScalars(
+                table_from_value(v.get("table").ok_or("output without table")?)?,
+                floats_from_value(v.get("values").ok_or("output without values")?)?,
+            )),
+            other => Err(format!("unknown spec output kind {other:?}")),
+        }
+    }
+}
+
+/// Encodes an `f64` losslessly as its hex bit pattern.
+fn f64_to_value(x: f64) -> Value {
+    Value::String(format!("{:016x}", x.to_bits()))
+}
+
+/// Decodes [`f64_to_value`]'s rendering.
+fn value_to_f64(v: &Value) -> Result<f64, String> {
+    let s = v.as_str().ok_or("expected a hex float string")?;
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|e| format!("bad hex float {s:?}: {e}"))
+}
+
+fn floats_to_value(v: &[f64]) -> Value {
+    Value::Array(v.iter().map(|&x| f64_to_value(x)).collect())
+}
+
+fn floats_from_value(v: &Value) -> Result<Vec<f64>, String> {
+    match v {
+        Value::Array(items) => items.iter().map(value_to_f64).collect(),
+        _ => Err("expected an array of hex floats".into()),
+    }
+}
+
+fn flows_to_value(flows: &[FlowMeasure]) -> Value {
+    Value::Array(
+        flows
+            .iter()
+            .map(|f| {
+                floats_to_value(&[
+                    f.throughput,
+                    f.loss_event_rate,
+                    f.rtt_mean,
+                    f.normalized_covariance,
+                    f.cov_rate_duration,
+                    f.theta_hat_cv2,
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn flows_from_value(v: &Value) -> Result<Vec<FlowMeasure>, String> {
+    let items = match v {
+        Value::Array(items) => items,
+        _ => return Err("expected an array of flows".into()),
+    };
+    items
+        .iter()
+        .map(|item| {
+            let f = floats_from_value(item)?;
+            if f.len() != 6 {
+                return Err(format!("flow with {} fields (want 6)", f.len()));
+            }
+            Ok(FlowMeasure {
+                throughput: f[0],
+                loss_event_rate: f[1],
+                rtt_mean: f[2],
+                normalized_covariance: f[3],
+                cov_rate_duration: f[4],
+                theta_hat_cv2: f[5],
+            })
+        })
+        .collect()
+}
+
+fn table_to_value(t: &Table) -> Value {
+    Value::Object(vec![
+        ("name".into(), Value::String(t.name.clone())),
+        ("caption".into(), Value::String(t.caption.clone())),
+        (
+            "columns".into(),
+            Value::Array(t.columns.iter().map(|c| Value::String(c.clone())).collect()),
+        ),
+        (
+            "rows".into(),
+            Value::Array(t.rows.iter().map(|r| floats_to_value(r)).collect()),
+        ),
+    ])
+}
+
+fn table_from_value(v: &Value) -> Result<Table, String> {
+    let name = v
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or("table without name")?;
+    let caption = v
+        .get("caption")
+        .and_then(Value::as_str)
+        .ok_or("table without caption")?;
+    let columns: Vec<String> = match v.get("columns") {
+        Some(Value::Array(cols)) => cols
+            .iter()
+            .map(|c| c.as_str().map(str::to_string).ok_or("non-string column"))
+            .collect::<Result<_, _>>()?,
+        _ => return Err("table without columns".into()),
+    };
+    let mut t = Table::new(name, caption, columns);
+    match v.get("rows") {
+        Some(Value::Array(rows)) => {
+            for r in rows {
+                t.push_row(floats_from_value(r)?);
+            }
+        }
+        _ => return Err("table without rows".into()),
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebrc_runner::Spec as _;
+
+    #[test]
+    fn fig05_fig08_and_fig09_share_the_same_instance() {
+        let a = SimSpec::Ns2Dumbbell {
+            n: 6,
+            l: 8,
+            rep: 0,
+            probe: None,
+            warmup: 20.0,
+            span: 60.0,
+        };
+        let b = a.clone();
+        assert_eq!(a.key(), b.key());
+        assert_eq!(a.hash(), b.hash());
+        // The probe variant (Figure 7) is a different simulation.
+        let probed = SimSpec::Ns2Dumbbell {
+            n: 6,
+            l: 8,
+            rep: 0,
+            probe: Some(5.0),
+            warmup: 20.0,
+            span: 60.0,
+        };
+        assert_ne!(a.key(), probed.key());
+        // So is any other replica, window, or span.
+        let ns2 = |n, l, rep, span| SimSpec::Ns2Dumbbell {
+            n,
+            l,
+            rep,
+            probe: None,
+            warmup: 20.0,
+            span,
+        };
+        for other in [ns2(6, 8, 1, 60.0), ns2(6, 2, 0, 60.0), ns2(6, 8, 0, 61.0)] {
+            assert_ne!(a.key(), other.key());
+        }
+    }
+
+    #[test]
+    fn scalar_outputs_round_trip_exactly() {
+        let out = SpecOutput::Scalars(vec![1.5, -0.0, f64::NAN, f64::INFINITY, 1e-300]);
+        let back = SpecOutput::from_value(&out.to_value()).unwrap();
+        let (a, b) = (out.scalars(), back.scalars());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn run_outputs_round_trip_exactly() {
+        let m = RunMeasurements {
+            tfrc: vec![FlowMeasure {
+                throughput: 123.456,
+                loss_event_rate: 0.031,
+                rtt_mean: 0.052,
+                normalized_covariance: -0.007,
+                cov_rate_duration: 0.1,
+                theta_hat_cv2: 0.2,
+            }],
+            tcp: vec![],
+            probe_loss_rate: Some(0.05),
+            nominal_rtt: 0.05,
+            tfrc_formula: FormulaKind::PftkStandard,
+        };
+        let out = SpecOutput::Run(m);
+        let back = SpecOutput::from_value(&out.to_value()).unwrap();
+        let (a, b) = (out.as_run(), back.as_run());
+        assert_eq!(a.tfrc.len(), b.tfrc.len());
+        assert_eq!(
+            a.tfrc[0].throughput.to_bits(),
+            b.tfrc[0].throughput.to_bits()
+        );
+        assert_eq!(a.probe_loss_rate, b.probe_loss_rate);
+        assert_eq!(a.tfrc_formula, b.tfrc_formula);
+        // And through an actual JSON print/parse cycle.
+        let text = serde_json::to_string(&out.to_value()).unwrap();
+        let reparsed = SpecOutput::from_value(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(
+            out.as_run().tfrc[0].rtt_mean.to_bits(),
+            reparsed.as_run().tfrc[0].rtt_mean.to_bits()
+        );
+    }
+
+    #[test]
+    fn table_outputs_round_trip() {
+        let mut t = Table::new("x/y", "cap", vec!["a", "b"]);
+        t.push_row(vec![1.0, 2.5]);
+        let out = SpecOutput::TableAndScalars(t, vec![1.0026]);
+        let text = serde_json::to_string(&out.to_value()).unwrap();
+        let back = SpecOutput::from_value(&serde_json::from_str(&text).unwrap()).unwrap();
+        let (bt, bs) = back.as_table_and_scalars();
+        assert_eq!(bt.name, "x/y");
+        assert_eq!(bt.rows, vec![vec![1.0, 2.5]]);
+        assert_eq!(bs, &[1.0026]);
+    }
+
+    #[test]
+    #[should_panic(expected = "spec output mismatch")]
+    fn output_accessors_reject_the_wrong_kind() {
+        let _ = SpecOutput::Scalars(vec![1.0]).as_run();
+    }
+}

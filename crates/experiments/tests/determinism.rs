@@ -1,24 +1,24 @@
-//! The runner's contract: `repro`-level tables are byte-identical at
-//! any thread count, and job labels (the RNG identities) never collide.
+//! The plan runner's contract: `repro`-level tables are byte-identical
+//! at any thread count *and any shard count*, and spec content keys
+//! (the RNG identities) never collide.
 //!
-//! The full-catalogue comparison runs at a tiny scale so the whole grid
-//! — including a replicated one — stays in test-suite territory; CI's
-//! `runner-determinism` job repeats the comparison at quick scale
-//! through the real binary.
+//! The full-catalogue comparisons run at a tiny scale so the whole
+//! grid — including a replicated one — stays in test-suite territory;
+//! CI's `runner-determinism` and `shard-smoke` jobs repeat the
+//! comparisons at quick scale through the real binary.
 
 use ebrc_dist::Rng;
-use ebrc_experiments::{all_experiments, par_run, Experiment, Scale, MASTER_SEED};
-use ebrc_runner::Pool;
+use ebrc_experiments::{
+    all_experiments, global_plan, par_run, Experiment, Scale, SimSpec, SpecOutput, MASTER_SEED,
+};
+use ebrc_runner::{run_specs, Pool, Spec as _};
 use proptest::prelude::*;
 
-/// A scale small enough to run the whole catalogue three times over.
+/// A scale small enough to run the whole catalogue several times over.
 fn tiny(replicas: usize) -> Scale {
     Scale {
-        mc_events: 1_500,
-        sim_warmup: 4.0,
-        sim_span: 8.0,
         replicas,
-        quick: true,
+        ..Scale::tiny()
     }
 }
 
@@ -53,7 +53,7 @@ fn catalogue_tables_identical_at_one_and_eight_threads() {
 fn replicated_grids_identical_across_thread_counts() {
     // Two replicas exercise the replica grids off the rep-0 path; the
     // subset covers the three replica-reduce shapes (per-point
-    // averaging with validity filters, heterogeneous job kinds per
+    // averaging with validity filters, heterogeneous spec kinds per
     // point, option-valued rows).
     let scale = tiny(2);
     let one = Pool::new(1);
@@ -67,32 +67,76 @@ fn replicated_grids_identical_across_thread_counts() {
 }
 
 #[test]
-fn job_labels_are_unique_and_collision_free_across_the_catalogue() {
+fn spec_keys_are_unique_and_collision_free_across_the_catalogue() {
     for scale in [tiny(1), tiny(3), Scale::quick(), Scale::paper()] {
-        let mut labels = std::collections::HashSet::new();
+        let experiments = all_experiments();
+        let refs: Vec<&dyn Experiment> = experiments.iter().map(|e| e.as_ref()).collect();
+        let plan = global_plan(&refs, scale);
+        let mut keys = std::collections::HashSet::new();
         let mut streams = std::collections::HashSet::new();
-        for exp in all_experiments() {
-            for job in exp.jobs(scale) {
-                assert!(
-                    labels.insert(job.label().to_string()),
-                    "duplicate job label {}",
-                    job.label()
-                );
-                // The label *is* the RNG identity: first draws must be
-                // pairwise distinct over the whole grid.
-                let first = Rng::from_label(MASTER_SEED, job.label()).next_u64();
-                assert!(
-                    streams.insert(first),
-                    "RNG stream collision at {}",
-                    job.label()
-                );
-            }
+        for spec in plan.specs() {
+            let key = spec.key();
+            // The key *is* the RNG identity: keys must be pairwise
+            // distinct over the whole deduplicated grid, and so must
+            // the first draws of their label-derived streams.
+            let first = Rng::from_label(MASTER_SEED, &key).next_u64();
+            assert!(streams.insert(first), "RNG stream collision at {key}");
+            assert!(keys.insert(key), "duplicate unique-spec key");
         }
-        assert!(
-            labels.len() > 100,
-            "suspiciously small grid: {}",
-            labels.len()
-        );
+        assert!(keys.len() > 100, "suspiciously small grid: {}", keys.len());
+        // Dedup is real work saved, not an id-packing artifact.
+        assert!(plan.subscribed_len() > plan.unique_len(), "no sharing");
+    }
+}
+
+/// Runs the catalogue split into `k` deterministic shards — each shard
+/// executed as a bare spec list, exactly like `repro run --shard` —
+/// then merges the outputs and reduces every experiment.
+fn tables_via_shards(scale: Scale, k: usize, pool: &Pool) -> Vec<Vec<String>> {
+    let experiments = all_experiments();
+    let refs: Vec<&dyn Experiment> = experiments.iter().map(|e| e.as_ref()).collect();
+    let plan = global_plan(&refs, scale);
+    let mut outputs: Vec<Option<SpecOutput>> = (0..plan.unique_len()).map(|_| None).collect();
+    for shard in 0..k {
+        let indices = plan.shard_indices(shard, k);
+        let specs: Vec<SimSpec> = indices.iter().map(|&i| plan.specs()[i].clone()).collect();
+        for (idx, out) in indices
+            .into_iter()
+            .zip(run_specs(pool, MASTER_SEED, &specs, |_, _| {}))
+        {
+            // Round-trip through the shard interchange encoding, so the
+            // test covers exactly what crosses host boundaries.
+            let encoded = out.expect("spec panicked").to_value();
+            outputs[idx] = Some(SpecOutput::from_value(&encoded).expect("output round-trips"));
+        }
+    }
+    let outputs: Vec<SpecOutput> = outputs.into_iter().map(Option::unwrap).collect();
+    refs.iter()
+        .zip(plan.subscriptions())
+        .enumerate()
+        .map(|(si, (exp, _))| {
+            let refs = plan.subscription_outputs(si, &outputs);
+            exp.reduce(scale, &refs)
+                .iter()
+                .map(|t| t.to_json())
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn merged_shard_runs_are_byte_identical_to_one_shard() {
+    let scale = tiny(1);
+    let pool = Pool::new(4);
+    let whole = tables_via_shards(scale, 1, &pool);
+    for k in [2, 3] {
+        let sharded = tables_via_shards(scale, k, &pool);
+        assert_eq!(whole, sharded, "{k}-shard merge diverged from 1-shard");
+    }
+    // And the 1-shard path matches the ordinary sequential runs.
+    for (exp, tables) in all_experiments().iter().zip(&whole) {
+        let direct: Vec<String> = exp.run(scale).iter().map(|t| t.to_json()).collect();
+        assert_eq!(&direct, tables, "{}: shard path diverged", exp.id());
     }
 }
 
@@ -111,5 +155,61 @@ proptest! {
             let par = tables_json(exp.as_ref(), scale, &pool);
             prop_assert_eq!(&seq, &par, "{} diverged at {} threads", id, threads);
         }
+    }
+
+    /// Property: a spec's content hash is a pure function of its field
+    /// values — invariant under source-level field-order permutation,
+    /// cloning, and the thread that computes it.
+    #[test]
+    fn spec_hashes_stable_across_field_order_and_threads(
+        n in 1usize..40,
+        l in 1usize..17,
+        rep in 0usize..5,
+        threads in 2usize..8,
+    ) {
+        let spec = SimSpec::Ns2Dumbbell {
+            n,
+            l,
+            rep,
+            probe: None,
+            warmup: 4.0,
+            span: 8.0,
+        };
+        // Same content, fields written in a different order.
+        let permuted = SimSpec::Ns2Dumbbell {
+            span: 8.0,
+            probe: None,
+            rep,
+            warmup: 4.0,
+            l,
+            n,
+        };
+        prop_assert_eq!(spec.hash(), permuted.hash());
+        prop_assert_eq!(spec.hash(), spec.clone().hash());
+        // The hash agrees no matter which (or how many) threads
+        // compute it.
+        let baseline = spec.hash();
+        let hashes: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let spec = spec.clone();
+                    s.spawn(move || spec.hash())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for h in hashes {
+            prop_assert_eq!(baseline, h);
+        }
+        // And any single-field change moves it.
+        let other = SimSpec::Ns2Dumbbell {
+            n: n + 1,
+            l,
+            rep,
+            probe: None,
+            warmup: 4.0,
+            span: 8.0,
+        };
+        prop_assert_ne!(baseline, other.hash());
     }
 }

@@ -1,5 +1,6 @@
-//! End-to-end checks of the `repro` binary: flag parsing, output
-//! spooling (directory creation included), and exit codes.
+//! End-to-end checks of the `repro` binary: flag parsing, the
+//! plan/run/merge sharding workflow, output spooling (directory
+//! creation included), and exit codes.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -15,19 +16,47 @@ fn scratch(name: &str) -> PathBuf {
 }
 
 #[test]
-fn list_names_the_catalogue() {
-    let out = repro().arg("--list").output().unwrap();
+fn list_names_the_catalogue_with_dedup_stats() {
+    for args in [vec!["--list"], vec!["list"]] {
+        let out = repro().args(&args).output().unwrap();
+        assert!(out.status.success());
+        let text = String::from_utf8_lossy(&out.stdout);
+        for id in ["fig03", "table1", "claim4", "ablate-phase"] {
+            assert!(text.contains(id), "{args:?} missing {id}");
+        }
+        assert!(text.contains("sims"), "{args:?} missing spec counts");
+        assert!(text.contains("dedup"), "{args:?} missing the dedup ratio");
+    }
+}
+
+#[test]
+fn plan_reports_dedup_and_shards() {
+    let out = repro()
+        .args(["plan", "fig05", "fig08", "--shards", "2"])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for id in ["fig03", "table1", "claim4", "ablate-phase"] {
-        assert!(text.contains(id), "--list missing {id}");
-    }
+    assert!(
+        text.contains("6 unique, 12 subscribed (dedup 2.00x)"),
+        "plan output: {text}"
+    );
+    assert!(text.contains("shard 0/2: 3 sims"), "plan output: {text}");
+    assert!(text.contains("fingerprint"), "plan output: {text}");
 }
 
 #[test]
 fn unknown_experiment_exits_nonzero() {
     let out = repro().arg("does-not-exist").output().unwrap();
     assert!(!out.status.success());
+    // A subcommand keyword after a target is a stray word, not a
+    // silent command switch — and `all` does not mask it.
+    for args in [vec!["fig03", "list"], vec!["all", "plan"]] {
+        let out = repro().args(&args).output().unwrap();
+        assert!(!out.status.success(), "args {args:?} should fail loudly");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("unknown experiment"), "stderr: {err}");
+    }
 }
 
 #[test]
@@ -37,6 +66,9 @@ fn bad_flags_exit_with_usage() {
         vec!["--threads", "0"],
         vec!["--threads", "many"],
         vec!["--frobnicate"],
+        vec!["run", "--shard", "2/2"],
+        vec!["run", "--shard", "nope"],
+        vec!["plan", "--shards", "0"],
     ] {
         let out = repro().args(&args).output().unwrap();
         assert_eq!(out.status.code(), Some(2), "args {args:?}");
@@ -83,6 +115,29 @@ fn single_experiment_is_thread_count_invariant() {
 }
 
 #[test]
+fn multiple_experiments_share_sims_and_concatenate_output() {
+    // fig05 + fig08 subscribe to the same grid: the banner proves the
+    // dedup and stdout equals the two single runs back to back.
+    let scale = ["--scale", "tiny"];
+    let combined = repro()
+        .args(["fig05", "fig08"])
+        .args(scale)
+        .output()
+        .unwrap();
+    assert!(combined.status.success());
+    let banner = String::from_utf8_lossy(&combined.stderr);
+    assert!(
+        banner.contains("6 unique sims (12 subscribed, dedup 2.00x)"),
+        "stderr: {banner}"
+    );
+    let f5 = repro().arg("fig05").args(scale).output().unwrap();
+    let f8 = repro().arg("fig08").args(scale).output().unwrap();
+    let mut expected = f5.stdout.clone();
+    expected.extend_from_slice(&f8.stdout);
+    assert_eq!(combined.stdout, expected, "combined run changed tables");
+}
+
+#[test]
 fn env_var_sets_the_thread_count() {
     let out = repro()
         .args(["fig01"])
@@ -95,18 +150,108 @@ fn env_var_sets_the_thread_count() {
 }
 
 #[test]
-fn progress_line_reports_job_completion() {
+fn progress_line_reports_sim_completion() {
     let out = repro()
         .args(["fig01", "--progress", "--threads", "2"])
         .output()
         .unwrap();
     assert!(out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
-    assert!(err.contains("# progress 2/2 jobs"), "stderr: {err}");
+    assert!(err.contains("# progress 2/2 sims"), "stderr: {err}");
+}
+
+/// The whole sharding workflow through the real binary: a subset
+/// catalogue split 1, 2, and 3 ways merges to byte-identical tables.
+#[test]
+fn shard_runs_merge_byte_identically() {
+    let ids = ["fig02", "fig05", "fig08", "fig09", "claim4"];
+    let scale = ["--scale", "tiny"];
+    let base = scratch("shards");
+
+    let direct = repro().args(ids).args(scale).output().unwrap();
+    assert!(direct.status.success());
+
+    for k in [1usize, 2, 3] {
+        let dir = base.join(format!("k{k}"));
+        for shard in 0..k {
+            let out = repro()
+                .arg("run")
+                .args(ids)
+                .args(scale)
+                .args(["--shard", &format!("{shard}/{k}"), "--shard-dir"])
+                .arg(&dir)
+                .output()
+                .unwrap();
+            assert!(
+                out.status.success(),
+                "shard {shard}/{k}: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            assert!(dir.join(format!("shard-{shard}-of-{k}.json")).exists());
+        }
+        let merged = repro()
+            .arg("merge")
+            .args(ids)
+            .args(scale)
+            .arg("--shard-dir")
+            .arg(&dir)
+            .output()
+            .unwrap();
+        assert!(
+            merged.status.success(),
+            "merge k={k}: {}",
+            String::from_utf8_lossy(&merged.stderr)
+        );
+        assert_eq!(
+            merged.stdout, direct.stdout,
+            "{k}-shard merge diverged from the direct run"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&base);
 }
 
 #[test]
-fn bench_runner_writes_the_artifact() {
+fn merge_rejects_foreign_or_missing_shards() {
+    let dir = scratch("mismatch");
+    let out = repro()
+        .args([
+            "run",
+            "fig01",
+            "--scale",
+            "tiny",
+            "--shard",
+            "0/2",
+            "--shard-dir",
+        ])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Different experiment set → different plan fingerprint.
+    let foreign = repro()
+        .args(["merge", "fig02", "--scale", "tiny", "--shard-dir"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(!foreign.status.success());
+    let err = String::from_utf8_lossy(&foreign.stderr);
+    assert!(err.contains("different plan"), "stderr: {err}");
+
+    // Same plan but shard 1/2 never ran → incomplete.
+    let partial = repro()
+        .args(["merge", "fig01", "--scale", "tiny", "--shard-dir"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(!partial.status.success());
+    let err = String::from_utf8_lossy(&partial.stderr);
+    assert!(err.contains("incomplete shard set"), "stderr: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_runner_writes_the_artifact_with_dedup_counters() {
     let dir = scratch("bench");
     let path = dir.join("deep/BENCH_runner.json");
     let out = repro()
@@ -120,8 +265,15 @@ fn bench_runner_writes_the_artifact() {
         String::from_utf8_lossy(&out.stderr)
     );
     let text = std::fs::read_to_string(&path).unwrap();
-    assert!(text.contains("\"jobs\""), "artifact: {text}");
-    assert!(text.contains("\"speedup\""), "artifact: {text}");
-    assert!(text.contains("\"threads\": 1"), "artifact: {text}");
+    for field in [
+        "\"jobs\"",
+        "\"unique_sims\"",
+        "\"subscribed_sims\"",
+        "\"deduped_sims\"",
+        "\"speedup\"",
+        "\"threads\": 1",
+    ] {
+        assert!(text.contains(field), "artifact missing {field}: {text}");
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -28,6 +28,18 @@ pub struct JobCtx {
 }
 
 impl JobCtx {
+    /// Builds the context a job (or declarative spec) with this label
+    /// would receive: the label plus its `(master seed, label)` RNG
+    /// stream. Public so the plan executor can hand specs the same
+    /// contract without going through [`Job`].
+    pub fn for_label(master_seed: u64, label: impl Into<String>) -> Self {
+        let label = label.into();
+        Self {
+            rng: Rng::from_label(master_seed, &label),
+            label,
+        }
+    }
+
     /// The job's full label.
     pub fn label(&self) -> &str {
         &self.label

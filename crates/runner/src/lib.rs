@@ -14,12 +14,22 @@
 //! makes the output of a sweep byte-identical at any thread count —
 //! `--threads 1` and `--threads 8` must (and do) produce the same
 //! tables.
+//!
+//! On top of the closure-based [`Job`] primitive sits the declarative
+//! [`plan`] layer: content-hashed [`Spec`]s deduplicated into a
+//! [`Plan`] with per-experiment subscriptions, deterministic shards for
+//! multi-host sweeps, and completion-driven reduction ([`run_plan`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod job;
+pub mod plan;
 pub mod pool;
 
 pub use job::{take, Job, JobCtx, JobOutput};
+pub use plan::{
+    run_plan, run_specs, stable_hash, Plan, Spec, SpecFailures, SpecResult, Subscription,
+    SubscriptionResult,
+};
 pub use pool::{default_threads, panic_message, Pool};

@@ -1,0 +1,637 @@
+//! Declarative experiment plans: content-hashed specs, subscriptions,
+//! deterministic shards, completion-driven reduction.
+//!
+//! A [`Spec`] is the declarative replacement for an opaque job closure:
+//! a serializable description of one unit of work (scenario × parameter
+//! point × replica) whose identity is a canonical *content key*. Two
+//! specs with the same key describe the same computation, so a [`Plan`]
+//! stores each distinct spec once and lets any number of *subscriptions*
+//! (one per experiment) reference it — one simulation fans out to every
+//! reducer that asked for it.
+//!
+//! A plan is also the unit of distribution: [`Plan::shard_indices`]
+//! partitions the unique specs deterministically into `k` shards that
+//! can run on separate hosts, and [`Plan::fingerprint`] lets a merge
+//! step verify that every shard was cut from the same plan. Because a
+//! spec's randomness is a pure function of its content (its key seeds
+//! the [`JobCtx`] stream, and scenario specs carry their own
+//! parameter-derived seeds), results are bit-identical at any thread
+//! count and any shard count.
+//!
+//! [`run_plan`] executes a plan on a [`Pool`] and fires a callback the
+//! moment the *last* spec of a subscription completes — the hook that
+//! lets callers reduce and spool each experiment while the rest of the
+//! grid is still running.
+
+use crate::job::JobCtx;
+use crate::pool::{panic_message, Pool};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a over the key bytes: a stable, platform-independent 64-bit
+/// content hash. Not cryptographic — it identifies specs within a plan,
+/// where the catalogue-uniqueness tests guard against collisions.
+pub fn stable_hash(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A declarative, content-addressed unit of work.
+///
+/// Implementations must make [`Spec::key`] a *canonical* rendering of
+/// every field that influences the result (parameters, seeds, effort):
+/// the key is the spec's identity for deduplication, sharding, and the
+/// `(master seed, key)` RNG stream handed to [`Spec::run`]. The key
+/// must not depend on field declaration order, thread count, or any
+/// other ambient state.
+pub trait Spec: Clone + Send + Sync {
+    /// What running the spec produces. `Sync` because one output is
+    /// shared with every subscribed reducer.
+    type Output: Send + Sync;
+
+    /// Canonical content key (also the human-readable label).
+    fn key(&self) -> String;
+
+    /// Stable content hash of the key.
+    fn hash(&self) -> u64 {
+        stable_hash(&self.key())
+    }
+
+    /// Executes the spec. `ctx` carries the `(master seed, key)` RNG
+    /// stream; specs may instead carry their own content-derived seeds
+    /// (both satisfy the determinism contract).
+    fn run(&self, ctx: &mut JobCtx) -> Self::Output;
+}
+
+/// One experiment's interest in a plan: the specs it reduces, by index
+/// into the plan's unique-spec list, in reduce order.
+#[derive(Debug, Clone)]
+pub struct Subscription {
+    /// Subscriber identifier (the experiment id).
+    pub id: String,
+    /// Indices into [`Plan::specs`], in the order the subscriber's
+    /// reducer consumes them.
+    pub spec_indices: Vec<usize>,
+}
+
+/// A deduplicated set of specs plus the subscriptions that consume
+/// them.
+#[derive(Debug, Clone)]
+pub struct Plan<S: Spec> {
+    specs: Vec<S>,
+    hashes: Vec<u64>,
+    index: HashMap<u64, usize>,
+    subs: Vec<Subscription>,
+}
+
+impl<S: Spec> Default for Plan<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Spec> Plan<S> {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self {
+            specs: Vec::new(),
+            hashes: Vec::new(),
+            index: HashMap::new(),
+            subs: Vec::new(),
+        }
+    }
+
+    /// A plan holding one experiment's subscription: `specs` in reduce
+    /// order, deduplicated by content hash.
+    ///
+    /// # Panics
+    /// Panics if two *different* keys collide to one hash — a plan must
+    /// never silently alias distinct work.
+    pub fn for_experiment(id: impl Into<String>, specs: Vec<S>) -> Self {
+        let mut plan = Self::new();
+        plan.subscribe(id, specs);
+        plan
+    }
+
+    /// Appends a subscription, interning its specs.
+    pub fn subscribe(&mut self, id: impl Into<String>, specs: Vec<S>) {
+        let spec_indices = specs.into_iter().map(|s| self.intern(s)).collect();
+        self.subs.push(Subscription {
+            id: id.into(),
+            spec_indices,
+        });
+    }
+
+    /// Interns one spec, returning its index among the unique specs.
+    fn intern(&mut self, spec: S) -> usize {
+        let key = spec.key();
+        let hash = stable_hash(&key);
+        if let Some(&idx) = self.index.get(&hash) {
+            assert_eq!(
+                self.specs[idx].key(),
+                key,
+                "spec hash collision: distinct keys share hash {hash:#018x}"
+            );
+            return idx;
+        }
+        let idx = self.specs.len();
+        self.specs.push(spec);
+        self.hashes.push(hash);
+        self.index.insert(hash, idx);
+        idx
+    }
+
+    /// Merges another plan into this one: specs are re-interned (so
+    /// cross-plan duplicates collapse) and subscriptions are appended.
+    pub fn merge(&mut self, other: Plan<S>) {
+        let Plan { specs, subs, .. } = other;
+        // Re-intern the other plan's specs and remap its subscriptions.
+        let remap: Vec<usize> = specs.into_iter().map(|s| self.intern(s)).collect();
+        for sub in subs {
+            self.subs.push(Subscription {
+                id: sub.id,
+                spec_indices: sub.spec_indices.into_iter().map(|i| remap[i]).collect(),
+            });
+        }
+    }
+
+    /// The unique specs, in first-subscription order.
+    pub fn specs(&self) -> &[S] {
+        &self.specs
+    }
+
+    /// Content hash of each unique spec (parallel to [`Plan::specs`]).
+    pub fn spec_hashes(&self) -> &[u64] {
+        &self.hashes
+    }
+
+    /// Index of the unique spec with this content hash, if present.
+    pub fn index_of(&self, hash: u64) -> Option<usize> {
+        self.index.get(&hash).copied()
+    }
+
+    /// The subscriptions, in the order they were added.
+    pub fn subscriptions(&self) -> &[Subscription] {
+        &self.subs
+    }
+
+    /// Number of unique specs (simulations actually executed).
+    pub fn unique_len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Number of spec references across all subscriptions (simulations
+    /// the old one-job-per-figure decomposition would have executed).
+    pub fn subscribed_len(&self) -> usize {
+        self.subs.iter().map(|s| s.spec_indices.len()).sum()
+    }
+
+    /// `subscribed / unique` — how much work deduplication saves
+    /// (`1.0` when nothing is shared; `1.0` for an empty plan).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.specs.is_empty() {
+            1.0
+        } else {
+            self.subscribed_len() as f64 / self.unique_len() as f64
+        }
+    }
+
+    /// The unique-spec indices belonging to shard `shard` of `of`:
+    /// round-robin over plan order, so shards are balanced and the
+    /// union over all shards is exactly the plan.
+    ///
+    /// # Panics
+    /// Panics unless `shard < of`.
+    pub fn shard_indices(&self, shard: usize, of: usize) -> Vec<usize> {
+        assert!(shard < of, "shard {shard} out of range for {of} shards");
+        (shard..self.specs.len()).step_by(of).collect()
+    }
+
+    /// A stable fingerprint of the whole plan — every spec hash in
+    /// order plus the subscription structure. Two hosts that build the
+    /// same plan (same experiments, same scale) agree on it; a merge
+    /// step rejects shards carrying any other fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for &spec in &self.hashes {
+            mix(spec);
+        }
+        for sub in &self.subs {
+            mix(stable_hash(&sub.id));
+            mix(sub.spec_indices.len() as u64);
+            for &i in &sub.spec_indices {
+                mix(self.hashes[i]);
+            }
+        }
+        h
+    }
+
+    /// For each unique spec, the subscriptions that reference it (each
+    /// subscription listed once per spec, however often it re-reads the
+    /// output).
+    fn subscribers_by_spec(&self) -> Vec<Vec<usize>> {
+        let mut by_spec: Vec<Vec<usize>> = vec![Vec::new(); self.specs.len()];
+        for (si, sub) in self.subs.iter().enumerate() {
+            for &idx in &sub.spec_indices {
+                if by_spec[idx].last() != Some(&si) {
+                    by_spec[idx].push(si);
+                }
+            }
+        }
+        by_spec
+    }
+
+    /// Runs every unique spec in plan order on the calling thread,
+    /// returning outputs parallel to [`Plan::specs`]. Panics propagate —
+    /// this is the simple sequential path for single-experiment runs
+    /// and tests.
+    pub fn run_sequential(&self, master_seed: u64) -> Vec<S::Output> {
+        self.specs
+            .iter()
+            .map(|spec| {
+                let mut ctx = JobCtx::for_label(master_seed, spec.key());
+                spec.run(&mut ctx)
+            })
+            .collect()
+    }
+
+    /// Borrows one subscription's outputs, in reduce order, out of a
+    /// unique-spec output slice (as produced by
+    /// [`Plan::run_sequential`]).
+    ///
+    /// # Panics
+    /// Panics if `outputs` is not parallel to [`Plan::specs`].
+    pub fn subscription_outputs<'a>(
+        &self,
+        subscription: usize,
+        outputs: &'a [S::Output],
+    ) -> Vec<&'a S::Output> {
+        assert_eq!(outputs.len(), self.specs.len(), "outputs not plan-shaped");
+        self.subs[subscription]
+            .spec_indices
+            .iter()
+            .map(|&i| &outputs[i])
+            .collect()
+    }
+}
+
+/// A completed spec's shared output, or the panic message that killed
+/// it.
+pub type SpecResult<S> = Result<Arc<<S as Spec>::Output>, String>;
+
+/// `(spec key, panic message)` for every failed spec a subscription
+/// references.
+pub type SpecFailures = Vec<(String, String)>;
+
+/// What a subscription's reducer receives the moment its last spec
+/// completes.
+pub struct SubscriptionResult<S: Spec> {
+    /// Index into [`Plan::subscriptions`].
+    pub subscription: usize,
+    /// Outputs in reduce order — or, if any subscribed spec panicked,
+    /// the failures that spoiled the subscription.
+    pub outcome: Result<Vec<Arc<S::Output>>, SpecFailures>,
+}
+
+/// Executes a plan's unique specs (optionally a subset) on the pool.
+///
+/// `on_ready` fires — from the completing worker's thread — as soon as
+/// the last spec a subscription references has finished, with that
+/// subscription's outputs in reduce order; subscriptions whose specs
+/// lie partly outside `only` never fire. Per-spec results (shared via
+/// [`Arc`]) are returned for all executed specs, keyed by unique-spec
+/// index; specs outside `only` yield `None`.
+pub fn run_plan<S: Spec>(
+    pool: &Pool,
+    master_seed: u64,
+    plan: &Plan<S>,
+    only: Option<&[usize]>,
+    progress: impl Fn(usize, usize) + Sync,
+    on_ready: impl Fn(SubscriptionResult<S>) + Sync,
+) -> Vec<Option<SpecResult<S>>> {
+    let n = plan.specs().len();
+    // Dedup the subset (first occurrence wins) so a spec never runs —
+    // and never decrements readiness counters — twice.
+    let mut in_shard = vec![false; n];
+    let mut selected: Vec<usize> = Vec::new();
+    for &i in only.unwrap_or(&(0..n).collect::<Vec<_>>()) {
+        if !in_shard[i] {
+            in_shard[i] = true;
+            selected.push(i);
+        }
+    }
+    let results: Vec<Mutex<Option<SpecResult<S>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let subscribers = plan.subscribers_by_spec();
+    // A subscription is ready when its last *distinct* spec completes;
+    // subscriptions reaching outside the executed subset never fire.
+    let remaining: Vec<Option<AtomicUsize>> = plan
+        .subscriptions()
+        .iter()
+        .map(|sub| {
+            let mut distinct: Vec<usize> = sub.spec_indices.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            if distinct.iter().all(|&i| in_shard[i]) {
+                Some(AtomicUsize::new(distinct.len()))
+            } else {
+                None
+            }
+        })
+        .collect();
+
+    let gather = |sub_idx: usize| -> SubscriptionResult<S> {
+        let sub = &plan.subscriptions()[sub_idx];
+        let mut outputs = Vec::with_capacity(sub.spec_indices.len());
+        let mut failures: Vec<(String, String)> = Vec::new();
+        for &idx in &sub.spec_indices {
+            let slot = results[idx].lock().expect("result slot poisoned");
+            match slot.as_ref().expect("subscribed spec complete") {
+                Ok(out) => outputs.push(Arc::clone(out)),
+                Err(msg) => {
+                    let key = plan.specs()[idx].key();
+                    if !failures.iter().any(|(k, _)| *k == key) {
+                        failures.push((key, msg.clone()));
+                    }
+                }
+            }
+        }
+        SubscriptionResult {
+            subscription: sub_idx,
+            outcome: if failures.is_empty() {
+                Ok(outputs)
+            } else {
+                Err(failures)
+            },
+        }
+    };
+
+    // Subscriptions with no specs at all are ready before anything runs.
+    for (si, r) in remaining.iter().enumerate() {
+        if let Some(r) = r {
+            if r.load(Ordering::Acquire) == 0 {
+                on_ready(gather(si));
+            }
+        }
+    }
+
+    let tasks: Vec<_> = selected
+        .iter()
+        .map(|&idx| {
+            let spec = plan.specs()[idx].clone();
+            let results = &results;
+            let remaining = &remaining;
+            let subscribers = &subscribers;
+            let on_ready = &on_ready;
+            let gather = &gather;
+            move || {
+                let key = spec.key();
+                let out = catch_unwind(AssertUnwindSafe(|| {
+                    let mut ctx = JobCtx::for_label(master_seed, key.clone());
+                    spec.run(&mut ctx)
+                }))
+                .map(Arc::new)
+                .map_err(|p| panic_message(p.as_ref()));
+                *results[idx].lock().expect("result slot poisoned") = Some(out);
+                for &si in &subscribers[idx] {
+                    if let Some(r) = &remaining[si] {
+                        if r.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            on_ready(gather(si));
+                        }
+                    }
+                }
+            }
+        })
+        .collect();
+    pool.run_with_progress(tasks, progress);
+
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result slot poisoned"))
+        .collect()
+}
+
+/// Runs a bare spec list on the pool (no subscriptions — the shard
+/// execution path), returning per-spec results in list order.
+pub fn run_specs<S: Spec>(
+    pool: &Pool,
+    master_seed: u64,
+    specs: &[S],
+    progress: impl Fn(usize, usize) + Sync,
+) -> Vec<Result<S::Output, String>> {
+    let tasks: Vec<_> = specs
+        .iter()
+        .map(|spec| {
+            let spec = spec.clone();
+            move || {
+                let mut ctx = JobCtx::for_label(master_seed, spec.key());
+                spec.run(&mut ctx)
+            }
+        })
+        .collect();
+    pool.run_with_progress(tasks, progress)
+        .into_iter()
+        .map(|r| r.map_err(|p| panic_message(p.as_ref())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A toy spec: doubles its value; panics on demand.
+    #[derive(Debug, Clone, PartialEq)]
+    struct Toy {
+        name: &'static str,
+        value: u64,
+        fail: bool,
+    }
+
+    impl Spec for Toy {
+        type Output = u64;
+        fn key(&self) -> String {
+            format!("toy/{}/v{}", self.name, self.value)
+        }
+        fn run(&self, _ctx: &mut JobCtx) -> u64 {
+            if self.fail {
+                panic!("toy spec failure");
+            }
+            self.value * 2
+        }
+    }
+
+    fn toy(name: &'static str, value: u64) -> Toy {
+        Toy {
+            name,
+            value,
+            fail: false,
+        }
+    }
+
+    #[test]
+    fn stable_hash_is_fnv1a() {
+        // FNV-1a test vectors.
+        assert_eq!(stable_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(stable_hash("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(stable_hash("a/b"), stable_hash("b/a"));
+    }
+
+    #[test]
+    fn plans_dedup_by_content() {
+        let mut plan = Plan::for_experiment("e1", vec![toy("a", 1), toy("b", 2)]);
+        plan.merge(Plan::for_experiment("e2", vec![toy("a", 1), toy("c", 3)]));
+        assert_eq!(plan.unique_len(), 3);
+        assert_eq!(plan.subscribed_len(), 4);
+        assert!((plan.dedup_ratio() - 4.0 / 3.0).abs() < 1e-12);
+        // e2's first spec resolves to e1's interned copy.
+        assert_eq!(plan.subscriptions()[1].spec_indices[0], 0);
+    }
+
+    #[test]
+    fn shards_partition_the_plan() {
+        let plan = Plan::for_experiment("e", (0..10).map(|i| toy("s", i)).collect());
+        let mut seen: Vec<usize> = Vec::new();
+        for shard in 0..3 {
+            seen.extend(plan.shard_indices(shard, 3));
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert_eq!(plan.shard_indices(0, 1).len(), 10);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let a = Plan::for_experiment("e", vec![toy("a", 1), toy("b", 2)]);
+        let b = Plan::for_experiment("e", vec![toy("a", 1), toy("b", 2)]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = Plan::for_experiment("e", vec![toy("a", 1), toy("b", 3)]);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let d = Plan::for_experiment("other", vec![toy("a", 1), toy("b", 2)]);
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn run_plan_fires_each_subscription_once_with_ordered_outputs() {
+        let mut plan = Plan::for_experiment("e1", vec![toy("a", 1), toy("b", 2)]);
+        plan.merge(Plan::for_experiment("e2", vec![toy("b", 2), toy("a", 1)]));
+        let fired = Mutex::new(vec![Vec::new(); 2]);
+        let calls = AtomicUsize::new(0);
+        run_plan(
+            &Pool::new(4),
+            0,
+            &plan,
+            None,
+            |_, _| {},
+            |res: SubscriptionResult<Toy>| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                let outs: Vec<u64> = res.outcome.unwrap().iter().map(|o| **o).collect();
+                fired.lock().unwrap()[res.subscription] = outs;
+            },
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        let fired = fired.into_inner().unwrap();
+        assert_eq!(fired[0], vec![2, 4]);
+        assert_eq!(fired[1], vec![4, 2], "reduce order per subscription");
+    }
+
+    #[test]
+    fn a_failing_spec_fails_every_subscriber() {
+        let mut plan = Plan::for_experiment(
+            "bad",
+            vec![
+                toy("ok", 1),
+                Toy {
+                    name: "boom",
+                    value: 9,
+                    fail: true,
+                },
+            ],
+        );
+        plan.merge(Plan::for_experiment("good", vec![toy("ok", 1)]));
+        let outcomes: Mutex<Vec<(usize, bool)>> = Mutex::new(Vec::new());
+        run_plan(
+            &Pool::new(2),
+            0,
+            &plan,
+            None,
+            |_, _| {},
+            |res: SubscriptionResult<Toy>| {
+                let failed = match &res.outcome {
+                    Ok(_) => false,
+                    Err(fails) => {
+                        assert_eq!(fails.len(), 1);
+                        assert_eq!(fails[0].0, "toy/boom/v9");
+                        assert!(fails[0].1.contains("toy spec failure"));
+                        true
+                    }
+                };
+                outcomes.lock().unwrap().push((res.subscription, failed));
+            },
+        );
+        let mut outcomes = outcomes.into_inner().unwrap();
+        outcomes.sort_unstable();
+        assert_eq!(outcomes, vec![(0, true), (1, false)]);
+    }
+
+    #[test]
+    fn subset_runs_skip_unready_subscriptions() {
+        let mut plan = Plan::for_experiment("wide", vec![toy("a", 1), toy("b", 2)]);
+        plan.merge(Plan::for_experiment("narrow", vec![toy("a", 1)]));
+        let fired = Mutex::new(Vec::new());
+        let results = run_plan(
+            &Pool::new(2),
+            0,
+            &plan,
+            Some(&[0]),
+            |_, _| {},
+            |res: SubscriptionResult<Toy>| fired.lock().unwrap().push(res.subscription),
+        );
+        assert_eq!(*fired.lock().unwrap(), vec![1], "only 'narrow' is ready");
+        assert!(results[0].is_some());
+        assert!(results[1].is_none(), "spec outside the shard did not run");
+    }
+
+    #[test]
+    fn sequential_run_matches_pool_run() {
+        let plan = Plan::for_experiment("e", (0..7).map(|i| toy("s", i)).collect());
+        let seq = plan.run_sequential(0);
+        let par = run_plan(&Pool::new(3), 0, &plan, None, |_, _| {}, |_| {});
+        for (a, b) in seq.iter().zip(par) {
+            assert_eq!(*a, *b.unwrap().unwrap());
+        }
+    }
+
+    #[test]
+    fn run_specs_reports_per_spec_failures() {
+        let specs = vec![
+            toy("x", 5),
+            Toy {
+                name: "boom",
+                value: 0,
+                fail: true,
+            },
+        ];
+        let out = run_specs(&Pool::new(2), 0, &specs, |_, _| {});
+        assert_eq!(out[0], Ok(10));
+        assert!(out[1].as_ref().unwrap_err().contains("toy spec failure"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_index_must_be_in_range() {
+        let plan = Plan::for_experiment("e", vec![toy("a", 1)]);
+        let _ = plan.shard_indices(2, 2);
+    }
+}

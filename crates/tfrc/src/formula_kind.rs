@@ -55,6 +55,26 @@ impl FormulaKind {
             FormulaKind::PftkSimplified => "PFTK-simplified",
         }
     }
+
+    /// Stable lowercase identifier — the spelling used in spec content
+    /// keys and shard interchange files, so it must never change.
+    pub fn key_name(&self) -> &'static str {
+        match self {
+            FormulaKind::Sqrt => "sqrt",
+            FormulaKind::PftkStandard => "pftk-standard",
+            FormulaKind::PftkSimplified => "pftk-simplified",
+        }
+    }
+
+    /// Inverse of [`FormulaKind::key_name`].
+    pub fn from_key_name(name: &str) -> Option<Self> {
+        match name {
+            "sqrt" => Some(FormulaKind::Sqrt),
+            "pftk-standard" => Some(FormulaKind::PftkStandard),
+            "pftk-simplified" => Some(FormulaKind::PftkSimplified),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -19,8 +19,8 @@
 //! | [`net`] | `ebrc-net` | links, queues, droppers, probes |
 //! | [`tcp`] | `ebrc-tcp` | TCP Sack1-style endpoints, AIMD fluid models |
 //! | [`tfrc`] | `ebrc-tfrc` | TFRC endpoints (incl. the audio mode) |
-//! | [`runner`] | `ebrc-runner` | deterministic job-graph runner (work-stealing pool) |
-//! | [`experiments`] | `ebrc-experiments` | figure/table reproduction harness |
+//! | [`runner`] | `ebrc-runner` | deterministic runner: work-stealing pool + declarative plans (specs, shards) |
+//! | [`experiments`] | `ebrc-experiments` | figure/table reproduction harness (plan subscriptions) |
 //!
 //! # Quick start
 //!
