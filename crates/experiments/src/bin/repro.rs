@@ -11,6 +11,11 @@
 //! repro fig05 --json             # machine-readable output
 //! repro all --out results/       # one JSON file per table, spooled as
 //!                                # each experiment's last sim completes
+//! repro all --cache-dir cache/   # content-addressed sim cache: a repeat
+//!                                # run executes 0 sims (pure reduce pass)
+//! repro cache stats --cache-dir cache/           # entry/byte counts
+//! repro cache gc --keep-plan all --cache-dir cache/  # drop orphaned hashes
+//! repro cache clear --cache-dir cache/           # empty the cache
 //! repro plan all --shards 3      # inspect the plan a sweep would run
 //! repro run all --shard 0/2 --shard-dir shards   # execute one shard
 //! repro merge all --shard-dir shards             # reduce merged shards
@@ -24,16 +29,22 @@
 //! or the `EBRC_THREADS` environment variable; default: all cores).
 //! Each experiment reduces the moment its last subscribed sim
 //! completes, and `--out` spools its tables from a writer thread while
-//! the rest of the grid is still running. Output is byte-identical at
-//! any thread count and any shard count. A panicking experiment is
+//! the rest of the grid is still running. With `--cache-dir DIR` (or
+//! the `EBRC_CACHE` environment variable) completed sims are stored
+//! under their content hash and served — validated — to later runs,
+//! so a repeated sweep after a reducer-only change is a pure reduce
+//! pass. Output is byte-identical at any thread count, any shard
+//! count, and any cache temperature. A panicking experiment is
 //! reported in the end-of-run summary and turns the exit code nonzero,
 //! without taking down the rest of the sweep.
 
 use ebrc_experiments::{
-    all_experiments, find_experiment, global_plan, plan_run_catalogue, Experiment,
-    ExperimentFailure, ExperimentReport, Plan, Scale, SpecOutput, MASTER_SEED,
+    all_experiments, find_experiment, global_plan, plan_run_catalogue_cached, table_file_name,
+    Experiment, ExperimentFailure, ExperimentReport, Plan, Scale, SpecOutput, MASTER_SEED,
 };
-use ebrc_runner::{panic_message, run_specs, Pool, Spec as _};
+use ebrc_runner::{
+    panic_message, run_specs_cached, CacheCounters, DirCache, OutputCache, Pool, Spec as _,
+};
 use serde::Value;
 use std::collections::HashMap;
 use std::io::Write as _;
@@ -43,9 +54,11 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro (list | plan | run | merge | bench-runner | <experiment-id>... | all) \
+        "usage: repro (list | plan | run | merge | cache (stats|gc|clear) | bench-runner | \
+         <experiment-id>... | all) \
          [--scale quick|paper|tiny] [--json] [--out DIR] [--threads N] [--progress] \
-         [--shard I/K] [--shards K] [--shard-dir DIR] [--bench-json FILE]"
+         [--cache-dir DIR] [--keep-plan ID] [--shard I/K] [--shards K] [--shard-dir DIR] \
+         [--bench-json FILE]"
     );
     ExitCode::from(2)
 }
@@ -61,6 +74,15 @@ struct Options {
     shard: (usize, usize),
     shards: usize,
     shard_dir: PathBuf,
+    cache_dir: Option<PathBuf>,
+    keep_plan: Vec<String>,
+}
+
+impl Options {
+    /// The configured cache, if any.
+    fn cache(&self) -> Option<DirCache> {
+        self.cache_dir.as_ref().map(DirCache::new)
+    }
 }
 
 /// Thread count: `--threads` beats `EBRC_THREADS` beats all cores.
@@ -75,24 +97,21 @@ fn env_threads() -> Option<usize> {
     }
 }
 
-/// Maps a table name onto a safe file stem: path separators and every
-/// other non-`[A-Za-z0-9._-]` byte become `_`, and a name that
-/// sanitizes to nothing (or to dots alone) becomes `table`.
-fn table_file_name(name: &str) -> String {
-    let mut stem: String = name
-        .chars()
-        .map(|c| {
-            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
-                c
-            } else {
-                '_'
-            }
-        })
-        .collect();
-    if stem.chars().all(|c| matches!(c, '.' | '_')) {
-        stem = "table".to_string();
-    }
-    format!("{stem}.json")
+/// Cache directory: `--cache-dir` beats `EBRC_CACHE` beats no cache.
+fn env_cache_dir() -> Option<PathBuf> {
+    let raw = std::env::var("EBRC_CACHE").ok()?;
+    let trimmed = raw.trim();
+    (!trimmed.is_empty()).then(|| PathBuf::from(trimmed))
+}
+
+/// The one-line cache report every cache-aware command prints.
+fn report_cache(counters: CacheCounters, dir: &Path) {
+    eprintln!(
+        "# cache: {} hit(s), {} miss(es) in {}",
+        counters.hits,
+        counters.misses,
+        dir.display()
+    );
 }
 
 /// Incremental table writer: one JSON file per table under `dir`,
@@ -217,10 +236,12 @@ fn run_and_report(experiments: Vec<Box<dyn Experiment>>, opts: &Options) -> bool
     let total_sims = std::sync::atomic::AtomicUsize::new(0);
     let refs: Vec<&dyn Experiment> = experiments.iter().map(|e| e.as_ref()).collect();
     let mut spooler = opts.out.as_deref().map(Spooler::new);
-    let reports = plan_run_catalogue(
+    let cache = opts.cache();
+    let run = plan_run_catalogue_cached(
         refs,
         opts.scale,
         &pool,
+        cache.as_ref().map(|c| c as &dyn OutputCache),
         |done, total| {
             total_sims.store(total, std::sync::atomic::Ordering::Relaxed);
             if show_progress {
@@ -240,8 +261,12 @@ fn run_and_report(experiments: Vec<Box<dyn Experiment>>, opts: &Options) -> bool
         eprintln!();
     }
     let wall = started.elapsed();
+    let reports = run.reports;
     render_reports(&reports, opts);
     let write_failures = spooler.map_or(0, |sp| sp.failures);
+    if let Some(c) = &cache {
+        report_cache(run.cache, c.dir());
+    }
     let sims = total_sims.into_inner();
     let ok = summarize(
         &reports,
@@ -382,14 +407,24 @@ fn run_shard(targets: &[String], opts: &Options) -> ExitCode {
     );
     let show_progress = opts.progress;
     let started = std::time::Instant::now();
-    let results = run_specs(&pool, MASTER_SEED, &specs, |done, total| {
-        if show_progress {
-            eprint!("\r# progress {done}/{total} sims (shard {shard}/{of})");
-            let _ = std::io::stderr().flush();
-        }
-    });
+    let cache = opts.cache();
+    let (results, counters) = run_specs_cached(
+        &pool,
+        MASTER_SEED,
+        &specs,
+        cache.as_ref().map(|c| c as &dyn OutputCache),
+        |done, total| {
+            if show_progress {
+                eprint!("\r# progress {done}/{total} sims (shard {shard}/{of})");
+                let _ = std::io::stderr().flush();
+            }
+        },
+    );
     if show_progress {
         eprintln!();
+    }
+    if let Some(c) = &cache {
+        report_cache(counters, c.dir());
     }
 
     let mut outputs = Vec::new();
@@ -641,6 +676,92 @@ fn absorb_shard(
     Ok(())
 }
 
+/// `repro cache (stats | gc --keep-plan <targets> | clear)`: inspect
+/// and maintain a content-addressed sim cache.
+///
+/// `gc --keep-plan` rebuilds the named experiments' plan at the
+/// requested `--scale` and removes every entry whose content hash the
+/// plan does not reference (invalid entries included) — exactly the
+/// orphans. Entries for other scales are orphans too: keep-plan
+/// describes precisely what survives.
+fn cache_command(targets: &[String], opts: &Options) -> ExitCode {
+    let Some(cache) = opts.cache() else {
+        eprintln!("cache commands need --cache-dir DIR (or EBRC_CACHE)");
+        return ExitCode::FAILURE;
+    };
+    match targets.first().map(String::as_str) {
+        Some("stats") if targets.len() == 1 => {
+            let entries = cache.entries();
+            let valid = entries.iter().filter(|e| e.valid).count();
+            let bytes: u64 = entries.iter().map(|e| e.bytes).sum();
+            println!(
+                "cache {}: {} entries ({} valid, {} invalid), {} bytes",
+                cache.dir().display(),
+                entries.len(),
+                valid,
+                entries.len() - valid,
+                bytes,
+            );
+            ExitCode::SUCCESS
+        }
+        Some("clear") if targets.len() == 1 => {
+            let entries = cache.entries();
+            let removed = entries.iter().filter(|e| cache.remove(e.hash)).count();
+            eprintln!(
+                "# cache clear: removed {removed} of {} entries",
+                entries.len()
+            );
+            if removed == entries.len() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Some("gc") if targets.len() == 1 => {
+            if opts.keep_plan.is_empty() {
+                eprintln!("cache gc needs --keep-plan ID (repeatable; 'all' keeps the catalogue)");
+                return ExitCode::FAILURE;
+            }
+            let experiments = match select_experiments(&opts.keep_plan) {
+                Ok(e) => e,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let Some(plan) = try_global_plan(&experiments, opts.scale) else {
+                eprintln!("plan construction panicked");
+                return ExitCode::FAILURE;
+            };
+            let keep: std::collections::HashSet<u64> = plan.spec_hashes().iter().copied().collect();
+            let mut kept = 0usize;
+            let mut removed = 0usize;
+            let mut stuck = 0usize;
+            for entry in cache.entries() {
+                if entry.valid && keep.contains(&entry.hash) {
+                    kept += 1;
+                } else if cache.remove(entry.hash) {
+                    removed += 1;
+                } else {
+                    stuck += 1;
+                }
+            }
+            eprintln!(
+                "# cache gc: kept {kept}, removed {removed} (keep-plan: {} unique sims at scale {})",
+                plan.unique_len(),
+                opts.scale_name,
+            );
+            if stuck == 0 {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("# cache gc: {stuck} entries could not be removed");
+                ExitCode::FAILURE
+            }
+        }
+        _ => usage(),
+    }
+}
+
 /// `bench-runner`: times `repro all` at 1 thread and at 8-or-all-cores
 /// (whichever is larger), writing wall-clock, sims/sec, and the
 /// plan-level dedup counters to a JSON artifact — the perf trajectory
@@ -657,28 +778,43 @@ fn bench_runner(opts: &Options) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let cache = opts.cache();
     let mut entries = Vec::new();
     let mut walls = Vec::new();
+    let mut totals = CacheCounters::default();
     for &threads in &thread_counts {
         let pool = Pool::new(threads);
         let started = std::time::Instant::now();
         let experiments = all_experiments();
         let refs: Vec<&dyn Experiment> = experiments.iter().map(|e| e.as_ref()).collect();
-        let reports = ebrc_experiments::par_run_catalogue(refs, opts.scale, &pool, |_, _| {});
+        let run = plan_run_catalogue_cached(
+            refs,
+            opts.scale,
+            &pool,
+            cache.as_ref().map(|c| c as &dyn OutputCache),
+            |_, _| {},
+            |_| {},
+        );
         let wall = started.elapsed().as_secs_f64();
-        let failed = reports.iter().filter(|r| r.outcome.is_err()).count();
+        let failed = run.reports.iter().filter(|r| r.outcome.is_err()).count();
         if failed > 0 {
             eprintln!("# bench-runner: {failed} experiment(s) failed; aborting");
             return ExitCode::FAILURE;
         }
         eprintln!(
-            "# bench-runner: {threads} thread(s): {wall:.2} s wall, {:.1} sims/s",
-            unique_sims as f64 / wall
+            "# bench-runner: {threads} thread(s): {wall:.2} s wall, {:.1} sims/s, \
+             {} cache hit(s)",
+            unique_sims as f64 / wall,
+            run.cache.hits,
         );
         walls.push(wall);
+        totals.absorb(run.cache);
         entries.push(format!(
-            "    {{ \"threads\": {threads}, \"wall_s\": {wall:.4}, \"jobs_per_sec\": {:.4} }}",
-            unique_sims as f64 / wall
+            "    {{ \"threads\": {threads}, \"wall_s\": {wall:.4}, \"jobs_per_sec\": {:.4}, \
+             \"cache_hits\": {}, \"cache_misses\": {} }}",
+            unique_sims as f64 / wall,
+            run.cache.hits,
+            run.cache.misses,
         ));
     }
     let speedup = if walls.len() > 1 {
@@ -687,12 +823,14 @@ fn bench_runner(opts: &Options) -> ExitCode {
         1.0
     };
     let json = format!(
-        "{{\n  \"bench\": \"repro all --scale {}\",\n  \"jobs\": {},\n  \"unique_sims\": {},\n  \"subscribed_sims\": {},\n  \"deduped_sims\": {},\n  \"runs\": [\n{}\n  ],\n  \"speedup\": {:.4}\n}}\n",
+        "{{\n  \"bench\": \"repro all --scale {}\",\n  \"jobs\": {},\n  \"unique_sims\": {},\n  \"subscribed_sims\": {},\n  \"deduped_sims\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"runs\": [\n{}\n  ],\n  \"speedup\": {:.4}\n}}\n",
         opts.scale_name,
         unique_sims,
         unique_sims,
         subscribed_sims,
         subscribed_sims - unique_sims,
+        totals.hits,
+        totals.misses,
         entries.join(",\n"),
         speedup
     );
@@ -742,6 +880,8 @@ fn main() -> ExitCode {
         shard: (0, 1),
         shards: 1,
         shard_dir: PathBuf::from("shards"),
+        cache_dir: env_cache_dir(),
+        keep_plan: Vec::new(),
     };
     let mut i = 0;
     while i < args.len() {
@@ -814,6 +954,20 @@ fn main() -> ExitCode {
                     None => return usage(),
                 }
             }
+            "--cache-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) if !dir.is_empty() => opts.cache_dir = Some(PathBuf::from(dir)),
+                    _ => return usage(),
+                }
+            }
+            "--keep-plan" => {
+                i += 1;
+                match args.get(i) {
+                    Some(id) if !id.starts_with('-') => opts.keep_plan.push(id.clone()),
+                    _ => return usage(),
+                }
+            }
             "--bench-json" => {
                 i += 1;
                 match args.get(i) {
@@ -826,7 +980,7 @@ fn main() -> ExitCode {
             // positional — `repro fig03 list` must not silently turn
             // into a catalogue listing (the stray word becomes an
             // unknown-experiment error instead).
-            s @ ("list" | "plan" | "run" | "merge" | "bench-runner")
+            s @ ("list" | "plan" | "run" | "merge" | "cache" | "bench-runner")
                 if command.is_none() && targets.is_empty() =>
             {
                 command = Some(s.to_string());
@@ -844,6 +998,7 @@ fn main() -> ExitCode {
         Some("plan") => print_plan(&targets, &opts),
         Some("run") => run_shard(&targets, &opts),
         Some("merge") => merge_shards(&targets, &opts),
+        Some("cache") => cache_command(&targets, &opts),
         Some("bench-runner") => bench_runner(&opts),
         Some(_) => usage(),
         None => {
@@ -870,15 +1025,6 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn file_names_are_sanitized() {
-        assert_eq!(table_file_name("fig01/left"), "fig01_left.json");
-        assert_eq!(table_file_name("a b/c"), "a_b_c.json");
-        assert_eq!(table_file_name("../../etc/passwd"), ".._.._etc_passwd.json");
-        assert_eq!(table_file_name("..."), "table.json");
-        assert_eq!(table_file_name(""), "table.json");
-    }
 
     #[test]
     fn colliding_tables_are_reported_not_overwritten() {

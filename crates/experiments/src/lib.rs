@@ -37,8 +37,8 @@ pub mod spec;
 
 pub use registry::{
     all_experiments, find_experiment, global_plan, par_run, par_run_all, par_run_catalogue,
-    plan_run_catalogue, replica_seed, Experiment, ExperimentFailure, ExperimentReport, Plan, Scale,
-    MASTER_SEED,
+    plan_run_catalogue, plan_run_catalogue_cached, replica_seed, CatalogueRun, Experiment,
+    ExperimentFailure, ExperimentReport, Plan, Scale, MASTER_SEED,
 };
-pub use series::Table;
+pub use series::{table_file_name, Table};
 pub use spec::{SimSpec, SpecOutput};

@@ -20,7 +20,9 @@
 
 use crate::series::Table;
 use crate::spec::{SimSpec, SpecOutput};
-use ebrc_runner::{panic_message, run_plan, Pool, SubscriptionResult};
+use ebrc_runner::{
+    panic_message, run_plan_cached, CacheCounters, OutputCache, Pool, SubscriptionResult,
+};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::Mutex;
@@ -255,22 +257,48 @@ pub fn par_run_catalogue(
     plan_run_catalogue(experiments, scale, pool, progress, |_| {})
 }
 
-/// The merged-plan execution core.
-///
-/// Builds one global plan (specs deduplicated across experiments),
-/// executes its unique specs on the pool, and reduces each experiment
-/// on a dedicated reducer thread the moment its last subscribed spec
-/// completes. Finished reports stream — in completion order — through
-/// `on_report` on a separate writer thread, so callers can spool
-/// tables to disk while the grid is still running; the returned
-/// reports are in catalogue (argument) order regardless.
+/// A catalogue run's results: per-experiment reports in catalogue
+/// order plus the run's cache effectiveness (every sim a miss when no
+/// cache was configured).
+pub struct CatalogueRun {
+    /// Per-experiment outcomes, in catalogue (argument) order.
+    pub reports: Vec<ExperimentReport>,
+    /// Cache hits vs executed sims.
+    pub cache: CacheCounters,
+}
+
+/// [`plan_run_catalogue_cached`] without a cache — the common path.
 pub fn plan_run_catalogue(
     experiments: Vec<&dyn Experiment>,
     scale: Scale,
     pool: &Pool,
     progress: impl Fn(usize, usize) + Sync,
-    mut on_report: impl FnMut(&ExperimentReport) + Send,
+    on_report: impl FnMut(&ExperimentReport) + Send,
 ) -> Vec<ExperimentReport> {
+    plan_run_catalogue_cached(experiments, scale, pool, None, progress, on_report).reports
+}
+
+/// The merged-plan execution core.
+///
+/// Builds one global plan (specs deduplicated across experiments),
+/// executes its unique specs on the pool — serving any spec whose
+/// validated output already sits in `cache` without executing it, and
+/// writing fresh outputs back — and reduces each experiment on a
+/// dedicated reducer thread the moment its last subscribed spec
+/// completes. Finished reports stream — in completion order — through
+/// `on_report` on a separate writer thread, so callers can spool
+/// tables to disk while the grid is still running; the returned
+/// reports are in catalogue (argument) order regardless. Tables are
+/// byte-identical whether every output came from the cache, none did,
+/// or any mix — at any thread count.
+pub fn plan_run_catalogue_cached(
+    experiments: Vec<&dyn Experiment>,
+    scale: Scale,
+    pool: &Pool,
+    cache: Option<&dyn OutputCache>,
+    progress: impl Fn(usize, usize) + Sync,
+    mut on_report: impl FnMut(&ExperimentReport) + Send,
+) -> CatalogueRun {
     // Phase 1: merge per-experiment plans. A panicking `plan()` fails
     // its experiment but not the sweep.
     let mut plan = Plan::new();
@@ -300,6 +328,7 @@ pub fn plan_run_catalogue(
     for _ in 0..experiments.len() {
         slots.push(None);
     }
+    let mut counters = CacheCounters::default();
     std::thread::scope(|s| {
         let (ready_tx, ready_rx) = mpsc::channel::<SubscriptionResult<SimSpec>>();
         let (report_tx, report_rx) = mpsc::channel::<(usize, ExperimentReport)>();
@@ -357,12 +386,14 @@ pub fn plan_run_catalogue(
         // through a mutex — the send is two orders of magnitude cheaper
         // than any spec body.
         let ready_tx = Mutex::new(ready_tx);
-        run_plan(pool, MASTER_SEED, &plan, None, progress, |res| {
-            let _ = ready_tx
-                .lock()
-                .expect("completion channel poisoned")
-                .send(res);
-        });
+        let (_, run_counters) =
+            run_plan_cached(pool, MASTER_SEED, &plan, None, cache, progress, |res| {
+                let _ = ready_tx
+                    .lock()
+                    .expect("completion channel poisoned")
+                    .send(res);
+            });
+        counters = run_counters;
         drop(ready_tx);
         for (ei, report) in writer.join().expect("writer thread panicked") {
             slots[ei] = Some(report);
@@ -370,7 +401,7 @@ pub fn plan_run_catalogue(
     });
 
     // Phase 3: fold in plan-phase failures and restore catalogue order.
-    experiments
+    let reports = experiments
         .into_iter()
         .zip(plan_errors)
         .zip(slots)
@@ -390,7 +421,11 @@ pub fn plan_run_catalogue(
                 }),
             },
         })
-        .collect()
+        .collect();
+    CatalogueRun {
+        reports,
+        cache: counters,
+    }
 }
 
 /// Every experiment, in paper order.
@@ -549,6 +584,42 @@ mod tests {
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a.to_json(), b.to_json());
         }
+    }
+
+    #[test]
+    fn cached_catalogue_runs_are_byte_identical_and_execute_nothing() {
+        let exp = Fragile { broken_spec: false };
+        let dir = std::env::temp_dir().join(format!("ebrc-reg-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ebrc_runner::DirCache::new(&dir);
+        let tables = |run: &CatalogueRun| -> Vec<String> {
+            run.reports[0]
+                .outcome
+                .as_ref()
+                .unwrap()
+                .iter()
+                .map(|t| t.to_json())
+                .collect()
+        };
+        let run = |cache: Option<&dyn OutputCache>| {
+            plan_run_catalogue_cached(
+                vec![&exp as &dyn Experiment],
+                Scale::quick(),
+                &Pool::new(2),
+                cache,
+                |_, _| {},
+                |_| {},
+            )
+        };
+        let cold = run(Some(&cache));
+        assert_eq!(cold.cache, CacheCounters { hits: 0, misses: 2 });
+        let warm = run(Some(&cache));
+        assert_eq!(warm.cache, CacheCounters { hits: 2, misses: 0 });
+        let fresh = run(None);
+        assert_eq!(fresh.cache, CacheCounters { hits: 0, misses: 2 });
+        assert_eq!(tables(&cold), tables(&warm), "warm run diverged");
+        assert_eq!(tables(&cold), tables(&fresh), "uncached run diverged");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -98,6 +98,28 @@ impl Table {
     }
 }
 
+/// Maps a table name onto a safe file stem: path separators and every
+/// other non-`[A-Za-z0-9._-]` byte become `_`, and a name that
+/// sanitizes to nothing (or to dots alone) becomes `table`. The
+/// spooling CLI and the golden-output corpus share this mapping — one
+/// table name, one file name, everywhere.
+pub fn table_file_name(name: &str) -> String {
+    let mut stem: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if stem.chars().all(|c| matches!(c, '.' | '_')) {
+        stem = "table".to_string();
+    }
+    format!("{stem}.json")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +160,14 @@ mod tests {
     #[should_panic(expected = "row width")]
     fn mismatched_row_rejected() {
         sample().push_row(vec![1.0]);
+    }
+
+    #[test]
+    fn file_names_are_sanitized() {
+        assert_eq!(table_file_name("fig01/left"), "fig01_left.json");
+        assert_eq!(table_file_name("a b/c"), "a_b_c.json");
+        assert_eq!(table_file_name("../../etc/passwd"), ".._.._etc_passwd.json");
+        assert_eq!(table_file_name("..."), "table.json");
+        assert_eq!(table_file_name(""), "table.json");
     }
 }

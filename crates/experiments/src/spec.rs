@@ -484,6 +484,20 @@ impl ebrc_runner::Spec for SimSpec {
     }
 }
 
+impl ebrc_runner::CacheableSpec for SimSpec {
+    /// Serializes through the shard interchange encoding
+    /// ([`SpecOutput::to_value`]) — floats as exact bit patterns, so a
+    /// cached output is bit-identical to a fresh one.
+    fn encode_output(out: &SpecOutput) -> String {
+        serde_json::to_string(&out.to_value()).expect("outputs are serializable")
+    }
+
+    fn decode_output(text: &str) -> Result<SpecOutput, String> {
+        let value = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        SpecOutput::from_value(&value)
+    }
+}
+
 impl SimSpec {
     /// One Monte-Carlo normalized-throughput point — the body of every
     /// [`SimSpec::Mc`] spec (the historical Figures 3–4 seeds live in

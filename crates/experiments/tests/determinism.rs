@@ -1,18 +1,27 @@
 //! The plan runner's contract: `repro`-level tables are byte-identical
-//! at any thread count *and any shard count*, and spec content keys
-//! (the RNG identities) never collide.
+//! at any thread count *and any shard count* — and, since the
+//! content-addressed cache landed, at any cache temperature — and spec
+//! content keys (the RNG identities) never collide.
+//!
+//! The committed golden corpus under `tests/golden/` is the single
+//! source of truth all of those paths are compared against:
+//! `UPDATE_GOLDEN=1 cargo test -p ebrc-experiments --test determinism`
+//! regenerates it after a *deliberate* output change.
 //!
 //! The full-catalogue comparisons run at a tiny scale so the whole
 //! grid — including a replicated one — stays in test-suite territory;
-//! CI's `runner-determinism` and `shard-smoke` jobs repeat the
-//! comparisons at quick scale through the real binary.
+//! CI's `runner-determinism`, `shard-smoke`, and `cache-smoke` jobs
+//! repeat the comparisons at quick scale through the real binary.
 
 use ebrc_dist::Rng;
 use ebrc_experiments::{
-    all_experiments, global_plan, par_run, Experiment, Scale, SimSpec, SpecOutput, MASTER_SEED,
+    all_experiments, global_plan, par_run, plan_run_catalogue_cached, table_file_name, Experiment,
+    ExperimentReport, Scale, SimSpec, SpecOutput, MASTER_SEED,
 };
-use ebrc_runner::{run_specs, Pool, Spec as _};
+use ebrc_runner::{run_specs, CacheCounters, DirCache, Pool, Spec as _};
 use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 /// A scale small enough to run the whole catalogue several times over.
 fn tiny(replicas: usize) -> Scale {
@@ -91,8 +100,9 @@ fn spec_keys_are_unique_and_collision_free_across_the_catalogue() {
 
 /// Runs the catalogue split into `k` deterministic shards — each shard
 /// executed as a bare spec list, exactly like `repro run --shard` —
-/// then merges the outputs and reduces every experiment.
-fn tables_via_shards(scale: Scale, k: usize, pool: &Pool) -> Vec<Vec<String>> {
+/// then merges the outputs and reduces every experiment. Returns each
+/// experiment's tables, in catalogue order.
+fn tables_via_shards(scale: Scale, k: usize, pool: &Pool) -> Vec<Vec<ebrc_experiments::Table>> {
     let experiments = all_experiments();
     let refs: Vec<&dyn Experiment> = experiments.iter().map(|e| e.as_ref()).collect();
     let plan = global_plan(&refs, scale);
@@ -117,10 +127,15 @@ fn tables_via_shards(scale: Scale, k: usize, pool: &Pool) -> Vec<Vec<String>> {
         .map(|(si, (exp, _))| {
             let refs = plan.subscription_outputs(si, &outputs);
             exp.reduce(scale, &refs)
-                .iter()
-                .map(|t| t.to_json())
-                .collect()
         })
+        .collect()
+}
+
+/// Each experiment's table JSONs, in catalogue order.
+fn shard_jsons(tables: &[Vec<ebrc_experiments::Table>]) -> Vec<Vec<String>> {
+    tables
+        .iter()
+        .map(|ts| ts.iter().map(|t| t.to_json()).collect())
         .collect()
 }
 
@@ -128,9 +143,9 @@ fn tables_via_shards(scale: Scale, k: usize, pool: &Pool) -> Vec<Vec<String>> {
 fn merged_shard_runs_are_byte_identical_to_one_shard() {
     let scale = tiny(1);
     let pool = Pool::new(4);
-    let whole = tables_via_shards(scale, 1, &pool);
+    let whole = shard_jsons(&tables_via_shards(scale, 1, &pool));
     for k in [2, 3] {
-        let sharded = tables_via_shards(scale, k, &pool);
+        let sharded = shard_jsons(&tables_via_shards(scale, k, &pool));
         assert_eq!(whole, sharded, "{k}-shard merge diverged from 1-shard");
     }
     // And the 1-shard path matches the ordinary sequential runs.
@@ -138,6 +153,142 @@ fn merged_shard_runs_are_byte_identical_to_one_shard() {
         let direct: Vec<String> = exp.run(scale).iter().map(|t| t.to_json()).collect();
         assert_eq!(&direct, tables, "{}: shard path diverged", exp.id());
     }
+}
+
+// ---------------------------------------------------------------------
+// The golden-output corpus.
+// ---------------------------------------------------------------------
+
+/// The committed corpus directory: one JSON file per catalogue table,
+/// named exactly as `repro all --scale tiny --out` would spool it.
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// `file name → table JSON` for a full-catalogue report set.
+fn corpus_from_reports(reports: &[ExperimentReport]) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for report in reports {
+        let tables = report.outcome.as_ref().unwrap_or_else(|e| panic!("{e}"));
+        for t in tables {
+            let file = table_file_name(&t.name);
+            assert!(
+                out.insert(file.clone(), t.to_json()).is_none(),
+                "two catalogue tables map to {file}"
+            );
+        }
+    }
+    out
+}
+
+/// The committed corpus, as written.
+fn corpus_on_disk() -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let dir = golden_dir();
+    let entries = std::fs::read_dir(&dir).unwrap_or_else(|e| {
+        panic!(
+            "no golden corpus at {} ({e}); run UPDATE_GOLDEN=1",
+            dir.display()
+        )
+    });
+    for entry in entries {
+        let entry = entry.unwrap();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".json") {
+            out.insert(name, std::fs::read_to_string(entry.path()).unwrap());
+        }
+    }
+    out
+}
+
+/// Asserts two corpora are byte-identical, naming the first offender.
+fn assert_corpus_eq(golden: &BTreeMap<String, String>, got: &BTreeMap<String, String>, what: &str) {
+    let golden_files: Vec<&String> = golden.keys().collect();
+    let got_files: Vec<&String> = got.keys().collect();
+    assert_eq!(golden_files, got_files, "{what}: table file set changed");
+    for (file, want) in golden {
+        assert_eq!(
+            want, &got[file],
+            "{what}: {file} diverged from the golden corpus"
+        );
+    }
+}
+
+/// The acceptance gate: fresh, warm-cache, and 2-shard-merged runs of
+/// the whole catalogue are all byte-identical to the committed golden
+/// corpus — so a cache hit, a shard merge, and a plain run can never
+/// silently drift apart. `UPDATE_GOLDEN=1` rewrites the corpus after a
+/// deliberate output change.
+#[test]
+fn golden_corpus_gates_fresh_warm_cache_and_sharded_runs() {
+    let scale = Scale::tiny();
+    let pool = Pool::new(4);
+    let run_catalogue = |cache: Option<&dyn ebrc_runner::OutputCache>| {
+        let experiments = all_experiments();
+        let refs: Vec<&dyn Experiment> = experiments.iter().map(|e| e.as_ref()).collect();
+        let run = plan_run_catalogue_cached(refs, scale, &pool, cache, |_, _| {}, |_| {});
+        (corpus_from_reports(&run.reports), run.cache)
+    };
+    let (fresh, _) = run_catalogue(None);
+
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        let dir = golden_dir();
+        std::fs::create_dir_all(&dir).unwrap();
+        // Remove stale files so the corpus is exactly the fresh run.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            if name.ends_with(".json") && !fresh.contains_key(&name) {
+                std::fs::remove_file(&path).unwrap();
+            }
+        }
+        for (file, json) in &fresh {
+            std::fs::write(dir.join(file), json).unwrap();
+        }
+        eprintln!("golden corpus regenerated: {} tables", fresh.len());
+        return;
+    }
+
+    let golden = corpus_on_disk();
+    assert_corpus_eq(&golden, &fresh, "fresh run");
+
+    // Warm-cache: a cold run populates, the warm run executes nothing —
+    // and both reduce to the golden bytes.
+    let experiments = all_experiments();
+    let refs: Vec<&dyn Experiment> = experiments.iter().map(|e| e.as_ref()).collect();
+    let unique = global_plan(&refs, scale).unique_len();
+    let cache_root = std::env::temp_dir().join(format!("ebrc-golden-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_root);
+    let cache = DirCache::new(&cache_root);
+    let (cold, cold_counters) = run_catalogue(Some(&cache));
+    assert_eq!(
+        cold_counters,
+        CacheCounters {
+            hits: 0,
+            misses: unique
+        },
+        "cold cache"
+    );
+    let (warm, warm_counters) = run_catalogue(Some(&cache));
+    assert_eq!(
+        warm_counters,
+        CacheCounters {
+            hits: unique,
+            misses: 0
+        },
+        "warm run executed sims"
+    );
+    assert_corpus_eq(&golden, &cold, "cache-populating run");
+    assert_corpus_eq(&golden, &warm, "warm-cache run");
+    let _ = std::fs::remove_dir_all(&cache_root);
+
+    // 2-shard-merged: through the interchange encoding, same bytes.
+    let sharded: BTreeMap<String, String> = tables_via_shards(scale, 2, &pool)
+        .iter()
+        .flatten()
+        .map(|t| (table_file_name(&t.name), t.to_json()))
+        .collect();
+    assert_corpus_eq(&golden, &sharded, "2-shard merge");
 }
 
 proptest! {

@@ -6,7 +6,11 @@ use std::path::PathBuf;
 use std::process::Command;
 
 fn repro() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_repro"))
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    // The ambient environment must not reconfigure the binary under
+    // test (or leak test sims into a developer's real cache).
+    cmd.env_remove("EBRC_CACHE").env_remove("EBRC_THREADS");
+    cmd
 }
 
 fn scratch(name: &str) -> PathBuf {
@@ -228,15 +232,23 @@ fn merge_rejects_foreign_or_missing_shards() {
         .unwrap();
     assert!(out.status.success());
 
-    // Different experiment set → different plan fingerprint.
+    // Different experiment set → different plan fingerprint — and a
+    // fingerprint mismatch must not leave partial tables behind.
+    let tables = scratch("mismatch-tables");
     let foreign = repro()
         .args(["merge", "fig02", "--scale", "tiny", "--shard-dir"])
         .arg(&dir)
+        .arg("--out")
+        .arg(&tables)
         .output()
         .unwrap();
     assert!(!foreign.status.success());
     let err = String::from_utf8_lossy(&foreign.stderr);
     assert!(err.contains("different plan"), "stderr: {err}");
+    let written: Vec<_> = std::fs::read_dir(&tables)
+        .map(|d| d.flatten().collect())
+        .unwrap_or_default();
+    assert!(written.is_empty(), "mismatched merge wrote tables");
 
     // Same plan but shard 1/2 never ran → incomplete.
     let partial = repro()
@@ -248,6 +260,193 @@ fn merge_rejects_foreign_or_missing_shards() {
     let err = String::from_utf8_lossy(&partial.stderr);
     assert!(err.contains("incomplete shard set"), "stderr: {err}");
     let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&tables);
+}
+
+#[test]
+fn out_of_range_shard_fails_without_writing_an_artifact() {
+    let dir = scratch("oor-shard");
+    for shard in ["3/2", "2/2", "1/0"] {
+        let out = repro()
+            .args([
+                "run",
+                "fig01",
+                "--scale",
+                "tiny",
+                "--shard",
+                shard,
+                "--shard-dir",
+            ])
+            .arg(&dir)
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "--shard {shard} must fail");
+        assert!(
+            !dir.exists() || std::fs::read_dir(&dir).unwrap().next().is_none(),
+            "--shard {shard} wrote an artifact"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_dir_makes_the_second_run_a_pure_reduce_pass() {
+    let base = scratch("cache-ux");
+    let cdir = base.join("cache");
+    let args = ["fig02", "claim4", "--scale", "tiny", "--cache-dir"];
+    let cold = repro().args(args).arg(&cdir).output().unwrap();
+    assert!(cold.status.success());
+    let err = String::from_utf8_lossy(&cold.stderr);
+    assert!(
+        err.contains("# cache: 0 hit(s), 8 miss(es)"),
+        "stderr: {err}"
+    );
+
+    // Second invocation: zero sims executed, every sim a hit, and the
+    // tables are byte-identical.
+    let warm = repro().args(args).arg(&cdir).output().unwrap();
+    assert!(warm.status.success());
+    let err = String::from_utf8_lossy(&warm.stderr);
+    assert!(
+        err.contains("# cache: 8 hit(s), 0 miss(es)"),
+        "stderr: {err}"
+    );
+    assert!(err.contains("0 sims in"), "stderr: {err}");
+    assert_eq!(cold.stdout, warm.stdout, "warm run changed tables");
+
+    // `cache stats` agrees with the run counters.
+    let stats = repro()
+        .args(["cache", "stats", "--cache-dir"])
+        .arg(&cdir)
+        .output()
+        .unwrap();
+    assert!(stats.status.success());
+    let text = String::from_utf8_lossy(&stats.stdout);
+    assert!(
+        text.contains("8 entries (8 valid, 0 invalid)"),
+        "stats: {text}"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn cache_gc_removes_exactly_the_orphaned_hashes() {
+    let base = scratch("cache-gc");
+    let cdir = base.join("cache");
+    let entry_count = || {
+        std::fs::read_dir(&cdir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".json"))
+            .count()
+    };
+    let run = |id: &str| {
+        let out = repro()
+            .args([id, "--scale", "tiny", "--cache-dir"])
+            .arg(&cdir)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{id} failed");
+    };
+    run("fig02");
+    let fig02_entries = entry_count();
+    run("claim4");
+    let both_entries = entry_count();
+    assert!(both_entries > fig02_entries, "claim4 added no entries");
+
+    let gc = repro()
+        .args([
+            "cache",
+            "gc",
+            "--keep-plan",
+            "fig02",
+            "--scale",
+            "tiny",
+            "--cache-dir",
+        ])
+        .arg(&cdir)
+        .output()
+        .unwrap();
+    assert!(
+        gc.status.success(),
+        "{}",
+        String::from_utf8_lossy(&gc.stderr)
+    );
+    let err = String::from_utf8_lossy(&gc.stderr);
+    assert!(
+        err.contains(&format!(
+            "kept {fig02_entries}, removed {}",
+            both_entries - fig02_entries
+        )),
+        "stderr: {err}"
+    );
+    assert_eq!(entry_count(), fig02_entries, "gc removed the wrong set");
+
+    // Everything fig02 needs survived: a repeat run is all hits.
+    let warm = repro()
+        .args(["fig02", "--scale", "tiny", "--cache-dir"])
+        .arg(&cdir)
+        .output()
+        .unwrap();
+    let err = String::from_utf8_lossy(&warm.stderr);
+    assert!(err.contains("0 miss(es)"), "gc evicted a live entry: {err}");
+
+    // `cache clear` empties the directory.
+    let clear = repro()
+        .args(["cache", "clear", "--cache-dir"])
+        .arg(&cdir)
+        .output()
+        .unwrap();
+    assert!(clear.status.success());
+    assert_eq!(entry_count(), 0, "clear left entries behind");
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn env_var_sets_the_cache_dir() {
+    let base = scratch("cache-env");
+    let cdir = base.join("cache");
+    for _ in 0..2 {
+        let out = repro()
+            .args(["fig01", "--scale", "tiny"])
+            .env("EBRC_CACHE", &cdir)
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+    }
+    let out = repro()
+        .args(["fig01", "--scale", "tiny"])
+        .env("EBRC_CACHE", &cdir)
+        .output()
+        .unwrap();
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("hit(s), 0 miss(es)") && err.contains(&cdir.display().to_string()),
+        "stderr: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn cache_command_requires_a_directory_and_known_action() {
+    let no_dir = repro().args(["cache", "stats"]).output().unwrap();
+    assert!(!no_dir.status.success());
+    let err = String::from_utf8_lossy(&no_dir.stderr);
+    assert!(err.contains("--cache-dir"), "stderr: {err}");
+
+    let bad = repro()
+        .args(["cache", "defrag", "--cache-dir", "nowhere"])
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(2), "unknown action must hit usage");
+
+    let no_keep = repro()
+        .args(["cache", "gc", "--cache-dir", "nowhere"])
+        .output()
+        .unwrap();
+    assert!(!no_keep.status.success());
+    let err = String::from_utf8_lossy(&no_keep.stderr);
+    assert!(err.contains("--keep-plan"), "stderr: {err}");
 }
 
 #[test]
@@ -270,10 +469,14 @@ fn bench_runner_writes_the_artifact_with_dedup_counters() {
         "\"unique_sims\"",
         "\"subscribed_sims\"",
         "\"deduped_sims\"",
+        "\"cache_hits\"",
+        "\"cache_misses\"",
         "\"speedup\"",
         "\"threads\": 1",
     ] {
         assert!(text.contains(field), "artifact missing {field}: {text}");
     }
+    // Without a cache dir every sim is a miss and nothing hits.
+    assert!(text.contains("\"cache_hits\": 0"), "artifact: {text}");
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -19,17 +19,27 @@
 //! [`plan`] layer: content-hashed [`Spec`]s deduplicated into a
 //! [`Plan`] with per-experiment subscriptions, deterministic shards for
 //! multi-host sweeps, and completion-driven reduction ([`run_plan`]).
+//!
+//! The [`cache`] layer closes the loop for *incremental* re-runs: a
+//! [`DirCache`] stores each completed spec's serialized output under
+//! its content hash, and the cache-aware runners ([`run_plan_cached`],
+//! [`run_specs_cached`]) partition a plan into hits (validated,
+//! loaded, fed straight to subscriptions) and misses (executed, then
+//! written back atomically) — byte-identical to a cold run at any
+//! thread and shard count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod job;
 pub mod plan;
 pub mod pool;
 
+pub use cache::{CacheCounters, CacheEntry, CacheableSpec, DirCache, OutputCache, CACHE_FORMAT};
 pub use job::{take, Job, JobCtx, JobOutput};
 pub use plan::{
-    run_plan, run_specs, stable_hash, Plan, Spec, SpecFailures, SpecResult, Subscription,
-    SubscriptionResult,
+    run_plan, run_plan_cached, run_specs, run_specs_cached, stable_hash, Plan, Spec, SpecFailures,
+    SpecResult, Subscription, SubscriptionResult,
 };
 pub use pool::{default_threads, panic_message, Pool};

@@ -23,6 +23,7 @@
 //! lets callers reduce and spool each experiment while the rest of the
 //! grid is still running.
 
+use crate::cache::{CacheCounters, CacheableSpec, OutputCache};
 use crate::job::JobCtx;
 use crate::pool::{panic_message, Pool};
 use std::collections::HashMap;
@@ -305,6 +306,14 @@ pub struct SubscriptionResult<S: Spec> {
     pub outcome: Result<Vec<Arc<S::Output>>, SpecFailures>,
 }
 
+/// The cache plumbing a cache-aware run threads through the core: the
+/// store plus the output codec, monomorphized per spec type.
+struct CacheHooks<'a, S: Spec> {
+    cache: &'a dyn OutputCache,
+    encode: fn(&S::Output) -> String,
+    decode: fn(&str) -> Result<S::Output, String>,
+}
+
 /// Executes a plan's unique specs (optionally a subset) on the pool.
 ///
 /// `on_ready` fires — from the completing worker's thread — as soon as
@@ -321,6 +330,50 @@ pub fn run_plan<S: Spec>(
     progress: impl Fn(usize, usize) + Sync,
     on_ready: impl Fn(SubscriptionResult<S>) + Sync,
 ) -> Vec<Option<SpecResult<S>>> {
+    run_plan_core(pool, master_seed, plan, only, None, progress, on_ready).0
+}
+
+/// [`run_plan`] with a content-addressed output cache.
+///
+/// The plan's selected specs are partitioned into *hits* — entries
+/// loaded from the cache, validated against the spec key, decoded, and
+/// fed straight to their subscriptions — and *misses*, which execute
+/// on the pool and are written back on completion. An invalid entry
+/// (corrupt, truncated, version-skewed, or key-mismatched) reads as a
+/// miss and re-executes; it can never poison a reduce. With
+/// `cache: None` this is exactly [`run_plan`] (every spec a miss).
+///
+/// `progress` counts executed specs only, so a fully warm run reports
+/// zero sims. The returned [`CacheCounters`] split the selected specs
+/// into hits and misses.
+pub fn run_plan_cached<S: CacheableSpec>(
+    pool: &Pool,
+    master_seed: u64,
+    plan: &Plan<S>,
+    only: Option<&[usize]>,
+    cache: Option<&dyn OutputCache>,
+    progress: impl Fn(usize, usize) + Sync,
+    on_ready: impl Fn(SubscriptionResult<S>) + Sync,
+) -> (Vec<Option<SpecResult<S>>>, CacheCounters) {
+    let hooks = cache.map(|cache| CacheHooks {
+        cache,
+        encode: S::encode_output,
+        decode: S::decode_output,
+    });
+    run_plan_core(pool, master_seed, plan, only, hooks, progress, on_ready)
+}
+
+/// The shared execution core behind [`run_plan`] and
+/// [`run_plan_cached`].
+fn run_plan_core<S: Spec>(
+    pool: &Pool,
+    master_seed: u64,
+    plan: &Plan<S>,
+    only: Option<&[usize]>,
+    hooks: Option<CacheHooks<'_, S>>,
+    progress: impl Fn(usize, usize) + Sync,
+    on_ready: impl Fn(SubscriptionResult<S>) + Sync,
+) -> (Vec<Option<SpecResult<S>>>, CacheCounters) {
     let n = plan.specs().len();
     // Dedup the subset (first occurrence wins) so a spec never runs —
     // and never decrements readiness counters — twice.
@@ -377,7 +430,9 @@ pub fn run_plan<S: Spec>(
         }
     };
 
-    // Subscriptions with no specs at all are ready before anything runs.
+    // Subscriptions with no specs at all are ready before anything
+    // runs (before hit pre-filling, which fires on the 1 → 0 counter
+    // transition and would otherwise double-fire them).
     for (si, r) in remaining.iter().enumerate() {
         if let Some(r) = r {
             if r.load(Ordering::Acquire) == 0 {
@@ -386,10 +441,45 @@ pub fn run_plan<S: Spec>(
         }
     }
 
-    let tasks: Vec<_> = selected
+    // Partition the selection into cache hits — pre-filled into their
+    // result slots, decrementing readiness like a completed run — and
+    // the misses the pool actually executes. Probing is sequential on
+    // the coordinating thread: a full warm probe of the quick
+    // catalogue measures in tens of milliseconds, far below the cost
+    // of a single sim, so parallel probing is not worth entangling
+    // with the readiness counters.
+    let mut to_run: Vec<usize> = Vec::with_capacity(selected.len());
+    let mut counters = CacheCounters::default();
+    for &idx in &selected {
+        let hit = hooks.as_ref().and_then(|h| {
+            let text = h
+                .cache
+                .load(plan.spec_hashes()[idx], &plan.specs()[idx].key())?;
+            (h.decode)(&text).ok()
+        });
+        match hit {
+            Some(out) => {
+                counters.hits += 1;
+                *results[idx].lock().expect("result slot poisoned") = Some(Ok(Arc::new(out)));
+                for &si in &subscribers[idx] {
+                    if let Some(r) = &remaining[si] {
+                        if r.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            on_ready(gather(si));
+                        }
+                    }
+                }
+            }
+            None => to_run.push(idx),
+        }
+    }
+    counters.misses = to_run.len();
+
+    let hooks = &hooks;
+    let tasks: Vec<_> = to_run
         .iter()
         .map(|&idx| {
             let spec = plan.specs()[idx].clone();
+            let hash = plan.spec_hashes()[idx];
             let results = &results;
             let remaining = &remaining;
             let subscribers = &subscribers;
@@ -401,7 +491,12 @@ pub fn run_plan<S: Spec>(
                     let mut ctx = JobCtx::for_label(master_seed, key.clone());
                     spec.run(&mut ctx)
                 }))
-                .map(Arc::new)
+                .map(|out| {
+                    if let Some(h) = hooks {
+                        h.cache.store(hash, &key, &(h.encode)(&out));
+                    }
+                    Arc::new(out)
+                })
                 .map_err(|p| panic_message(p.as_ref()));
                 *results[idx].lock().expect("result slot poisoned") = Some(out);
                 for &si in &subscribers[idx] {
@@ -416,10 +511,13 @@ pub fn run_plan<S: Spec>(
         .collect();
     pool.run_with_progress(tasks, progress);
 
-    results
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("result slot poisoned"))
-        .collect()
+    (
+        results
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("result slot poisoned"))
+            .collect(),
+        counters,
+    )
 }
 
 /// Runs a bare spec list on the pool (no subscriptions — the shard
@@ -446,6 +544,69 @@ pub fn run_specs<S: Spec>(
         .collect()
 }
 
+/// [`run_specs`] with a content-addressed output cache — the shard
+/// execution path's warm mode. Hits are loaded and validated, misses
+/// run on the pool and are written back; `progress` counts executed
+/// specs only. With `cache: None` this is exactly [`run_specs`].
+pub fn run_specs_cached<S: CacheableSpec>(
+    pool: &Pool,
+    master_seed: u64,
+    specs: &[S],
+    cache: Option<&dyn OutputCache>,
+    progress: impl Fn(usize, usize) + Sync,
+) -> (Vec<Result<S::Output, String>>, CacheCounters) {
+    let mut slots: Vec<Option<Result<S::Output, String>>> = Vec::with_capacity(specs.len());
+    let mut to_run: Vec<usize> = Vec::new();
+    let mut counters = CacheCounters::default();
+    for (i, spec) in specs.iter().enumerate() {
+        let hit = cache.and_then(|c| {
+            let key = spec.key();
+            let text = c.load(stable_hash(&key), &key)?;
+            S::decode_output(&text).ok()
+        });
+        match hit {
+            Some(out) => {
+                counters.hits += 1;
+                slots.push(Some(Ok(out)));
+            }
+            None => {
+                to_run.push(i);
+                slots.push(None);
+            }
+        }
+    }
+    counters.misses = to_run.len();
+    let tasks: Vec<_> = to_run
+        .iter()
+        .map(|&i| {
+            let spec = specs[i].clone();
+            let cache = &cache;
+            move || {
+                let key = spec.key();
+                let mut ctx = JobCtx::for_label(master_seed, key.clone());
+                let out = spec.run(&mut ctx);
+                if let Some(c) = cache {
+                    c.store(stable_hash(&key), &key, &S::encode_output(&out));
+                }
+                out
+            }
+        })
+        .collect();
+    for (i, result) in to_run
+        .into_iter()
+        .zip(pool.run_with_progress(tasks, progress))
+    {
+        slots[i] = Some(result.map_err(|p| panic_message(p.as_ref())));
+    }
+    (
+        slots
+            .into_iter()
+            .map(|s| s.expect("every spec slot filled"))
+            .collect(),
+        counters,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -469,6 +630,15 @@ mod tests {
                 panic!("toy spec failure");
             }
             self.value * 2
+        }
+    }
+
+    impl CacheableSpec for Toy {
+        fn encode_output(out: &u64) -> String {
+            format!("{out}")
+        }
+        fn decode_output(text: &str) -> Result<u64, String> {
+            text.parse::<u64>().map_err(|e| e.to_string())
         }
     }
 
@@ -633,5 +803,154 @@ mod tests {
     fn shard_index_must_be_in_range() {
         let plan = Plan::for_experiment("e", vec![toy("a", 1)]);
         let _ = plan.shard_indices(2, 2);
+    }
+
+    use crate::cache::DirCache;
+
+    fn cache_scratch(name: &str) -> DirCache {
+        let dir =
+            std::env::temp_dir().join(format!("ebrc-plan-cache-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        DirCache::new(dir)
+    }
+
+    /// (per-spec results, counters, per-subscription fired outputs).
+    type CachedRun = (Vec<Option<SpecResult<Toy>>>, CacheCounters, Vec<Vec<u64>>);
+
+    fn run_cached(plan: &Plan<Toy>, cache: &DirCache) -> CachedRun {
+        let fired = Mutex::new(vec![Vec::new(); plan.subscriptions().len()]);
+        let (results, counters) = run_plan_cached(
+            &Pool::new(3),
+            0,
+            plan,
+            None,
+            Some(cache),
+            |_, _| {},
+            |res: SubscriptionResult<Toy>| {
+                let outs: Vec<u64> = res.outcome.unwrap().iter().map(|o| **o).collect();
+                fired.lock().unwrap()[res.subscription] = outs;
+            },
+        );
+        (results, counters, fired.into_inner().unwrap())
+    }
+
+    #[test]
+    fn warm_plan_runs_execute_nothing_and_match_cold_runs() {
+        let mut plan = Plan::for_experiment("e1", vec![toy("a", 1), toy("b", 2)]);
+        plan.merge(Plan::for_experiment("e2", vec![toy("b", 2), toy("c", 3)]));
+        let cache = cache_scratch("warm");
+        let (cold, c0, fired_cold) = run_cached(&plan, &cache);
+        assert_eq!(c0, CacheCounters { hits: 0, misses: 3 });
+        let (warm, c1, fired_warm) = run_cached(&plan, &cache);
+        assert_eq!(c1, CacheCounters { hits: 3, misses: 0 });
+        // Byte-for-byte the same outputs, and every subscription fires
+        // with identical reduce-order inputs.
+        for (a, b) in cold.iter().zip(&warm) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(**a.as_ref().unwrap(), **b.as_ref().unwrap());
+        }
+        assert_eq!(fired_cold, fired_warm);
+        assert_eq!(fired_warm, vec![vec![2, 4], vec![4, 6]]);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupted_entries_re_execute_instead_of_poisoning() {
+        let plan = Plan::for_experiment("e", vec![toy("a", 1), toy("b", 2)]);
+        let cache = cache_scratch("corrupt");
+        let _ = run_cached(&plan, &cache);
+        // Truncate one entry; flip the other's payload.
+        let h_a = stable_hash("toy/a/v1");
+        std::fs::write(cache.entry_path(h_a), "{\"form").unwrap();
+        let h_b = stable_hash("toy/b/v2");
+        let text = std::fs::read_to_string(cache.entry_path(h_b)).unwrap();
+        let flipped = text.replace("\"payload\":\"4\"", "\"payload\":\"5\"");
+        assert_ne!(text, flipped, "payload to corrupt must be present");
+        std::fs::write(cache.entry_path(h_b), flipped).unwrap();
+        let (results, counters, fired) = run_cached(&plan, &cache);
+        assert_eq!(counters, CacheCounters { hits: 0, misses: 2 });
+        assert_eq!(**results[0].as_ref().unwrap().as_ref().unwrap(), 2);
+        assert_eq!(fired, vec![vec![2, 4]], "reduce saw fresh outputs");
+        // The re-run repaired the entries.
+        let (_, repaired, _) = run_cached(&plan, &cache);
+        assert_eq!(repaired, CacheCounters { hits: 2, misses: 0 });
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn shard_subsets_only_cache_their_own_specs() {
+        let plan = Plan::for_experiment("e", (0..6).map(|i| toy("s", i)).collect());
+        let cache = cache_scratch("subset");
+        let shard0 = plan.shard_indices(0, 2);
+        let (results, counters) = run_plan_cached(
+            &Pool::new(2),
+            0,
+            &plan,
+            Some(&shard0),
+            Some(&cache),
+            |_, _| {},
+            |_| {},
+        );
+        assert_eq!(counters, CacheCounters { hits: 0, misses: 3 });
+        assert!(results[1].is_none(), "outside the shard");
+        assert_eq!(cache.entries().len(), 3);
+        // Shard 1 misses everything; a repeat of shard 0 is all hits.
+        let (_, c1) = run_plan_cached(
+            &Pool::new(2),
+            0,
+            &plan,
+            Some(&plan.shard_indices(1, 2)),
+            Some(&cache),
+            |_, _| {},
+            |_| {},
+        );
+        assert_eq!(c1, CacheCounters { hits: 0, misses: 3 });
+        let (_, c0) = run_plan_cached(
+            &Pool::new(2),
+            0,
+            &plan,
+            Some(&shard0),
+            Some(&cache),
+            |_, _| {},
+            |_| {},
+        );
+        assert_eq!(c0, CacheCounters { hits: 3, misses: 0 });
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn failing_specs_are_not_cached() {
+        let boom = Toy {
+            name: "boom",
+            value: 9,
+            fail: true,
+        };
+        let plan = Plan::for_experiment("e", vec![toy("ok", 1), boom]);
+        let cache = cache_scratch("fail");
+        let c0 = run_cached(&plan, &cache).1;
+        assert_eq!(c0, CacheCounters { hits: 0, misses: 2 });
+        // Only the successful spec was stored; the failure re-runs.
+        let (results, c1, _) = run_cached(&plan, &cache);
+        assert_eq!(c1, CacheCounters { hits: 1, misses: 1 });
+        assert!(results[1].as_ref().unwrap().is_err());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn run_specs_cached_round_trips_with_counters() {
+        let specs: Vec<Toy> = (0..4).map(|i| toy("rs", i)).collect();
+        let cache = cache_scratch("specs");
+        let pool = Pool::new(2);
+        let (cold, c0) = run_specs_cached(&pool, 0, &specs, Some(&cache), |_, _| {});
+        assert_eq!(c0, CacheCounters { hits: 0, misses: 4 });
+        let (warm, c1) = run_specs_cached(&pool, 0, &specs, Some(&cache), |_, _| {});
+        assert_eq!(c1, CacheCounters { hits: 4, misses: 0 });
+        assert_eq!(cold, warm);
+        assert_eq!(warm, vec![Ok(0), Ok(2), Ok(4), Ok(6)]);
+        // No cache behaves exactly like run_specs.
+        let (bare, cb) = run_specs_cached(&pool, 0, &specs, None, |_, _| {});
+        assert_eq!(cb, CacheCounters { hits: 0, misses: 4 });
+        assert_eq!(bare, warm);
+        let _ = std::fs::remove_dir_all(cache.dir());
     }
 }
