@@ -10,7 +10,6 @@ use ebrc_dist::{IidProcess, Rng, ShiftedExponential};
 use ebrc_experiments::scenarios::{DumbbellConfig, DumbbellRun};
 use ebrc_net::{AqmQueue, DropTailQueue, FlowId, Packet, RedConfig, RedQueue};
 use ebrc_sim::{Component, Context, Engine};
-use std::any::Any;
 
 /// Minimal self-scheduling component for raw engine throughput.
 struct Ticker {
@@ -23,12 +22,6 @@ impl Component<u32> for Ticker {
             self.remaining -= 1;
             ctx.send_self(0.001, 0);
         }
-    }
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
     }
 }
 

@@ -58,7 +58,7 @@ fn usage() -> ExitCode {
          <experiment-id>... | all) \
          [--scale quick|paper|tiny] [--json] [--out DIR] [--threads N] [--progress] \
          [--cache-dir DIR] [--keep-plan ID] [--shard I/K] [--shards K] [--shard-dir DIR] \
-         [--bench-json FILE]"
+         [--bench-json FILE] [--baseline FILE]"
     );
     ExitCode::from(2)
 }
@@ -71,6 +71,7 @@ struct Options {
     threads: usize,
     progress: bool,
     bench_json: Option<PathBuf>,
+    baseline: Option<PathBuf>,
     shard: (usize, usize),
     shards: usize,
     shard_dir: PathBuf,
@@ -271,10 +272,12 @@ fn run_and_report(experiments: Vec<Box<dyn Experiment>>, opts: &Options) -> bool
     let ok = summarize(
         &reports,
         &format!(
-            "{} sims in {:.1?} ({:.1} sims/s, {} threads)",
+            "{} sims in {:.1?} ({:.1} sims/s, {} engine events, {:.2e} events/s, {} threads)",
             sims,
             wall,
             sims as f64 / wall.as_secs_f64().max(1e-9),
+            run.events,
+            run.events as f64 / wall.as_secs_f64().max(1e-9),
             pool.threads(),
         ),
     );
@@ -304,27 +307,46 @@ fn select_experiments(targets: &[String]) -> Result<Vec<Box<dyn Experiment>>, St
     Ok(out)
 }
 
-/// `repro list`: the catalogue with per-experiment spec counts and the
-/// plan-level dedup ratio at the requested scale.
+/// Renders an event-count estimate compactly (`1.2M`, `340k`, `85`).
+fn human_events(n: u64) -> String {
+    if n >= 10_000_000 {
+        format!("{:.0}M", n as f64 / 1e6)
+    } else if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.0}k", n as f64 / 1e3)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// `repro list`: the catalogue with per-experiment spec counts, an
+/// estimated dispatch cost (`~events`, from [`SimSpec::events_hint`] —
+/// visible before any sim or shard is dispatched), and the plan-level
+/// dedup ratio at the requested scale.
 fn list_catalogue(opts: &Options) -> ExitCode {
     let experiments = all_experiments();
     for e in &experiments {
-        let n = e.specs(opts.scale).len();
+        let specs = e.specs(opts.scale);
+        let hint: u64 = specs.iter().map(|s| s.events_hint()).sum();
         println!(
-            "{:16} {:28} {:>4} sims  {}",
+            "{:16} {:28} {:>4} sims {:>7} ~events  {}",
             e.id(),
             e.paper_ref(),
-            n,
+            specs.len(),
+            human_events(hint),
             e.title()
         );
     }
     if let Some(plan) = try_global_plan(&experiments, opts.scale) {
+        let unique_hint: u64 = plan.specs().iter().map(|s| s.events_hint()).sum();
         println!(
-            "# {} experiments, {} subscribed sims -> {} unique (dedup {:.2}x) at scale {}",
+            "# {} experiments, {} subscribed sims -> {} unique (dedup {:.2}x, ~{} events) at scale {}",
             experiments.len(),
             plan.subscribed_len(),
             plan.unique_len(),
             plan.dedup_ratio(),
+            human_events(unique_hint),
             opts.scale_name,
         );
     }
@@ -362,9 +384,12 @@ fn print_plan(targets: &[String], opts: &Options) -> ExitCode {
     let k = opts.shards.max(1);
     if k > 1 {
         for shard in 0..k {
+            let indices = plan.shard_indices(shard, k);
+            let hint: u64 = indices.iter().map(|&i| plan.specs()[i].events_hint()).sum();
             println!(
-                "shard {shard}/{k}: {} sims",
-                plan.shard_indices(shard, k).len()
+                "shard {shard}/{k}: {} sims, ~{} events",
+                indices.len(),
+                human_events(hint),
             );
         }
     }
@@ -408,7 +433,7 @@ fn run_shard(targets: &[String], opts: &Options) -> ExitCode {
     let show_progress = opts.progress;
     let started = std::time::Instant::now();
     let cache = opts.cache();
-    let (results, counters) = run_specs_cached(
+    let (results, stats) = run_specs_cached(
         &pool,
         MASTER_SEED,
         &specs,
@@ -424,7 +449,7 @@ fn run_shard(targets: &[String], opts: &Options) -> ExitCode {
         eprintln!();
     }
     if let Some(c) = &cache {
-        report_cache(counters, c.dir());
+        report_cache(stats.cache, c.dir());
     }
 
     let mut outputs = Vec::new();
@@ -433,9 +458,13 @@ fn run_shard(targets: &[String], opts: &Options) -> ExitCode {
         let key = plan.specs()[*idx].key();
         let hash = plan.spec_hashes()[*idx];
         match result {
-            Ok(out) => outputs.push(Value::Object(vec![
+            Ok((out, events)) => outputs.push(Value::Object(vec![
                 ("key".into(), Value::String(key)),
                 ("hash".into(), Value::String(format!("{hash:016x}"))),
+                // Engine events this sim dispatched (0 when it was
+                // served from the cache) — the measured sweep cost a
+                // dispatcher can read back per experiment.
+                ("events".into(), Value::Number(events as f64)),
                 ("output".into(), out.to_value()),
             ])),
             Err(msg) => failures.push(Value::Object(vec![
@@ -453,6 +482,10 @@ fn run_shard(targets: &[String], opts: &Options) -> ExitCode {
         ("scale".into(), Value::String(opts.scale_name.to_string())),
         ("shard".into(), Value::Number(shard as f64)),
         ("of".into(), Value::Number(of as f64)),
+        (
+            "events_processed".into(),
+            Value::Number(stats.events as f64),
+        ),
         ("outputs".into(), Value::Array(outputs)),
         ("failures".into(), Value::Array(failures)),
     ]);
@@ -467,10 +500,11 @@ fn run_shard(targets: &[String], opts: &Options) -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!(
-        "# shard {shard}/{of}: wrote {} ({} sims, {} failed) in {:.1?}",
+        "# shard {shard}/{of}: wrote {} ({} sims, {} failed, {} engine events) in {:.1?}",
         path.display(),
         specs.len() - failed,
         failed,
+        stats.events,
         started.elapsed(),
     );
     if failed == 0 {
@@ -497,6 +531,7 @@ fn merge_shards(targets: &[String], opts: &Options) -> ExitCode {
     let fingerprint = format!("{:016x}", plan.fingerprint());
 
     let mut outputs: Vec<Option<SpecOutput>> = (0..plan.unique_len()).map(|_| None).collect();
+    let mut events: Vec<u64> = vec![0; plan.unique_len()];
     let mut failures: HashMap<usize, String> = HashMap::new();
     let entries = match std::fs::read_dir(&opts.shard_dir) {
         Ok(e) => e,
@@ -525,7 +560,14 @@ fn merge_shards(targets: &[String], opts: &Options) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        if let Err(msg) = absorb_shard(&value, &plan, &fingerprint, &mut outputs, &mut failures) {
+        if let Err(msg) = absorb_shard(
+            &value,
+            &plan,
+            &fingerprint,
+            &mut outputs,
+            &mut events,
+            &mut failures,
+        ) {
             eprintln!("{}: {msg}", path.display());
             return ExitCode::FAILURE;
         }
@@ -549,13 +591,30 @@ fn merge_shards(targets: &[String], opts: &Options) -> ExitCode {
     }
 
     // Reduce every subscription from the merged outputs.
+    let events_total: u64 = events.iter().sum();
     eprintln!(
-        "# merge: {} shard file(s), {} unique sims, {} experiment(s), scale {}",
+        "# merge: {} shard file(s), {} unique sims ({} engine events), {} experiment(s), scale {}",
         files,
         plan.unique_len(),
+        events_total,
         experiments.len(),
         opts.scale_name,
     );
+    // Per-experiment measured sweep cost, from the shard artifacts'
+    // recorded per-sim event counts (shared sims count toward every
+    // subscriber — this is each experiment's standalone cost).
+    for sub in plan.subscriptions() {
+        let mut distinct: Vec<usize> = sub.spec_indices.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let cost: u64 = distinct.iter().map(|&i| events[i]).sum();
+        eprintln!(
+            "#   {:16} {:>4} sims, {} engine events",
+            sub.id,
+            distinct.len(),
+            cost
+        );
+    }
     let mut spooler = opts.out.as_deref().map(Spooler::new);
     let reports: Vec<ExperimentReport> = experiments
         .iter()
@@ -610,7 +669,7 @@ fn merge_shards(targets: &[String], opts: &Options) -> ExitCode {
     let ok = summarize(
         &reports,
         &format!(
-            "{} sims merged from {files} shard file(s)",
+            "{} sims merged from {files} shard file(s), {events_total} engine events",
             plan.unique_len()
         ),
     );
@@ -622,12 +681,14 @@ fn merge_shards(targets: &[String], opts: &Options) -> ExitCode {
 }
 
 /// Folds one shard artifact into the output table, verifying the plan
-/// fingerprint and every spec key.
+/// fingerprint and every spec key. Per-sim `events` counts (absent in
+/// pre-accounting artifacts) accumulate into `events`.
 fn absorb_shard(
     value: &Value,
     plan: &Plan,
     fingerprint: &str,
     outputs: &mut [Option<SpecOutput>],
+    events: &mut [u64],
     failures: &mut HashMap<usize, String>,
 ) -> Result<(), String> {
     let found = value
@@ -659,6 +720,9 @@ fn absorb_shard(
                 let idx = resolve(entry)?;
                 let out = entry.get("output").ok_or("entry without output")?;
                 outputs[idx] = Some(SpecOutput::from_value(out)?);
+                if let Some(n) = entry.get("events").and_then(Value::as_f64) {
+                    events[idx] = n as u64;
+                }
             }
         }
         _ => return Err("shard artifact without outputs".into()),
@@ -763,12 +827,18 @@ fn cache_command(targets: &[String], opts: &Options) -> ExitCode {
 }
 
 /// `bench-runner`: times `repro all` at 1 thread and at 8-or-all-cores
-/// (whichever is larger), writing wall-clock, sims/sec, and the
-/// plan-level dedup counters to a JSON artifact — the perf trajectory
-/// CI tracks. The 8-thread entry is always recorded, so the artifact
-/// answers the determinism contract's companion question (how much
-/// does N buy?) on any host; the speedup is only meaningful on a
-/// multi-core runner.
+/// (whichever is larger), writing wall-clock, sims/sec, engine
+/// events/sec, and the plan-level dedup counters to a JSON artifact —
+/// the perf trajectory CI tracks. The 8-thread entry is always
+/// recorded, so the artifact answers the determinism contract's
+/// companion question (how much does N buy?) on any host; the speedup
+/// is only meaningful on a multi-core runner.
+///
+/// With `--baseline FILE` the run doubles as the regression gate: it
+/// fails when the best `events_per_sec` (falling back to
+/// `jobs_per_sec` for pre-events baselines) drops more than 25% below
+/// the committed baseline. `UPDATE_BENCH_BASELINE=1` rewrites the
+/// baseline from this run instead of comparing.
 fn bench_runner(opts: &Options) -> ExitCode {
     let thread_counts = vec![1, ebrc_runner::default_threads().max(opts.threads).max(8)];
     let (unique_sims, subscribed_sims) = match try_global_plan(&all_experiments(), opts.scale) {
@@ -782,6 +852,11 @@ fn bench_runner(opts: &Options) -> ExitCode {
     let mut entries = Vec::new();
     let mut walls = Vec::new();
     let mut totals = CacheCounters::default();
+    let mut events_total = 0u64;
+    let mut best = BenchRates {
+        jobs_per_sec: 0.0,
+        events_per_sec: 0.0,
+    };
     for &threads in &thread_counts {
         let pool = Pool::new(threads);
         let started = std::time::Instant::now();
@@ -801,18 +876,27 @@ fn bench_runner(opts: &Options) -> ExitCode {
             eprintln!("# bench-runner: {failed} experiment(s) failed; aborting");
             return ExitCode::FAILURE;
         }
+        let events_per_sec = run.events as f64 / wall;
         eprintln!(
             "# bench-runner: {threads} thread(s): {wall:.2} s wall, {:.1} sims/s, \
-             {} cache hit(s)",
+             {} engine events ({:.3e} events/s), {} cache hit(s)",
             unique_sims as f64 / wall,
+            run.events,
+            events_per_sec,
             run.cache.hits,
         );
         walls.push(wall);
         totals.absorb(run.cache);
+        events_total = events_total.max(run.events);
+        best.jobs_per_sec = best.jobs_per_sec.max(unique_sims as f64 / wall);
+        best.events_per_sec = best.events_per_sec.max(events_per_sec);
         entries.push(format!(
             "    {{ \"threads\": {threads}, \"wall_s\": {wall:.4}, \"jobs_per_sec\": {:.4}, \
+             \"events_total\": {}, \"events_per_sec\": {:.1}, \
              \"cache_hits\": {}, \"cache_misses\": {} }}",
             unique_sims as f64 / wall,
+            run.events,
+            events_per_sec,
             run.cache.hits,
             run.cache.misses,
         ));
@@ -823,7 +907,7 @@ fn bench_runner(opts: &Options) -> ExitCode {
         1.0
     };
     let json = format!(
-        "{{\n  \"bench\": \"repro all --scale {}\",\n  \"jobs\": {},\n  \"unique_sims\": {},\n  \"subscribed_sims\": {},\n  \"deduped_sims\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"runs\": [\n{}\n  ],\n  \"speedup\": {:.4}\n}}\n",
+        "{{\n  \"bench\": \"repro all --scale {}\",\n  \"jobs\": {},\n  \"unique_sims\": {},\n  \"subscribed_sims\": {},\n  \"deduped_sims\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"events_total\": {},\n  \"events_per_sec\": {:.1},\n  \"jobs_per_sec\": {:.4},\n  \"runs\": [\n{}\n  ],\n  \"speedup\": {:.4}\n}}\n",
         opts.scale_name,
         unique_sims,
         unique_sims,
@@ -831,6 +915,9 @@ fn bench_runner(opts: &Options) -> ExitCode {
         subscribed_sims - unique_sims,
         totals.hits,
         totals.misses,
+        events_total,
+        best.events_per_sec,
+        best.jobs_per_sec,
         entries.join(",\n"),
         speedup
     );
@@ -850,6 +937,86 @@ fn bench_runner(opts: &Options) -> ExitCode {
         }
         None => print!("{json}"),
     }
+    match &opts.baseline {
+        Some(path) => bench_gate(best, &json, path),
+        None => ExitCode::SUCCESS,
+    }
+}
+
+/// The best throughput rates a bench-runner invocation measured.
+#[derive(Clone, Copy)]
+struct BenchRates {
+    jobs_per_sec: f64,
+    events_per_sec: f64,
+}
+
+/// How far below the committed baseline the measured throughput may
+/// fall before the gate fails — generous, because CI runners vary.
+const BENCH_GATE_TOLERANCE: f64 = 0.25;
+
+/// The perf regression gate: compares this run's best `events_per_sec`
+/// (or `jobs_per_sec`, for baselines predating event accounting)
+/// against the committed baseline file, within
+/// [`BENCH_GATE_TOLERANCE`]. `UPDATE_BENCH_BASELINE=1` rewrites the
+/// baseline from this run's artifact instead.
+fn bench_gate(measured: BenchRates, artifact_json: &str, baseline_path: &Path) -> ExitCode {
+    // Value-sensitive: rewriting the committed baseline silently skips
+    // the gate, so `UPDATE_BENCH_BASELINE=0` (or empty) must not count
+    // as opting in.
+    let update = std::env::var("UPDATE_BENCH_BASELINE")
+        .map(|v| !matches!(v.trim(), "" | "0"))
+        .unwrap_or(false);
+    if update {
+        if let Err(e) = std::fs::write(baseline_path, artifact_json) {
+            eprintln!("cannot write {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "# bench-gate: baseline refreshed at {}",
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "cannot read baseline {}: {e} (set UPDATE_BENCH_BASELINE=1 to create it)",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let (metric, want, got) = match baseline.get("events_per_sec").and_then(Value::as_f64) {
+        Some(want) => ("events_per_sec", want, measured.events_per_sec),
+        None => match baseline.get("jobs_per_sec").and_then(Value::as_f64) {
+            Some(want) => ("jobs_per_sec", want, measured.jobs_per_sec),
+            None => {
+                eprintln!(
+                    "{}: no events_per_sec or jobs_per_sec field",
+                    baseline_path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let floor = want * (1.0 - BENCH_GATE_TOLERANCE);
+    if got < floor {
+        eprintln!(
+            "# bench-gate: FAIL — {metric} {got:.1} is more than {:.0}% below baseline {want:.1} \
+             (floor {floor:.1}); refresh with UPDATE_BENCH_BASELINE=1 only for deliberate changes",
+            BENCH_GATE_TOLERANCE * 100.0,
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!("# bench-gate: ok — {metric} {got:.1} vs baseline {want:.1} (floor {floor:.1})");
     ExitCode::SUCCESS
 }
 
@@ -877,6 +1044,7 @@ fn main() -> ExitCode {
         threads: env_threads().unwrap_or_else(ebrc_runner::default_threads),
         progress: false,
         bench_json: None,
+        baseline: None,
         shard: (0, 1),
         shards: 1,
         shard_dir: PathBuf::from("shards"),
@@ -972,6 +1140,13 @@ fn main() -> ExitCode {
                 i += 1;
                 match args.get(i) {
                     Some(path) => opts.bench_json = Some(PathBuf::from(path)),
+                    None => return usage(),
+                }
+            }
+            "--baseline" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => opts.baseline = Some(PathBuf::from(path)),
                     None => return usage(),
                 }
             }

@@ -19,14 +19,15 @@ use ebrc_sim::Engine;
 use ebrc_tfrc::{AudioTfrcSender, FormulaKind, RttMode, TfrcReceiver, TfrcReceiverConfig};
 
 /// One audio-mode run; returns `(measured p, normalized throughput,
-/// cv²[θ̂])`.
+/// cv²[θ̂])` plus the engine events the run dispatched (for sweep
+/// cost accounting).
 pub fn audio_point(
     p_drop: f64,
     formula: FormulaKind,
     window: usize,
     duration: f64,
     seed: u64,
-) -> (f64, f64, f64) {
+) -> ((f64, f64, f64), u64) {
     let mut eng: Engine<NetEvent> = Engine::new();
     let flow = FlowId(1);
     let tick = 0.02;
@@ -66,7 +67,10 @@ pub fn audio_point(
     } else {
         0.0
     };
-    (p, normalized, r.theta_hat_moments().cv_squared())
+    (
+        (p, normalized, r.theta_hat_moments().cv_squared()),
+        eng.events_processed(),
+    )
 }
 
 fn drop_list(quick: bool) -> Vec<f64> {

@@ -21,7 +21,7 @@
 use crate::series::Table;
 use crate::spec::{SimSpec, SpecOutput};
 use ebrc_runner::{
-    panic_message, run_plan_cached, CacheCounters, OutputCache, Pool, SubscriptionResult,
+    panic_message, run_plan_cached, CacheCounters, OutputCache, Pool, RunStats, SubscriptionResult,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
@@ -259,12 +259,16 @@ pub fn par_run_catalogue(
 
 /// A catalogue run's results: per-experiment reports in catalogue
 /// order plus the run's cache effectiveness (every sim a miss when no
-/// cache was configured).
+/// cache was configured) and the engine events the executed sims
+/// dispatched.
 pub struct CatalogueRun {
     /// Per-experiment outcomes, in catalogue (argument) order.
     pub reports: Vec<ExperimentReport>,
     /// Cache hits vs executed sims.
     pub cache: CacheCounters,
+    /// Engine events dispatched by the executed sims (zero on a fully
+    /// warm run — cache hits execute nothing).
+    pub events: u64,
 }
 
 /// [`plan_run_catalogue_cached`] without a cache — the common path.
@@ -328,7 +332,7 @@ pub fn plan_run_catalogue_cached(
     for _ in 0..experiments.len() {
         slots.push(None);
     }
-    let mut counters = CacheCounters::default();
+    let mut stats = RunStats::default();
     std::thread::scope(|s| {
         let (ready_tx, ready_rx) = mpsc::channel::<SubscriptionResult<SimSpec>>();
         let (report_tx, report_rx) = mpsc::channel::<(usize, ExperimentReport)>();
@@ -386,14 +390,14 @@ pub fn plan_run_catalogue_cached(
         // through a mutex — the send is two orders of magnitude cheaper
         // than any spec body.
         let ready_tx = Mutex::new(ready_tx);
-        let (_, run_counters) =
+        let (_, run_stats) =
             run_plan_cached(pool, MASTER_SEED, &plan, None, cache, progress, |res| {
                 let _ = ready_tx
                     .lock()
                     .expect("completion channel poisoned")
                     .send(res);
             });
-        counters = run_counters;
+        stats = run_stats;
         drop(ready_tx);
         for (ei, report) in writer.join().expect("writer thread panicked") {
             slots[ei] = Some(report);
@@ -424,7 +428,8 @@ pub fn plan_run_catalogue_cached(
         .collect();
     CatalogueRun {
         reports,
-        cache: counters,
+        cache: stats.cache,
+        events: stats.events,
     }
 }
 

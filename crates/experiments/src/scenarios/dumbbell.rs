@@ -230,7 +230,16 @@ impl DumbbellRun {
     /// from `t = 0`.
     pub fn build(cfg: &DumbbellConfig) -> Self {
         let mut root_rng = Rng::seed_from(cfg.seed);
-        let mut eng: Engine<NetEvent> = Engine::new();
+        // Pre-size the engine from the topology: 5 fixed hops
+        // (bottleneck, two delay boxes, two demuxes) plus an endpoint
+        // pair per flow and per optional source. The calendar hint
+        // covers each flow's in-flight window plus timers, so the heap
+        // reaches steady state without reallocating.
+        let components = 5
+            + 2 * (cfg.n_tfrc + cfg.n_tcp)
+            + if cfg.onoff_background.is_some() { 2 } else { 0 }
+            + if cfg.poisson_probe.is_some() { 2 } else { 0 };
+        let mut eng: Engine<NetEvent> = Engine::with_capacity(components, 64 * components);
 
         let queue: Box<dyn ebrc_net::AqmQueue> = match &cfg.queue {
             QueueSpec::DropTail(n) => Box::new(DropTailQueue::new(*n)),

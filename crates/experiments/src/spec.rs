@@ -340,6 +340,39 @@ impl SimSpec {
             _ => None,
         }
     }
+
+    /// Order-of-magnitude estimate of the work this spec dispatches —
+    /// the planning hint behind `repro list` and `repro plan`, so a
+    /// sweep's cost is visible *before* any shard is dispatched (the
+    /// measured `events_processed` totals land in the shard artifact
+    /// afterwards). Dumbbell specs estimate engine events from a busy
+    /// bottleneck (packets/sec × ≈8 dispatches per delivered packet
+    /// across the topology); the audio spec from its packet clock;
+    /// Monte-Carlo and fixed-link specs report their loss-event counts
+    /// as the cost proxy; analytic tabulations are free.
+    pub fn events_hint(&self) -> u64 {
+        /// Calendar dispatches per packet that crosses a dumbbell:
+        /// sender timer, bottleneck queue, forward delay + demux,
+        /// receiver, reverse delay + demux, feedback at the sender.
+        const DISPATCHES_PER_PACKET: f64 = 8.0;
+        if let (Some(cfg), Some((warmup, span))) = (self.dumbbell_config(), self.window()) {
+            let pkt_bits = (cfg.tfrc.sender.packet_size.max(cfg.tcp.packet_size)) as f64 * 8.0;
+            let pps = cfg.bottleneck_bps / pkt_bits;
+            return ((warmup + span) * pps * DISPATCHES_PER_PACKET) as u64;
+        }
+        match *self {
+            SimSpec::Audio { duration, .. } => {
+                // 20 ms packet clock; sender + dropper + receiver +
+                // periodic feedback per packet.
+                (duration / 0.02 * 4.0) as u64
+            }
+            SimSpec::Mc { events, .. }
+            | SimSpec::PhaseMc { events, .. }
+            | SimSpec::Claim4Iso { events, .. } => events as u64,
+            SimSpec::Claim4Shared { t_end, .. } => t_end as u64,
+            _ => 0,
+        }
+    }
 }
 
 impl ebrc_runner::Spec for SimSpec {
@@ -405,10 +438,12 @@ impl ebrc_runner::Spec for SimSpec {
         }
     }
 
-    fn run(&self, _ctx: &mut JobCtx) -> SpecOutput {
+    fn run(&self, ctx: &mut JobCtx) -> SpecOutput {
         if let (Some(cfg), Some((warmup, span))) = (self.dumbbell_config(), self.window()) {
             let mut run = DumbbellRun::build(&cfg);
-            return SpecOutput::Run(run.measure(warmup, span));
+            let out = SpecOutput::Run(run.measure(warmup, span));
+            ctx.record_events(run.engine.events_processed());
+            return out;
         }
         match *self {
             SimSpec::Audio {
@@ -418,7 +453,8 @@ impl ebrc_runner::Spec for SimSpec {
                 duration,
                 seed,
             } => {
-                let (p, norm, cv2) = audio_point(p_drop, formula, window, duration, seed);
+                let ((p, norm, cv2), events) = audio_point(p_drop, formula, window, duration, seed);
+                ctx.record_events(events);
                 SpecOutput::Scalars(vec![p, norm, cv2])
             }
             SimSpec::Mc { .. } => SpecOutput::Scalars(vec![self.mc_normalized()]),

@@ -11,6 +11,7 @@ use ebrc_experiments::scenarios::{FlowMeasure, RunMeasurements};
 use ebrc_experiments::{SimSpec, SpecOutput, Table};
 use ebrc_runner::{
     run_specs_cached, stable_hash, CacheCounters, CacheableSpec, DirCache, OutputCache, Pool,
+    RunStats,
 };
 use ebrc_tfrc::FormulaKind;
 use proptest::collection::vec;
@@ -186,7 +187,7 @@ fn corrupted_entries_re_run_instead_of_poisoning() {
         },
     ];
     let (cold, c0) = run_specs_cached(&pool, 0, &specs, Some(&cache), |_, _| {});
-    assert_eq!(c0, CacheCounters { hits: 0, misses: 2 });
+    assert_eq!(c0.cache, CacheCounters { hits: 0, misses: 2 });
     // Flip one byte inside the first spec's payload.
     let hash = stable_hash("diag/v7/fail=false");
     let text = std::fs::read_to_string(cache.entry_path(hash)).unwrap();
@@ -197,19 +198,23 @@ fn corrupted_entries_re_run_instead_of_poisoning() {
 
     let (warm, c1) = run_specs_cached(&pool, 0, &specs, Some(&cache), |_, _| {});
     assert_eq!(
-        c1,
+        c1.cache,
         CacheCounters { hits: 1, misses: 1 },
         "damaged entry must re-run, intact one must hit"
     );
     for (a, b) in cold.iter().zip(&warm) {
-        assert_eq!(
-            encode(a.as_ref().unwrap()),
-            encode(b.as_ref().unwrap()),
-            "reduce inputs diverged"
-        );
+        let (a, _) = a.as_ref().unwrap();
+        let (b, _) = b.as_ref().unwrap();
+        assert_eq!(encode(a), encode(b), "reduce inputs diverged");
     }
     // The re-run repaired the entry.
     let (_, c2) = run_specs_cached(&pool, 0, &specs, Some(&cache), |_, _| {});
-    assert_eq!(c2, CacheCounters { hits: 2, misses: 0 });
+    assert_eq!(
+        c2,
+        RunStats {
+            cache: CacheCounters { hits: 2, misses: 0 },
+            events: 0
+        }
+    );
     let _ = std::fs::remove_dir_all(cache.dir());
 }

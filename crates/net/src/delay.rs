@@ -2,7 +2,6 @@
 
 use crate::packet::NetEvent;
 use ebrc_sim::{Component, ComponentId, Context};
-use std::any::Any;
 
 /// Forwards every packet to `next_hop` after a fixed delay, optionally
 /// perturbed per-packet by a bounded jitter drawn uniformly from
@@ -72,14 +71,6 @@ impl Component<NetEvent> for DelayBox {
             self.forwarded += 1;
             ctx.send(self.delay + extra, next, NetEvent::Packet(pkt));
         }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
     }
 }
 

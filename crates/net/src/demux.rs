@@ -2,7 +2,6 @@
 
 use crate::packet::{FlowId, NetEvent};
 use ebrc_sim::{Component, ComponentId, Context};
-use std::any::Any;
 use std::collections::HashMap;
 
 /// Routes each packet to the endpoint registered for its flow id —
@@ -40,14 +39,6 @@ impl Component<NetEvent> for Demux {
             self.forwarded += 1;
             ctx.send(0.0, target, NetEvent::Packet(pkt));
         }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
     }
 }
 

@@ -3,7 +3,6 @@
 use crate::packet::NetEvent;
 use ebrc_dist::Rng;
 use ebrc_sim::{Component, ComponentId, Context};
-use std::any::Any;
 
 /// Drops each packet with a fixed probability, independent of its
 /// length or the traffic history.
@@ -73,14 +72,6 @@ impl Component<NetEvent> for BernoulliDropper {
                 ctx.send(0.0, next, NetEvent::Packet(pkt));
             }
         }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
     }
 }
 

@@ -5,7 +5,6 @@ use crate::packet::{FlowId, NetEvent, Packet};
 use crate::queue::{AqmQueue, QueueStats};
 use ebrc_dist::Rng;
 use ebrc_sim::{Component, ComponentId, Context};
-use std::any::Any;
 use std::collections::HashMap;
 
 /// Aggregate link counters.
@@ -138,14 +137,6 @@ impl Component<NetEvent> for LinkQueue {
             }
             NetEvent::Timer(_) => {}
         }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
     }
 }
 

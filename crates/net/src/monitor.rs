@@ -10,7 +10,6 @@ use crate::link::LinkQueue;
 use crate::packet::NetEvent;
 use ebrc_sim::{Component, ComponentId, Context};
 use ebrc_stats::Moments;
-use std::any::Any;
 
 const TIMER_SAMPLE: u64 = 1;
 
@@ -75,14 +74,6 @@ impl Component<NetEvent> for QueueMonitor {
                 ctx.send_self(self.period, NetEvent::Timer(TIMER_SAMPLE));
             }
         }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
     }
 }
 

@@ -11,7 +11,6 @@
 use crate::packet::{FlowId, NetEvent, Packet};
 use ebrc_dist::Rng;
 use ebrc_sim::{Component, ComponentId, Context};
-use std::any::Any;
 
 const TIMER_SEND: u64 = 1;
 const TIMER_TOGGLE: u64 = 2;
@@ -138,14 +137,6 @@ impl Component<NetEvent> for OnOffSender {
             }
             _ => {}
         }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
     }
 }
 

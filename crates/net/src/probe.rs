@@ -10,7 +10,6 @@ use crate::lossrec::LossEventRecorder;
 use crate::packet::{FlowId, NetEvent, Packet};
 use ebrc_dist::Rng;
 use ebrc_sim::{Component, ComponentId, Context};
-use std::any::Any;
 
 const TIMER_SEND: u64 = 1;
 
@@ -75,14 +74,6 @@ impl Component<NetEvent> for PoissonSender {
             ctx.send_self(gap, NetEvent::Timer(TIMER_SEND));
         }
     }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
-    }
 }
 
 /// Sends fixed-size packets at a constant bit rate (fixed period).
@@ -143,14 +134,6 @@ impl Component<NetEvent> for CbrSender {
             ctx.send_self(self.period, NetEvent::Timer(TIMER_SEND));
         }
     }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
-    }
 }
 
 /// Receives probe packets in order and measures the loss-event rate from
@@ -208,14 +191,6 @@ impl Component<NetEvent> for ProbeSink {
             self.received += 1;
             self.expected_seq = pkt.seq + 1;
         }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
     }
 }
 

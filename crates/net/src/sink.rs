@@ -2,7 +2,6 @@
 
 use crate::packet::{NetEvent, Packet};
 use ebrc_sim::{Component, Context};
-use std::any::Any;
 
 /// Swallows packets, recording `(arrival_time, packet)` pairs and
 /// aggregate counters. Useful as the terminal hop of probe flows and in
@@ -66,14 +65,6 @@ impl Component<NetEvent> for Sink {
                 self.arrivals.push((now, pkt));
             }
         }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
     }
 }
 

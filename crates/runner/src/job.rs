@@ -25,6 +25,7 @@ pub type JobOutput = Box<dyn Any + Send>;
 pub struct JobCtx {
     label: String,
     rng: Rng,
+    events: u64,
 }
 
 impl JobCtx {
@@ -37,6 +38,7 @@ impl JobCtx {
         Self {
             rng: Rng::from_label(master_seed, &label),
             label,
+            events: 0,
         }
     }
 
@@ -49,6 +51,20 @@ impl JobCtx {
     /// alone — identical no matter where or when the job runs.
     pub fn rng(&mut self) -> &mut Rng {
         &mut self.rng
+    }
+
+    /// Records discrete-event engine work done by this job — bodies
+    /// that run an engine report `events_processed()` here so sweeps
+    /// can account their total dispatch cost (the runner sums these
+    /// into per-run and per-shard totals).
+    pub fn record_events(&mut self, n: u64) {
+        self.events += n;
+    }
+
+    /// Engine events this job reported via [`JobCtx::record_events`]
+    /// (zero for jobs that run no discrete-event engine).
+    pub fn events_processed(&self) -> u64 {
+        self.events
     }
 }
 
@@ -86,10 +102,7 @@ impl Job {
 
     /// Runs the job body with its label-derived RNG stream.
     pub fn run(self, master_seed: u64) -> JobOutput {
-        let mut ctx = JobCtx {
-            rng: Rng::from_label(master_seed, &self.label),
-            label: self.label,
-        };
+        let mut ctx = JobCtx::for_label(master_seed, self.label);
         (self.body)(&mut ctx)
     }
 }

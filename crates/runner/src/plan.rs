@@ -28,8 +28,29 @@ use crate::job::JobCtx;
 use crate::pool::{panic_message, Pool};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Execution accounting of one plan (or spec-list) run: cache
+/// effectiveness plus the discrete-event engine events the *executed*
+/// specs dispatched (cache hits execute nothing, so they contribute
+/// zero — `events` measures this run's compute, not its provenance).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Cache hits vs executed specs.
+    pub cache: CacheCounters,
+    /// Engine events dispatched by the executed specs, as reported
+    /// through [`JobCtx::record_events`].
+    pub events: u64,
+}
+
+impl RunStats {
+    /// Accumulates another run's stats (for multi-phase sweeps).
+    pub fn absorb(&mut self, other: RunStats) {
+        self.cache.absorb(other.cache);
+        self.events += other.events;
+    }
+}
 
 /// FNV-1a over the key bytes: a stable, platform-independent 64-bit
 /// content hash. Not cryptographic — it identifies specs within a plan,
@@ -344,8 +365,8 @@ pub fn run_plan<S: Spec>(
 /// `cache: None` this is exactly [`run_plan`] (every spec a miss).
 ///
 /// `progress` counts executed specs only, so a fully warm run reports
-/// zero sims. The returned [`CacheCounters`] split the selected specs
-/// into hits and misses.
+/// zero sims. The returned [`RunStats`] split the selected specs into
+/// hits and misses and total the engine events the misses dispatched.
 pub fn run_plan_cached<S: CacheableSpec>(
     pool: &Pool,
     master_seed: u64,
@@ -354,7 +375,7 @@ pub fn run_plan_cached<S: CacheableSpec>(
     cache: Option<&dyn OutputCache>,
     progress: impl Fn(usize, usize) + Sync,
     on_ready: impl Fn(SubscriptionResult<S>) + Sync,
-) -> (Vec<Option<SpecResult<S>>>, CacheCounters) {
+) -> (Vec<Option<SpecResult<S>>>, RunStats) {
     let hooks = cache.map(|cache| CacheHooks {
         cache,
         encode: S::encode_output,
@@ -373,7 +394,7 @@ fn run_plan_core<S: Spec>(
     hooks: Option<CacheHooks<'_, S>>,
     progress: impl Fn(usize, usize) + Sync,
     on_ready: impl Fn(SubscriptionResult<S>) + Sync,
-) -> (Vec<Option<SpecResult<S>>>, CacheCounters) {
+) -> (Vec<Option<SpecResult<S>>>, RunStats) {
     let n = plan.specs().len();
     // Dedup the subset (first occurrence wins) so a spec never runs —
     // and never decrements readiness counters — twice.
@@ -474,6 +495,7 @@ fn run_plan_core<S: Spec>(
     }
     counters.misses = to_run.len();
 
+    let events_total = AtomicU64::new(0);
     let hooks = &hooks;
     let tasks: Vec<_> = to_run
         .iter()
@@ -485,13 +507,16 @@ fn run_plan_core<S: Spec>(
             let subscribers = &subscribers;
             let on_ready = &on_ready;
             let gather = &gather;
+            let events_total = &events_total;
             move || {
                 let key = spec.key();
                 let out = catch_unwind(AssertUnwindSafe(|| {
                     let mut ctx = JobCtx::for_label(master_seed, key.clone());
-                    spec.run(&mut ctx)
+                    let out = spec.run(&mut ctx);
+                    (out, ctx.events_processed())
                 }))
-                .map(|out| {
+                .map(|(out, events)| {
+                    events_total.fetch_add(events, Ordering::Relaxed);
                     if let Some(h) = hooks {
                         h.cache.store(hash, &key, &(h.encode)(&out));
                     }
@@ -516,7 +541,10 @@ fn run_plan_core<S: Spec>(
             .into_iter()
             .map(|slot| slot.into_inner().expect("result slot poisoned"))
             .collect(),
-        counters,
+        RunStats {
+            cache: counters,
+            events: events_total.into_inner(),
+        },
     )
 }
 
@@ -544,18 +572,25 @@ pub fn run_specs<S: Spec>(
         .collect()
 }
 
+/// One spec's result on the shard execution path: the output plus the
+/// engine events its run dispatched — zero when the output was served
+/// from the cache (nothing executed) or the spec runs no
+/// discrete-event engine.
+pub type SpecExecution<S> = Result<(<S as Spec>::Output, u64), String>;
+
 /// [`run_specs`] with a content-addressed output cache — the shard
 /// execution path's warm mode. Hits are loaded and validated, misses
 /// run on the pool and are written back; `progress` counts executed
-/// specs only. With `cache: None` this is exactly [`run_specs`].
+/// specs only. With `cache: None` this is exactly [`run_specs`] plus
+/// per-spec event accounting.
 pub fn run_specs_cached<S: CacheableSpec>(
     pool: &Pool,
     master_seed: u64,
     specs: &[S],
     cache: Option<&dyn OutputCache>,
     progress: impl Fn(usize, usize) + Sync,
-) -> (Vec<Result<S::Output, String>>, CacheCounters) {
-    let mut slots: Vec<Option<Result<S::Output, String>>> = Vec::with_capacity(specs.len());
+) -> (Vec<SpecExecution<S>>, RunStats) {
+    let mut slots: Vec<Option<SpecExecution<S>>> = Vec::with_capacity(specs.len());
     let mut to_run: Vec<usize> = Vec::new();
     let mut counters = CacheCounters::default();
     for (i, spec) in specs.iter().enumerate() {
@@ -567,7 +602,7 @@ pub fn run_specs_cached<S: CacheableSpec>(
         match hit {
             Some(out) => {
                 counters.hits += 1;
-                slots.push(Some(Ok(out)));
+                slots.push(Some(Ok((out, 0))));
             }
             None => {
                 to_run.push(i);
@@ -588,22 +623,30 @@ pub fn run_specs_cached<S: CacheableSpec>(
                 if let Some(c) = cache {
                     c.store(stable_hash(&key), &key, &S::encode_output(&out));
                 }
-                out
+                (out, ctx.events_processed())
             }
         })
         .collect();
+    let mut events_total = 0u64;
     for (i, result) in to_run
         .into_iter()
         .zip(pool.run_with_progress(tasks, progress))
     {
-        slots[i] = Some(result.map_err(|p| panic_message(p.as_ref())));
+        let result = result.map_err(|p| panic_message(p.as_ref()));
+        if let Ok((_, events)) = &result {
+            events_total += events;
+        }
+        slots[i] = Some(result);
     }
     (
         slots
             .into_iter()
             .map(|s| s.expect("every spec slot filled"))
             .collect(),
-        counters,
+        RunStats {
+            cache: counters,
+            events: events_total,
+        },
     )
 }
 
@@ -625,10 +668,13 @@ mod tests {
         fn key(&self) -> String {
             format!("toy/{}/v{}", self.name, self.value)
         }
-        fn run(&self, _ctx: &mut JobCtx) -> u64 {
+        fn run(&self, ctx: &mut JobCtx) -> u64 {
             if self.fail {
                 panic!("toy spec failure");
             }
+            // Pretend each run dispatched `value` engine events, so the
+            // accounting below is observable.
+            ctx.record_events(self.value);
             self.value * 2
         }
     }
@@ -814,8 +860,16 @@ mod tests {
         DirCache::new(dir)
     }
 
-    /// (per-spec results, counters, per-subscription fired outputs).
-    type CachedRun = (Vec<Option<SpecResult<Toy>>>, CacheCounters, Vec<Vec<u64>>);
+    /// Shorthand for the expected stats of a run.
+    fn stats(hits: usize, misses: usize, events: u64) -> RunStats {
+        RunStats {
+            cache: CacheCounters { hits, misses },
+            events,
+        }
+    }
+
+    /// (per-spec results, stats, per-subscription fired outputs).
+    type CachedRun = (Vec<Option<SpecResult<Toy>>>, RunStats, Vec<Vec<u64>>);
 
     fn run_cached(plan: &Plan<Toy>, cache: &DirCache) -> CachedRun {
         let fired = Mutex::new(vec![Vec::new(); plan.subscriptions().len()]);
@@ -840,9 +894,9 @@ mod tests {
         plan.merge(Plan::for_experiment("e2", vec![toy("b", 2), toy("c", 3)]));
         let cache = cache_scratch("warm");
         let (cold, c0, fired_cold) = run_cached(&plan, &cache);
-        assert_eq!(c0, CacheCounters { hits: 0, misses: 3 });
+        assert_eq!(c0, stats(0, 3, 6), "cold run executes and dispatches");
         let (warm, c1, fired_warm) = run_cached(&plan, &cache);
-        assert_eq!(c1, CacheCounters { hits: 3, misses: 0 });
+        assert_eq!(c1, stats(3, 0, 0), "warm run executes nothing");
         // Byte-for-byte the same outputs, and every subscription fires
         // with identical reduce-order inputs.
         for (a, b) in cold.iter().zip(&warm) {
@@ -868,12 +922,12 @@ mod tests {
         assert_ne!(text, flipped, "payload to corrupt must be present");
         std::fs::write(cache.entry_path(h_b), flipped).unwrap();
         let (results, counters, fired) = run_cached(&plan, &cache);
-        assert_eq!(counters, CacheCounters { hits: 0, misses: 2 });
+        assert_eq!(counters, stats(0, 2, 3));
         assert_eq!(**results[0].as_ref().unwrap().as_ref().unwrap(), 2);
         assert_eq!(fired, vec![vec![2, 4]], "reduce saw fresh outputs");
         // The re-run repaired the entries.
         let (_, repaired, _) = run_cached(&plan, &cache);
-        assert_eq!(repaired, CacheCounters { hits: 2, misses: 0 });
+        assert_eq!(repaired, stats(2, 0, 0));
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 
@@ -891,7 +945,7 @@ mod tests {
             |_, _| {},
             |_| {},
         );
-        assert_eq!(counters, CacheCounters { hits: 0, misses: 3 });
+        assert_eq!(counters, stats(0, 3, 6));
         assert!(results[1].is_none(), "outside the shard");
         assert_eq!(cache.entries().len(), 3);
         // Shard 1 misses everything; a repeat of shard 0 is all hits.
@@ -904,7 +958,7 @@ mod tests {
             |_, _| {},
             |_| {},
         );
-        assert_eq!(c1, CacheCounters { hits: 0, misses: 3 });
+        assert_eq!(c1, stats(0, 3, 9));
         let (_, c0) = run_plan_cached(
             &Pool::new(2),
             0,
@@ -914,7 +968,7 @@ mod tests {
             |_, _| {},
             |_| {},
         );
-        assert_eq!(c0, CacheCounters { hits: 3, misses: 0 });
+        assert_eq!(c0, stats(3, 0, 0));
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 
@@ -928,10 +982,10 @@ mod tests {
         let plan = Plan::for_experiment("e", vec![toy("ok", 1), boom]);
         let cache = cache_scratch("fail");
         let c0 = run_cached(&plan, &cache).1;
-        assert_eq!(c0, CacheCounters { hits: 0, misses: 2 });
+        assert_eq!(c0, stats(0, 2, 1), "panicking specs contribute no events");
         // Only the successful spec was stored; the failure re-runs.
         let (results, c1, _) = run_cached(&plan, &cache);
-        assert_eq!(c1, CacheCounters { hits: 1, misses: 1 });
+        assert_eq!(c1, stats(1, 1, 0));
         assert!(results[1].as_ref().unwrap().is_err());
         let _ = std::fs::remove_dir_all(cache.dir());
     }
@@ -942,15 +996,17 @@ mod tests {
         let cache = cache_scratch("specs");
         let pool = Pool::new(2);
         let (cold, c0) = run_specs_cached(&pool, 0, &specs, Some(&cache), |_, _| {});
-        assert_eq!(c0, CacheCounters { hits: 0, misses: 4 });
+        assert_eq!(c0, stats(0, 4, 6));
         let (warm, c1) = run_specs_cached(&pool, 0, &specs, Some(&cache), |_, _| {});
-        assert_eq!(c1, CacheCounters { hits: 4, misses: 0 });
-        assert_eq!(cold, warm);
-        assert_eq!(warm, vec![Ok(0), Ok(2), Ok(4), Ok(6)]);
+        assert_eq!(c1, stats(4, 0, 0));
+        // Outputs identical; warm per-spec events are zero (nothing
+        // executed), cold ones carry each sim's dispatch count.
+        assert_eq!(cold, vec![Ok((0, 0)), Ok((2, 1)), Ok((4, 2)), Ok((6, 3))]);
+        assert_eq!(warm, vec![Ok((0, 0)), Ok((2, 0)), Ok((4, 0)), Ok((6, 0))]);
         // No cache behaves exactly like run_specs.
         let (bare, cb) = run_specs_cached(&pool, 0, &specs, None, |_, _| {});
-        assert_eq!(cb, CacheCounters { hits: 0, misses: 4 });
-        assert_eq!(bare, warm);
+        assert_eq!(cb, stats(0, 4, 6));
+        assert_eq!(bare, cold);
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 }

@@ -1,4 +1,14 @@
 //! The event calendar and dispatch loop.
+//!
+//! The hot path is allocation-free on the steady state: the engine
+//! owns one reusable *scratch buffer* for the events a handler emits,
+//! lends it to the [`Context`] for the duration of the handler, and
+//! reclaims it afterwards — so dispatching an event touches the heap
+//! only when the calendar or the scratch buffer has to grow past its
+//! high-water mark. [`Engine::with_capacity`] pre-sizes the calendar
+//! and the component slab so their growth happens before the first
+//! event fires; the scratch buffer starts small and grows (once) to
+//! the widest fan-out any handler produces.
 
 use std::any::Any;
 use std::cmp::Ordering;
@@ -18,23 +28,23 @@ impl ComponentId {
 /// A simulation actor: queues, links, protocol endpoints, traffic
 /// sources.
 ///
-/// Implementations must also be `Any` (automatic for `'static` types) so
-/// harnesses can downcast them back out of the engine after a run.
+/// `Any` is a supertrait (automatic for `'static` types), so harnesses
+/// can downcast components back out of the engine after a run via
+/// [`Engine::get`]/[`Engine::get_mut`] — the upcast to `dyn Any` is
+/// built in, and implementations only write their `handle` logic.
 pub trait Component<E: 'static>: Any {
     /// Handles one event delivered at simulation time `now`.
     ///
     /// Emit follow-up events through `ctx`; never hold references to
     /// other components.
     fn handle(&mut self, now: f64, event: E, ctx: &mut Context<E>);
-
-    /// Upcast helper for downcasting; implement as `self`.
-    fn as_any(&self) -> &dyn Any;
-
-    /// Mutable upcast helper; implement as `self`.
-    fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
 /// Event-emission interface handed to a component while it runs.
+///
+/// The `emitted` buffer is the engine's scratch space on loan: the
+/// engine drains it into the calendar after the handler returns and
+/// keeps the allocation for the next dispatch.
 #[derive(Debug)]
 pub struct Context<E> {
     now: f64,
@@ -117,6 +127,9 @@ pub struct Engine<E: 'static> {
     seq: u64,
     queue: BinaryHeap<Scheduled<E>>,
     components: Vec<Option<Box<dyn Component<E>>>>,
+    /// Reusable emission buffer lent to the [`Context`] per dispatch —
+    /// the steady-state hot loop never allocates.
+    scratch: Vec<(f64, ComponentId, E)>,
     processed: u64,
 }
 
@@ -129,11 +142,22 @@ impl<E: 'static> Default for Engine<E> {
 impl<E: 'static> Engine<E> {
     /// Creates an engine at time zero with an empty calendar.
     pub fn new() -> Self {
+        Self::with_capacity(0, 0)
+    }
+
+    /// Creates an engine pre-sized for `components` registered actors
+    /// and `calendar` in-flight events. Scenario builders that know
+    /// their topology pass hints here so the slab and the calendar
+    /// heap never reallocate mid-run; the emission scratch buffer
+    /// starts at a few slots and grows once to the widest per-handler
+    /// fan-out, then stays there.
+    pub fn with_capacity(components: usize, calendar: usize) -> Self {
         Self {
             clock: 0.0,
             seq: 0,
-            queue: BinaryHeap::new(),
-            components: Vec::new(),
+            queue: BinaryHeap::with_capacity(calendar),
+            components: Vec::with_capacity(components),
+            scratch: Vec::with_capacity(8),
             processed: 0,
         }
     }
@@ -193,13 +217,16 @@ impl<E: 'static> Engine<E> {
     /// strictly beyond `t_end`, or `max_events` have been dispatched by
     /// this call — whichever comes first.
     ///
-    /// This is the whole-engine-as-a-job-body entry point: a runner job
-    /// can hand an engine a time horizon *and* an event budget, so a
-    /// pathological scenario (a zero-delay event storm, a runaway
-    /// sender) costs a bounded slice of a worker instead of wedging the
-    /// sweep. On [`StopReason::Budget`] the clock stays at the last
-    /// dispatched event; otherwise it finishes at `t_end` (or the last
-    /// event, whichever is later), exactly like [`Engine::run_until`].
+    /// This is the single dispatch loop behind every run entry point
+    /// ([`Engine::run_until`], [`Engine::run_events`],
+    /// [`Engine::run_to_completion`]) — and the
+    /// whole-engine-as-a-job-body one: a runner job can hand an engine
+    /// a time horizon *and* an event budget, so a pathological scenario
+    /// (a zero-delay event storm, a runaway sender) costs a bounded
+    /// slice of a worker instead of wedging the sweep. On
+    /// [`StopReason::Budget`] the clock stays at the last dispatched
+    /// event; otherwise it finishes at `t_end` (or the last event,
+    /// whichever is later), exactly like [`Engine::run_until`].
     pub fn run_budgeted(&mut self, t_end: f64, max_events: u64) -> (u64, StopReason) {
         let before = self.processed;
         let reason = loop {
@@ -230,27 +257,24 @@ impl<E: 'static> Engine<E> {
     }
 
     /// Dispatches at most `n` events (or until idle). Returns the number
-    /// dispatched.
+    /// dispatched; the clock stays at the last dispatched event.
     pub fn run_events(&mut self, n: u64) -> u64 {
-        let before = self.processed;
-        for _ in 0..n {
-            match self.queue.pop() {
-                Some(item) => {
-                    self.clock = item.time;
-                    self.dispatch(item);
-                }
-                None => break,
-            }
-        }
-        self.processed - before
+        // Routed through the budgeted core so every run path shares one
+        // dispatch loop (and its clock-monotonicity check); an infinite
+        // horizon never moves the clock past the last event.
+        self.run_budgeted(f64::INFINITY, n).0
     }
 
     fn dispatch(&mut self, item: Scheduled<E>) {
         self.processed += 1;
+        // Lend the engine's scratch buffer to the context; handlers
+        // emit into it, then the drain below feeds the calendar and
+        // the (empty) buffer returns home — zero steady-state
+        // allocation.
         let mut ctx = Context {
             now: self.clock,
             self_id: item.target,
-            emitted: Vec::new(),
+            emitted: std::mem::take(&mut self.scratch),
         };
         // Take the component out so it cannot alias the engine while it
         // runs; events it emits are buffered in the context.
@@ -259,7 +283,8 @@ impl<E: 'static> Engine<E> {
             .expect("component re-entered — a handler scheduled into itself synchronously?");
         component.handle(self.clock, item.event, &mut ctx);
         self.components[item.target.0] = Some(component);
-        for (delay, target, event) in ctx.emitted {
+        let mut emitted = ctx.emitted;
+        for (delay, target, event) in emitted.drain(..) {
             assert!(target.0 < self.components.len(), "unknown component");
             let seq = self.next_seq();
             self.queue.push(Scheduled {
@@ -269,6 +294,7 @@ impl<E: 'static> Engine<E> {
                 event,
             });
         }
+        self.scratch = emitted;
     }
 
     /// Immutable downcast access to a component's concrete type.
@@ -276,10 +302,8 @@ impl<E: 'static> Engine<E> {
     /// # Panics
     /// Panics if the id is unknown or the type does not match.
     pub fn get<T: Component<E>>(&self, id: ComponentId) -> &T {
-        self.components[id.0]
-            .as_ref()
-            .expect("component missing")
-            .as_any()
+        let component: &dyn Any = &**self.components[id.0].as_ref().expect("component missing");
+        component
             .downcast_ref::<T>()
             .expect("component type mismatch")
     }
@@ -289,10 +313,9 @@ impl<E: 'static> Engine<E> {
     /// # Panics
     /// Panics if the id is unknown or the type does not match.
     pub fn get_mut<T: Component<E>>(&mut self, id: ComponentId) -> &mut T {
-        self.components[id.0]
-            .as_mut()
-            .expect("component missing")
-            .as_any_mut()
+        let component: &mut dyn Any =
+            &mut **self.components[id.0].as_mut().expect("component missing");
+        component
             .downcast_mut::<T>()
             .expect("component type mismatch")
     }
@@ -317,12 +340,6 @@ mod tests {
         fn handle(&mut self, now: f64, event: Ev, _ctx: &mut Context<Ev>) {
             self.log.push((now, event));
         }
-        fn as_any(&self) -> &dyn Any {
-            self
-        }
-        fn as_any_mut(&mut self) -> &mut dyn Any {
-            self
-        }
     }
 
     /// Emits a Tick to a peer every `period` until `t_stop`.
@@ -340,12 +357,6 @@ mod tests {
             if now + self.period <= self.t_stop {
                 ctx.send_self(self.period, Ev::Tick);
             }
-        }
-        fn as_any(&self) -> &dyn Any {
-            self
-        }
-        fn as_any_mut(&mut self) -> &mut dyn Any {
-            self
         }
     }
 
@@ -428,7 +439,30 @@ mod tests {
         }
         assert_eq!(eng.run_events(3), 3);
         assert_eq!(eng.get::<Recorder>(rec).log.len(), 3);
+        assert_eq!(eng.now(), 2.0, "clock stays at the last event");
         assert_eq!(eng.run_events(10), 2);
+        assert_eq!(eng.now(), 4.0, "idle run leaves the clock at the tail");
+    }
+
+    #[test]
+    fn run_events_matches_budgeted_with_infinite_horizon() {
+        let build = || {
+            let mut eng = Engine::new();
+            let rec = eng.add(Box::new(Recorder { log: vec![] }));
+            let ticker = eng.add(Box::new(Ticker {
+                period: 0.25,
+                t_stop: 30.0,
+                peer: rec,
+                fired: 0,
+            }));
+            eng.schedule(0.0, ticker, Ev::Tick);
+            eng
+        };
+        let mut a = build();
+        let mut b = build();
+        assert_eq!(a.run_events(37), b.run_budgeted(f64::INFINITY, 37).0);
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.events_processed(), b.events_processed());
     }
 
     #[test]
@@ -527,6 +561,68 @@ mod tests {
         assert_eq!(na, nb);
         assert_eq!(why, StopReason::Horizon);
         assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut plain = Engine::new();
+        let mut sized = Engine::with_capacity(4, 64);
+        for eng in [&mut plain, &mut sized] {
+            let rec = eng.add(Box::new(Recorder { log: vec![] }));
+            let ticker = eng.add(Box::new(Ticker {
+                period: 0.5,
+                t_stop: 10.0,
+                peer: rec,
+                fired: 0,
+            }));
+            eng.schedule(0.0, ticker, Ev::Tick);
+            eng.run_until(10.0);
+        }
+        assert_eq!(plain.events_processed(), sized.events_processed());
+        assert_eq!(plain.now(), sized.now());
+        assert_eq!(
+            plain.get::<Recorder>(ComponentId(0)).log,
+            sized.get::<Recorder>(ComponentId(0)).log
+        );
+    }
+
+    /// A component whose handler emits `fan` events at once — the
+    /// scratch buffer must hand every one to the calendar and come back
+    /// empty for the next dispatch.
+    struct FanOut {
+        fan: u32,
+        peer: ComponentId,
+    }
+
+    impl Component<Ev> for FanOut {
+        fn handle(&mut self, _now: f64, _event: Ev, ctx: &mut Context<Ev>) {
+            for i in 0..self.fan {
+                ctx.send(0.5 + f64::from(i), self.peer, Ev::Ping(i));
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_buffer_survives_fan_out_bursts() {
+        let mut eng = Engine::new();
+        let rec = eng.add(Box::new(Recorder { log: vec![] }));
+        let fan = eng.add(Box::new(FanOut { fan: 32, peer: rec }));
+        // Two bursts reuse the same scratch allocation; every emission
+        // must land exactly once, in deterministic order.
+        eng.schedule(0.0, fan, Ev::Tick);
+        eng.schedule(100.0, fan, Ev::Tick);
+        eng.run_until(300.0);
+        let r: &Recorder = eng.get(rec);
+        assert_eq!(r.log.len(), 64);
+        let ids: Vec<u32> = r.log[..32]
+            .iter()
+            .map(|(_, e)| match e {
+                Ev::Ping(n) => *n,
+                _ => u32::MAX,
+            })
+            .collect();
+        assert_eq!(ids, (0..32).collect::<Vec<_>>());
+        assert_eq!(eng.events_processed(), 66);
     }
 
     #[test]

@@ -10,11 +10,17 @@
 //! * [`Engine`] owns the clock, the event calendar (a binary heap ordered
 //!   by `(time, sequence)` so simultaneous events fire in scheduling
 //!   order — fully deterministic), and the components.
-//! * [`Component`] is the behaviour trait: `handle(now, event, ctx)`.
-//!   Components never touch each other directly; they emit events through
-//!   the [`Context`], which the engine drains into the calendar after the
-//!   handler returns. This message-only discipline is what makes replays
-//!   exact.
+//! * [`Component`] is the behaviour trait: `handle(now, event, ctx)` —
+//!   nothing else, since the `Any` supertrait provides the downcast
+//!   upcast for free. Components never touch each other directly; they
+//!   emit events through the [`Context`], which the engine drains into
+//!   the calendar after the handler returns. This message-only
+//!   discipline is what makes replays exact.
+//! * The dispatch loop is allocation-free on the steady state: the
+//!   engine lends one reusable scratch buffer to each handler's
+//!   [`Context`] and reclaims it afterwards, and
+//!   [`Engine::with_capacity`] pre-sizes the calendar and component
+//!   slab from scenario-builder hints.
 //! * Components are registered with [`Engine::add`] and recovered after a
 //!   run with [`Engine::get`]/[`Engine::get_mut`] (by-type downcast), so
 //!   experiment harnesses can read their statistics.

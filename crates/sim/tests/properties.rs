@@ -1,9 +1,8 @@
 //! Property tests: the engine delivers events in time order,
 //! deterministically, exactly once.
 
-use ebrc_sim::{Component, Context, Engine};
+use ebrc_sim::{Component, Context, Engine, StopReason};
 use proptest::prelude::*;
-use std::any::Any;
 
 struct Recorder {
     log: Vec<(f64, u32)>,
@@ -13,12 +12,132 @@ impl Component<u32> for Recorder {
     fn handle(&mut self, now: f64, ev: u32, _ctx: &mut Context<u32>) {
         self.log.push((now, ev));
     }
-    fn as_any(&self) -> &dyn Any {
-        self
+}
+
+/// Follow-up rule shared by the [`Echo`] component and the naive
+/// reference model: every third event id re-emits `id + 1` after a
+/// deterministic delay (the chain stops immediately, since `id + 1` is
+/// never divisible by three).
+fn follow_up(ev: u32) -> Option<(f64, u32)> {
+    ev.is_multiple_of(3)
+        .then(|| ((ev % 7) as f64 * 0.1, ev + 1))
+}
+
+/// Records deliveries and re-emits per [`follow_up`] — so interleaved
+/// run calls exercise the engine's scratch-buffer reuse, not just
+/// externally scheduled events.
+struct Echo {
+    log: Vec<(f64, u32)>,
+}
+
+impl Component<u32> for Echo {
+    fn handle(&mut self, now: f64, ev: u32, ctx: &mut Context<u32>) {
+        self.log.push((now, ev));
+        if let Some((delay, next)) = follow_up(ev) {
+            ctx.send_self(delay, next);
+        }
     }
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
+}
+
+/// A naive reference engine: a flat `Vec` calendar scanned for the
+/// `(time, seq)` minimum on every dispatch. Quadratic and obviously
+/// correct — the oracle the real engine's run paths are compared
+/// against.
+struct NaiveEngine {
+    clock: f64,
+    seq: u64,
+    pending: Vec<(f64, u64, u32)>,
+    log: Vec<(f64, u32)>,
+    processed: u64,
+}
+
+impl NaiveEngine {
+    fn new() -> Self {
+        Self {
+            clock: 0.0,
+            seq: 0,
+            pending: Vec::new(),
+            log: Vec::new(),
+            processed: 0,
+        }
     }
+
+    fn schedule(&mut self, delay: f64, ev: u32) {
+        let time = self.clock + delay;
+        let seq = self.seq;
+        self.seq += 1;
+        self.pending.push((time, seq, ev));
+    }
+
+    /// Index of the earliest pending event (ties by scheduling order).
+    fn head(&self) -> Option<usize> {
+        (0..self.pending.len()).reduce(|best, i| {
+            let (bt, bs, _) = self.pending[best];
+            let (t, s, _) = self.pending[i];
+            if (t, s) < (bt, bs) {
+                i
+            } else {
+                best
+            }
+        })
+    }
+
+    fn dispatch_head(&mut self, idx: usize) {
+        let (time, _, ev) = self.pending.remove(idx);
+        self.clock = time;
+        self.processed += 1;
+        self.log.push((time, ev));
+        if let Some((delay, next)) = follow_up(ev) {
+            self.schedule(delay, next);
+        }
+    }
+
+    fn run_budgeted(&mut self, t_end: f64, max_events: u64) {
+        let mut n = 0;
+        let mut budget_hit = false;
+        loop {
+            if n >= max_events {
+                budget_hit = true;
+                break;
+            }
+            match self.head() {
+                Some(idx) if self.pending[idx].0 <= t_end => {
+                    self.dispatch_head(idx);
+                    n += 1;
+                }
+                _ => break,
+            }
+        }
+        if !budget_hit && t_end.is_finite() && self.clock < t_end {
+            self.clock = t_end;
+        }
+    }
+
+    fn run_until(&mut self, t_end: f64) {
+        self.run_budgeted(t_end, u64::MAX);
+    }
+
+    fn run_events(&mut self, n: u64) {
+        self.run_budgeted(f64::INFINITY, n);
+    }
+}
+
+/// One step of an interleaved workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Schedule(f64, u32),
+    RunEvents(u64),
+    RunUntil(f64),
+    RunBudgeted(f64, u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0.0f64..20.0, 0u32..100).prop_map(|(d, e)| Op::Schedule(d, e)),
+        (0u64..12).prop_map(Op::RunEvents),
+        (0.0f64..30.0).prop_map(Op::RunUntil),
+        ((0.0f64..30.0), 0u64..8).prop_map(|(t, n)| Op::RunBudgeted(t, n)),
+    ]
 }
 
 proptest! {
@@ -77,5 +196,75 @@ proptest! {
         let expected = delays.iter().filter(|d| **d <= cut).count();
         prop_assert_eq!(delivered, expected);
         prop_assert!(eng.now() >= cut);
+    }
+
+    /// Property: under any interleaving of `schedule`, `run_events`,
+    /// `run_until`, and `run_budgeted` — including handler-emitted
+    /// follow-ups that reuse the engine's scratch buffer — the real
+    /// engine's dispatch log, clock, and `events_processed` match the
+    /// naive reference engine after every single step.
+    #[test]
+    fn any_run_interleaving_matches_the_naive_reference(
+        ops in proptest::collection::vec(arb_op(), 1..60),
+    ) {
+        let mut eng: Engine<u32> = Engine::new();
+        let echo = eng.add(Box::new(Echo { log: vec![] }));
+        let mut reference = NaiveEngine::new();
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Schedule(delay, ev) => {
+                    eng.schedule(delay, echo, ev);
+                    reference.schedule(delay, ev);
+                }
+                Op::RunEvents(n) => {
+                    eng.run_events(n);
+                    reference.run_events(n);
+                }
+                Op::RunUntil(t) => {
+                    eng.run_until(t);
+                    reference.run_until(t);
+                }
+                Op::RunBudgeted(t, n) => {
+                    eng.run_budgeted(t, n);
+                    reference.run_budgeted(t, n);
+                }
+            }
+            prop_assert_eq!(
+                eng.now().to_bits(),
+                reference.clock.to_bits(),
+                "clock diverged after step {} ({:?})", step, op
+            );
+            prop_assert_eq!(
+                eng.events_processed(),
+                reference.processed,
+                "events_processed diverged after step {} ({:?})", step, op
+            );
+        }
+        prop_assert_eq!(&eng.get::<Echo>(echo).log, &reference.log, "dispatch log diverged");
+    }
+
+    /// Property: `run_events(n)` is exactly `run_budgeted(∞, n)` — one
+    /// dispatch loop behind both entry points.
+    #[test]
+    fn run_events_equals_budgeted_with_infinite_horizon(
+        delays in proptest::collection::vec(0.0_f64..10.0, 1..40),
+        n in 0u64..50,
+    ) {
+        let build = |ds: &[f64]| {
+            let mut eng: Engine<u32> = Engine::new();
+            let echo = eng.add(Box::new(Echo { log: vec![] }));
+            for (i, d) in ds.iter().enumerate() {
+                eng.schedule(*d, echo, i as u32);
+            }
+            (eng, echo)
+        };
+        let (mut a, ea) = build(&delays);
+        let (mut b, eb) = build(&delays);
+        let na = a.run_events(n);
+        let (nb, why) = b.run_budgeted(f64::INFINITY, n);
+        prop_assert_eq!(na, nb);
+        prop_assert!(matches!(why, StopReason::Budget | StopReason::Idle));
+        prop_assert_eq!(a.now().to_bits(), b.now().to_bits());
+        prop_assert_eq!(&a.get::<Echo>(ea).log, &b.get::<Echo>(eb).log);
     }
 }

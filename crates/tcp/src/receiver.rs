@@ -2,7 +2,6 @@
 
 use ebrc_net::{AckInfo, FlowId, NetEvent, Packet, PacketKind};
 use ebrc_sim::{Component, ComponentId, Context};
-use std::any::Any;
 use std::collections::BTreeSet;
 
 const ACK_SIZE: u32 = 40;
@@ -163,14 +162,6 @@ impl Component<NetEvent> for TcpSink {
             }
             _ => {}
         }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
     }
 }
 

@@ -17,7 +17,6 @@ use crate::scoreboard::SackScoreboard;
 use ebrc_net::{FlowId, LossEventRecorder, NetEvent, Packet, PacketKind};
 use ebrc_sim::{Component, ComponentId, Context};
 use ebrc_stats::Moments;
-use std::any::Any;
 
 /// The "start sending" kick; schedule this from the harness at the
 /// flow's start time.
@@ -304,14 +303,6 @@ impl Component<NetEvent> for TcpSender {
             }
             NetEvent::TxDone => {}
         }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
     }
 }
 

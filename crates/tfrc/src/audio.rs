@@ -14,7 +14,6 @@ use crate::formula_kind::{FormulaKind, RttMode};
 use ebrc_net::{FlowId, NetEvent, Packet, PacketKind};
 use ebrc_sim::{Component, ComponentId, Context};
 use ebrc_stats::PiecewiseConstant;
-use std::any::Any;
 
 const TIMER_TICK: u64 = 1;
 /// The "start sending" kick; schedule this from the harness at the
@@ -195,14 +194,6 @@ impl Component<NetEvent> for AudioTfrcSender {
             }
             _ => {}
         }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
     }
 }
 

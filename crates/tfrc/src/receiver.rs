@@ -6,7 +6,6 @@ use ebrc_core::weights::WeightProfile;
 use ebrc_net::{FeedbackInfo, FlowId, NetEvent, Packet, PacketKind};
 use ebrc_sim::{Component, ComponentId, Context};
 use ebrc_stats::{Covariance, Moments};
-use std::any::Any;
 
 const FEEDBACK_SIZE: u32 = 40;
 const TIMER_FEEDBACK: u64 = 1;
@@ -299,14 +298,6 @@ impl Component<NetEvent> for TfrcReceiver {
             }
             _ => {}
         }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
     }
 }
 

@@ -4,7 +4,6 @@ use crate::formula_kind::{FormulaKind, RttMode};
 use ebrc_net::{FeedbackInfo, FlowId, NetEvent, Packet, PacketKind};
 use ebrc_sim::{Component, ComponentId, Context};
 use ebrc_stats::{Covariance, Moments, PiecewiseConstant};
-use std::any::Any;
 
 const TIMER_SEND: u64 = 1;
 /// The "start sending" kick; schedule this from the harness at the
@@ -300,14 +299,6 @@ impl Component<NetEvent> for TfrcSender {
             }
             _ => {}
         }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
     }
 }
 

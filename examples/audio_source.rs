@@ -24,10 +24,10 @@ fn main() {
     for (i, p_drop) in [0.05, 0.10, 0.15, 0.20, 0.25].into_iter().enumerate() {
         let seed = 42 + i as u64;
         let duration = 3_000.0;
-        let (_, sqrt_norm, _) = audio_point(p_drop, FormulaKind::Sqrt, 4, duration, seed);
-        let (_, std_norm, _) =
+        let ((_, sqrt_norm, _), _) = audio_point(p_drop, FormulaKind::Sqrt, 4, duration, seed);
+        let ((_, std_norm, _), _) =
             audio_point(p_drop, FormulaKind::PftkStandard, 4, duration, seed + 50);
-        let (p, simp_norm, _) =
+        let ((p, simp_norm, _), _) =
             audio_point(p_drop, FormulaKind::PftkSimplified, 4, duration, seed + 100);
         println!(
             "{:>8.3} {:>12.4} {:>16.4} {:>18.4}   (measured p = {:.3})",

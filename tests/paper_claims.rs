@@ -81,8 +81,8 @@ fn proposition2_compare_controls() {
 /// non-conservative at heavy loss in the audio setting.
 #[test]
 fn claim2_audio_sign_flip() {
-    let (_, sqrt_norm, _) = audio_point(0.2, FormulaKind::Sqrt, 4, 3_000.0, 9);
-    let (_, pftk_norm, _) = audio_point(0.2, FormulaKind::PftkSimplified, 4, 3_000.0, 9);
+    let ((_, sqrt_norm, _), _) = audio_point(0.2, FormulaKind::Sqrt, 4, 3_000.0, 9);
+    let ((_, pftk_norm, _), _) = audio_point(0.2, FormulaKind::PftkSimplified, 4, 3_000.0, 9);
     assert!(sqrt_norm <= 1.05, "SQRT overshoot {sqrt_norm}");
     assert!(pftk_norm > 1.0, "PFTK should overshoot: {pftk_norm}");
 }
