@@ -27,6 +27,11 @@
 //! experiments into one deduplicated plan of content-hashed sims and
 //! executes its unique specs on a work-stealing pool (`--threads N`,
 //! or the `EBRC_THREADS` environment variable; default: all cores).
+//! Sims are submitted longest-first by each spec's cost hint, and
+//! `--slice-events N` (or `EBRC_SLICE`) additionally runs dumbbell
+//! sims in resumable N-event slices so a straggler can migrate across
+//! workers mid-run — both are pure scheduling, with output bytes
+//! unchanged.
 //! Each experiment reduces the moment its last subscribed sim
 //! completes, and `--out` spools its tables from a writer thread while
 //! the rest of the grid is still running. With `--cache-dir DIR` (or
@@ -43,7 +48,8 @@ use ebrc_experiments::{
     Experiment, ExperimentFailure, ExperimentReport, Plan, Scale, SpecOutput, MASTER_SEED,
 };
 use ebrc_runner::{
-    panic_message, run_specs_cached, CacheCounters, DirCache, OutputCache, Pool, Spec as _,
+    panic_message, run_specs_cached, CacheCounters, DirCache, ExecConfig, OutputCache, Pool,
+    Spec as _, SpecTiming,
 };
 use serde::Value;
 use std::collections::HashMap;
@@ -57,8 +63,8 @@ fn usage() -> ExitCode {
         "usage: repro (list | plan | run | merge | cache (stats|gc|clear) | bench-runner | \
          <experiment-id>... | all) \
          [--scale quick|paper|tiny] [--json] [--out DIR] [--threads N] [--progress] \
-         [--cache-dir DIR] [--keep-plan ID] [--shard I/K] [--shards K] [--shard-dir DIR] \
-         [--bench-json FILE] [--baseline FILE]"
+         [--slice-events N] [--cache-dir DIR] [--keep-plan ID] [--shard I/K] [--shards K] \
+         [--shard-dir DIR] [--bench-json FILE] [--baseline FILE]"
     );
     ExitCode::from(2)
 }
@@ -70,6 +76,7 @@ struct Options {
     out: Option<PathBuf>,
     threads: usize,
     progress: bool,
+    slice_events: Option<u64>,
     bench_json: Option<PathBuf>,
     baseline: Option<PathBuf>,
     shard: (usize, usize),
@@ -84,6 +91,16 @@ impl Options {
     fn cache(&self) -> Option<DirCache> {
         self.cache_dir.as_ref().map(DirCache::new)
     }
+
+    /// The execution config every run path shares: sliced when
+    /// `--slice-events N` (or `EBRC_SLICE`) set a budget, monolithic
+    /// otherwise. Output bytes are identical either way — slicing only
+    /// lets long sims migrate between workers.
+    fn exec(&self) -> ExecConfig {
+        ExecConfig {
+            slice_events: self.slice_events,
+        }
+    }
 }
 
 /// Thread count: `--threads` beats `EBRC_THREADS` beats all cores.
@@ -93,6 +110,18 @@ fn env_threads() -> Option<usize> {
         Ok(n) if n > 0 => Some(n),
         _ => {
             eprintln!("ignoring EBRC_THREADS={raw:?} (want a positive integer)");
+            None
+        }
+    }
+}
+
+/// Slice budget: `--slice-events` beats `EBRC_SLICE` beats monolithic.
+fn env_slice_events() -> Option<u64> {
+    let raw = std::env::var("EBRC_SLICE").ok()?;
+    match raw.trim().parse::<u64>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => {
+            eprintln!("ignoring EBRC_SLICE={raw:?} (want a positive integer)");
             None
         }
     }
@@ -243,6 +272,7 @@ fn run_and_report(experiments: Vec<Box<dyn Experiment>>, opts: &Options) -> bool
         opts.scale,
         &pool,
         cache.as_ref().map(|c| c as &dyn OutputCache),
+        opts.exec(),
         |done, total| {
             total_sims.store(total, std::sync::atomic::Ordering::Relaxed);
             if show_progress {
@@ -438,6 +468,7 @@ fn run_shard(targets: &[String], opts: &Options) -> ExitCode {
         MASTER_SEED,
         &specs,
         cache.as_ref().map(|c| c as &dyn OutputCache),
+        opts.exec(),
         |done, total| {
             if show_progress {
                 eprint!("\r# progress {done}/{total} sims (shard {shard}/{of})");
@@ -458,13 +489,15 @@ fn run_shard(targets: &[String], opts: &Options) -> ExitCode {
         let key = plan.specs()[*idx].key();
         let hash = plan.spec_hashes()[*idx];
         match result {
-            Ok((out, events)) => outputs.push(Value::Object(vec![
+            Ok((out, cost)) => outputs.push(Value::Object(vec![
                 ("key".into(), Value::String(key)),
                 ("hash".into(), Value::String(format!("{hash:016x}"))),
-                // Engine events this sim dispatched (0 when it was
-                // served from the cache) — the measured sweep cost a
-                // dispatcher can read back per experiment.
-                ("events".into(), Value::Number(events as f64)),
+                // Engine events and wall seconds this sim cost (both 0
+                // when it was served from the cache) — the measured
+                // sweep cost a dispatcher can read back per experiment
+                // to balance the next shard assignment.
+                ("events".into(), Value::Number(cost.events as f64)),
+                ("wall_s".into(), Value::Number(cost.wall_s)),
                 ("output".into(), out.to_value()),
             ])),
             Err(msg) => failures.push(Value::Object(vec![
@@ -840,7 +873,8 @@ fn cache_command(targets: &[String], opts: &Options) -> ExitCode {
 /// the committed baseline. `UPDATE_BENCH_BASELINE=1` rewrites the
 /// baseline from this run instead of comparing.
 fn bench_runner(opts: &Options) -> ExitCode {
-    let thread_counts = vec![1, ebrc_runner::default_threads().max(opts.threads).max(8)];
+    let host_threads = ebrc_runner::default_threads();
+    let thread_counts = vec![1, host_threads.max(opts.threads).max(8)];
     let (unique_sims, subscribed_sims) = match try_global_plan(&all_experiments(), opts.scale) {
         Some(plan) => (plan.unique_len(), plan.subscribed_len()),
         None => {
@@ -853,9 +887,12 @@ fn bench_runner(opts: &Options) -> ExitCode {
     let mut walls = Vec::new();
     let mut totals = CacheCounters::default();
     let mut events_total = 0u64;
+    let mut spec_timings: Vec<SpecTiming> = Vec::new();
     let mut best = BenchRates {
         jobs_per_sec: 0.0,
         events_per_sec: 0.0,
+        speedup: 1.0,
+        host_threads,
     };
     for &threads in &thread_counts {
         let pool = Pool::new(threads);
@@ -867,6 +904,7 @@ fn bench_runner(opts: &Options) -> ExitCode {
             opts.scale,
             &pool,
             cache.as_ref().map(|c| c as &dyn OutputCache),
+            opts.exec(),
             |_, _| {},
             |_| {},
         );
@@ -890,6 +928,12 @@ fn bench_runner(opts: &Options) -> ExitCode {
         events_total = events_total.max(run.events);
         best.jobs_per_sec = best.jobs_per_sec.max(unique_sims as f64 / wall);
         best.events_per_sec = best.events_per_sec.max(events_per_sec);
+        // Per-spec wall time from the single-thread pass: undiluted by
+        // contention, so it ranks stragglers exactly.
+        if threads == 1 {
+            spec_timings = run.timings;
+            spec_timings.sort_by(|a, b| b.wall_s.total_cmp(&a.wall_s));
+        }
         entries.push(format!(
             "    {{ \"threads\": {threads}, \"wall_s\": {wall:.4}, \"jobs_per_sec\": {:.4}, \
              \"events_total\": {}, \"events_per_sec\": {:.1}, \
@@ -901,13 +945,24 @@ fn bench_runner(opts: &Options) -> ExitCode {
             run.cache.misses,
         ));
     }
-    let speedup = if walls.len() > 1 {
-        walls[0] / walls[walls.len() - 1]
-    } else {
-        1.0
-    };
+    if walls.len() > 1 {
+        best.speedup = walls[0] / walls[walls.len() - 1];
+    }
+    let timing_entries: Vec<String> = spec_timings
+        .iter()
+        .take(STRAGGLER_TABLE_LEN)
+        .map(|t| {
+            format!(
+                "    {{ \"key\": {}, \"wall_s\": {:.4}, \"events\": {}, \"slices\": {} }}",
+                serde_json::to_string(&Value::String(t.key.clone())).expect("string serializes"),
+                t.wall_s,
+                t.events,
+                t.slices,
+            )
+        })
+        .collect();
     let json = format!(
-        "{{\n  \"bench\": \"repro all --scale {}\",\n  \"jobs\": {},\n  \"unique_sims\": {},\n  \"subscribed_sims\": {},\n  \"deduped_sims\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"events_total\": {},\n  \"events_per_sec\": {:.1},\n  \"jobs_per_sec\": {:.4},\n  \"runs\": [\n{}\n  ],\n  \"speedup\": {:.4}\n}}\n",
+        "{{\n  \"bench\": \"repro all --scale {}\",\n  \"jobs\": {},\n  \"unique_sims\": {},\n  \"subscribed_sims\": {},\n  \"deduped_sims\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"events_total\": {},\n  \"events_per_sec\": {:.1},\n  \"jobs_per_sec\": {:.4},\n  \"host_threads\": {},\n  \"slice_events\": {},\n  \"runs\": [\n{}\n  ],\n  \"spec_timings\": [\n{}\n  ],\n  \"speedup\": {:.4}\n}}\n",
         opts.scale_name,
         unique_sims,
         unique_sims,
@@ -918,8 +973,14 @@ fn bench_runner(opts: &Options) -> ExitCode {
         events_total,
         best.events_per_sec,
         best.jobs_per_sec,
+        host_threads,
+        match opts.slice_events {
+            Some(n) => n.to_string(),
+            None => "null".to_string(),
+        },
         entries.join(",\n"),
-        speedup
+        timing_entries.join(",\n"),
+        best.speedup
     );
     match &opts.bench_json {
         Some(path) => {
@@ -934,6 +995,16 @@ fn bench_runner(opts: &Options) -> ExitCode {
                 return ExitCode::FAILURE;
             }
             eprintln!("# bench-runner: wrote {}", path.display());
+            // The human-readable straggler table rides along as a
+            // sibling artifact (CI uploads both).
+            let table_path = path.with_extension("stragglers.txt");
+            match std::fs::write(&table_path, straggler_table(&spec_timings, opts.scale_name)) {
+                Ok(()) => eprintln!("# bench-runner: wrote {}", table_path.display()),
+                Err(e) => {
+                    eprintln!("cannot write {}: {e}", table_path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
         }
         None => print!("{json}"),
     }
@@ -943,16 +1014,57 @@ fn bench_runner(opts: &Options) -> ExitCode {
     }
 }
 
-/// The best throughput rates a bench-runner invocation measured.
+/// How many stragglers the bench artifact's timing table keeps.
+const STRAGGLER_TABLE_LEN: usize = 10;
+
+/// Renders the top stragglers of a single-thread pass as a plain-text
+/// table — the at-a-glance answer to "which sims bound the sweep?".
+fn straggler_table(timings: &[SpecTiming], scale_name: &str) -> String {
+    let mut out = format!(
+        "# top {} stragglers by single-thread wall time (scale {scale_name})\n\
+         # rank  wall_s    events      slices  key\n",
+        timings.len().min(STRAGGLER_TABLE_LEN),
+    );
+    for (rank, t) in timings.iter().take(STRAGGLER_TABLE_LEN).enumerate() {
+        out.push_str(&format!(
+            "{:>6}  {:<8.4}  {:<10}  {:<6}  {}\n",
+            rank + 1,
+            t.wall_s,
+            t.events,
+            t.slices,
+            t.key,
+        ));
+    }
+    out
+}
+
+/// The best throughput rates a bench-runner invocation measured, plus
+/// the 1-thread vs many-thread speedup and the host parallelism that
+/// contextualizes it.
 #[derive(Clone, Copy)]
 struct BenchRates {
     jobs_per_sec: f64,
     events_per_sec: f64,
+    speedup: f64,
+    host_threads: usize,
 }
 
 /// How far below the committed baseline the measured throughput may
 /// fall before the gate fails — generous, because CI runners vary.
 const BENCH_GATE_TOLERANCE: f64 = 0.25;
+
+/// The parallel-speedup floor at quick scale: the many-thread pass must
+/// beat the single-thread pass by at least this factor. Quick-scale
+/// sims are short (scheduling overhead is a visible fraction), so the
+/// floor is modest; at paper scale the same machinery targets ≥3× on
+/// an 8-way host. The floor only arms on hosts with at least
+/// [`SPEEDUP_GATE_MIN_HOST_THREADS`] hardware threads — a 1-core
+/// container cannot parallelize CPU-bound sims no matter how well the
+/// scheduler does, and gating on it would only measure the hardware.
+const SPEEDUP_FLOOR: f64 = 1.5;
+
+/// Hardware threads below which the speedup floor stays disarmed.
+const SPEEDUP_GATE_MIN_HOST_THREADS: usize = 4;
 
 /// The perf regression gate: compares this run's best `events_per_sec`
 /// (or `jobs_per_sec`, for baselines predating event accounting)
@@ -1017,6 +1129,26 @@ fn bench_gate(measured: BenchRates, artifact_json: &str, baseline_path: &Path) -
         return ExitCode::FAILURE;
     }
     eprintln!("# bench-gate: ok — {metric} {got:.1} vs baseline {want:.1} (floor {floor:.1})");
+    if measured.host_threads < SPEEDUP_GATE_MIN_HOST_THREADS {
+        eprintln!(
+            "# bench-gate: speedup floor disarmed — host has {} thread(s), \
+             need >= {SPEEDUP_GATE_MIN_HOST_THREADS} for a meaningful parallel run",
+            measured.host_threads,
+        );
+        return ExitCode::SUCCESS;
+    }
+    if measured.speedup < SPEEDUP_FLOOR {
+        eprintln!(
+            "# bench-gate: FAIL — parallel speedup {:.2}x is below the {SPEEDUP_FLOOR}x floor \
+             on a {}-thread host (cost-model scheduling or slicing regressed)",
+            measured.speedup, measured.host_threads,
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "# bench-gate: ok — parallel speedup {:.2}x (floor {SPEEDUP_FLOOR}x, {} host threads)",
+        measured.speedup, measured.host_threads,
+    );
     ExitCode::SUCCESS
 }
 
@@ -1043,6 +1175,7 @@ fn main() -> ExitCode {
         out: None,
         threads: env_threads().unwrap_or_else(ebrc_runner::default_threads),
         progress: false,
+        slice_events: env_slice_events(),
         bench_json: None,
         baseline: None,
         shard: (0, 1),
@@ -1081,6 +1214,13 @@ fn main() -> ExitCode {
                 i += 1;
                 match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
                     Some(n) if n > 0 => opts.threads = n,
+                    _ => return usage(),
+                }
+            }
+            "--slice-events" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) if n > 0 => opts.slice_events = Some(n),
                     _ => return usage(),
                 }
             }

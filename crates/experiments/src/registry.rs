@@ -21,7 +21,8 @@
 use crate::series::Table;
 use crate::spec::{SimSpec, SpecOutput};
 use ebrc_runner::{
-    panic_message, run_plan_cached, CacheCounters, OutputCache, Pool, RunStats, SubscriptionResult,
+    panic_message, run_plan_cached, CacheCounters, ExecConfig, OutputCache, Pool, RunStats,
+    SpecTiming, SubscriptionResult,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
@@ -269,6 +270,10 @@ pub struct CatalogueRun {
     /// Engine events dispatched by the executed sims (zero on a fully
     /// warm run — cache hits execute nothing).
     pub events: u64,
+    /// Per-executed-spec wall time, event count, and slice count,
+    /// sorted by spec key — the straggler table `repro bench-runner`
+    /// reports (empty on a fully warm run).
+    pub timings: Vec<SpecTiming>,
 }
 
 /// [`plan_run_catalogue_cached`] without a cache — the common path.
@@ -279,7 +284,16 @@ pub fn plan_run_catalogue(
     progress: impl Fn(usize, usize) + Sync,
     on_report: impl FnMut(&ExperimentReport) + Send,
 ) -> Vec<ExperimentReport> {
-    plan_run_catalogue_cached(experiments, scale, pool, None, progress, on_report).reports
+    plan_run_catalogue_cached(
+        experiments,
+        scale,
+        pool,
+        None,
+        ExecConfig::default(),
+        progress,
+        on_report,
+    )
+    .reports
 }
 
 /// The merged-plan execution core.
@@ -300,6 +314,7 @@ pub fn plan_run_catalogue_cached(
     scale: Scale,
     pool: &Pool,
     cache: Option<&dyn OutputCache>,
+    exec: ExecConfig,
     progress: impl Fn(usize, usize) + Sync,
     mut on_report: impl FnMut(&ExperimentReport) + Send,
 ) -> CatalogueRun {
@@ -390,13 +405,21 @@ pub fn plan_run_catalogue_cached(
         // through a mutex — the send is two orders of magnitude cheaper
         // than any spec body.
         let ready_tx = Mutex::new(ready_tx);
-        let (_, run_stats) =
-            run_plan_cached(pool, MASTER_SEED, &plan, None, cache, progress, |res| {
+        let (_, run_stats) = run_plan_cached(
+            pool,
+            MASTER_SEED,
+            &plan,
+            None,
+            cache,
+            exec,
+            progress,
+            |res| {
                 let _ = ready_tx
                     .lock()
                     .expect("completion channel poisoned")
                     .send(res);
-            });
+            },
+        );
         stats = run_stats;
         drop(ready_tx);
         for (ei, report) in writer.join().expect("writer thread panicked") {
@@ -430,6 +453,7 @@ pub fn plan_run_catalogue_cached(
         reports,
         cache: stats.cache,
         events: stats.events,
+        timings: stats.timings,
     }
 }
 
@@ -612,6 +636,7 @@ mod tests {
                 Scale::quick(),
                 &Pool::new(2),
                 cache,
+                ExecConfig::default(),
                 |_, _| {},
                 |_| {},
             )

@@ -356,37 +356,61 @@ impl DumbbellRun {
 
     /// Runs to `warmup`, snapshots counters, runs to `warmup + span`,
     /// and reports steady-state per-flow measurements.
+    ///
+    /// The two run legs may equivalently be driven in event-budgeted
+    /// slices via [`Engine::run_budgeted`] with
+    /// [`DumbbellRun::snapshot_counters`] taken between them — the
+    /// engine guarantees sliced execution is bit-identical, which is
+    /// how the runner's resumable path measures the same bytes.
     pub fn measure(&mut self, warmup: f64, span: f64) -> RunMeasurements {
         assert!(span > 0.0, "measurement span must be positive");
         self.engine.run_until(warmup);
-        let tfrc_before: Vec<(u64, u64, u64)> = self
-            .tfrc
-            .iter()
-            .map(|(s, r)| {
-                let snd: &TfrcSender = self.engine.get(*s);
-                let rcv: &TfrcReceiver = self.engine.get(*r);
-                (snd.stats().packets_sent, rcv.events(), rcv.inferred_sent())
-            })
-            .collect();
-        let tcp_before: Vec<(u64, u64)> = self
-            .tcp
-            .iter()
-            .map(|(s, _)| {
-                let snd: &TcpSender = self.engine.get(*s);
-                (snd.stats().new_data_sent, snd.recorder().events())
-            })
-            .collect();
-        let probe_before = self.probe.map(|(_, sink)| {
-            let s: &ProbeSink = self.engine.get(sink);
-            (s.recorder().events(), s.inferred_sent())
-        });
-
+        let snap = self.snapshot_counters();
         self.engine.run_until(warmup + span);
+        self.measurements_since(&snap, span)
+    }
 
+    /// Snapshots every flow's cumulative counters — taken at the end of
+    /// warm-up so [`DumbbellRun::measurements_since`] can difference the
+    /// measurement span out of lifetime totals.
+    pub fn snapshot_counters(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            tfrc: self
+                .tfrc
+                .iter()
+                .map(|(s, r)| {
+                    let snd: &TfrcSender = self.engine.get(*s);
+                    let rcv: &TfrcReceiver = self.engine.get(*r);
+                    (snd.stats().packets_sent, rcv.events(), rcv.inferred_sent())
+                })
+                .collect(),
+            tcp: self
+                .tcp
+                .iter()
+                .map(|(s, _)| {
+                    let snd: &TcpSender = self.engine.get(*s);
+                    (snd.stats().new_data_sent, snd.recorder().events())
+                })
+                .collect(),
+            probe: self.probe.map(|(_, sink)| {
+                let s: &ProbeSink = self.engine.get(sink);
+                (s.recorder().events(), s.inferred_sent())
+            }),
+        }
+    }
+
+    /// Computes the per-flow measurement bundle for a span that started
+    /// at `snap`. The engine must already stand at the end of the span.
+    pub fn measurements_since(&self, snap: &CounterSnapshot, span: f64) -> RunMeasurements {
+        let CounterSnapshot {
+            tfrc: tfrc_before,
+            tcp: tcp_before,
+            probe: probe_before,
+        } = snap;
         let tfrc = self
             .tfrc
             .iter()
-            .zip(&tfrc_before)
+            .zip(tfrc_before)
             .map(|((s, r), (sent0, ev0, seen0))| {
                 let snd: &TfrcSender = self.engine.get(*s);
                 let rcv: &TfrcReceiver = self.engine.get(*r);
@@ -410,7 +434,7 @@ impl DumbbellRun {
         let tcp = self
             .tcp
             .iter()
-            .zip(&tcp_before)
+            .zip(tcp_before)
             .map(|((s, _), (sent0, ev0))| {
                 let snd: &TcpSender = self.engine.get(*s);
                 let sent = snd.stats().new_data_sent - sent0;
@@ -431,7 +455,7 @@ impl DumbbellRun {
             .collect();
         let probe_loss_rate = self
             .probe
-            .zip(probe_before)
+            .zip(*probe_before)
             .map(|((_, sink), (ev0, seen0))| {
                 let s: &ProbeSink = self.engine.get(sink);
                 let events = s.recorder().events() - ev0;
@@ -450,6 +474,20 @@ impl DumbbellRun {
             tfrc_formula: self.tfrc_formula,
         }
     }
+}
+
+/// Cumulative per-flow counters at the end of warm-up — the baseline
+/// [`DumbbellRun::measurements_since`] subtracts so measurements cover
+/// the span alone. Plain owned data, so a sliced run carries it across
+/// worker threads with the rest of its state.
+#[derive(Debug, Clone)]
+pub struct CounterSnapshot {
+    /// Per TFRC pair: (packets sent, loss events, inferred sent).
+    tfrc: Vec<(u64, u64, u64)>,
+    /// Per TCP pair: (new data sent, loss events).
+    tcp: Vec<(u64, u64)>,
+    /// Probe sink (loss events, inferred sent), when configured.
+    probe: Option<(u64, u64)>,
 }
 
 /// Steady-state measurements of one flow.

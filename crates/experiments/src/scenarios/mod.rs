@@ -3,5 +3,6 @@
 pub mod dumbbell;
 
 pub use dumbbell::{
-    DumbbellConfig, DumbbellRun, FlowMeasure, QueueSpec, RunMeasurements, TfrcFlowSpec,
+    CounterSnapshot, DumbbellConfig, DumbbellRun, FlowMeasure, QueueSpec, RunMeasurements,
+    TfrcFlowSpec,
 };

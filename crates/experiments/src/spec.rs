@@ -24,13 +24,16 @@ use crate::figures::fig06::audio_point;
 use crate::figures::internet::{site_config, site_table, sites};
 use crate::figures::lab::lab_queues;
 use crate::registry::replica_seed;
-use crate::scenarios::{DumbbellConfig, DumbbellRun, FlowMeasure, QueueSpec, RunMeasurements};
+use crate::scenarios::{
+    CounterSnapshot, DumbbellConfig, DumbbellRun, FlowMeasure, QueueSpec, RunMeasurements,
+};
 use crate::series::Table;
 use ebrc_core::control::{BasicControl, ComprehensiveControl, ControlConfig};
 use ebrc_core::formula::{AimdFormula, PftkSimplified, PftkStandard, Sqrt, ThroughputFormula};
 use ebrc_core::weights::WeightProfile;
 use ebrc_dist::{IidProcess, LossProcess, MarkovModulated, Rng, ShiftedExponential};
-use ebrc_runner::JobCtx;
+use ebrc_runner::{JobCtx, SliceStep, SlicedRun};
+use ebrc_sim::RunLimit;
 use ebrc_tcp::{AimdFixedLink, EbrcFixedLink, SharedFixedLink};
 use ebrc_tfrc::FormulaKind;
 use serde::Value;
@@ -375,6 +378,68 @@ impl SimSpec {
     }
 }
 
+/// A dumbbell simulation suspended between event-budget slices: the
+/// built scenario, its measurement window, and which leg of
+/// [`DumbbellRun::measure`] the engine is inside. Resuming drives
+/// [`Engine::run_budgeted`](ebrc_sim::Engine::run_budgeted) with the
+/// same horizons the monolithic path uses, so by the engine's sliced-
+/// execution contract the finished measurements are bit-identical at
+/// any budget — slicing only changes *where* the work runs, never what
+/// it computes.
+struct SlicedDumbbell {
+    run: DumbbellRun,
+    warmup: f64,
+    span: f64,
+    phase: DumbbellPhase,
+}
+
+/// Which `measure` leg a [`SlicedDumbbell`] is inside.
+enum DumbbellPhase {
+    /// Running to `warmup`; counters not yet snapshotted.
+    Warmup,
+    /// Running to `warmup + span`, differencing against the snapshot.
+    Span(CounterSnapshot),
+}
+
+impl SlicedRun for SlicedDumbbell {
+    type Output = SpecOutput;
+
+    fn resume(mut self: Box<Self>, ctx: &mut JobCtx, budget: u64) -> SliceStep<SpecOutput> {
+        // One resume call spends at most `budget` events across both
+        // legs, so slice granularity stays uniform even when the
+        // warm-up boundary falls mid-slice.
+        let mut left = budget.max(1);
+        loop {
+            match self.phase {
+                DumbbellPhase::Warmup => {
+                    let out = self
+                        .run
+                        .engine
+                        .run_budgeted(RunLimit::new(self.warmup, left));
+                    if out.exhausted() {
+                        return SliceStep::Pending(self);
+                    }
+                    left = left.saturating_sub(out.events);
+                    self.phase = DumbbellPhase::Span(self.run.snapshot_counters());
+                    if left == 0 {
+                        return SliceStep::Pending(self);
+                    }
+                }
+                DumbbellPhase::Span(ref snap) => {
+                    let horizon = self.warmup + self.span;
+                    let out = self.run.engine.run_budgeted(RunLimit::new(horizon, left));
+                    if out.exhausted() {
+                        return SliceStep::Pending(self);
+                    }
+                    let m = self.run.measurements_since(snap, self.span);
+                    ctx.record_events(self.run.engine.events_processed());
+                    return SliceStep::Done(SpecOutput::Run(m));
+                }
+            }
+        }
+    }
+}
+
 impl ebrc_runner::Spec for SimSpec {
     type Output = SpecOutput;
 
@@ -436,6 +501,32 @@ impl ebrc_runner::Spec for SimSpec {
             SimSpec::Diagnostic { value, fail } => format!("diag/v{value}/fail={fail}"),
             _ => unreachable!("dumbbell specs keyed above"),
         }
+    }
+
+    /// The scheduler's cost model is the planning estimate the catalogue
+    /// already prints: [`SimSpec::events_hint`]. Dumbbell sweeps mix
+    /// 90-second ns-2 runs with 4× cable-modem spans, so submitting
+    /// longest-first keeps the stragglers off the tail of the schedule.
+    fn cost_hint(&self) -> u64 {
+        self.events_hint()
+    }
+
+    /// Dumbbell-family specs run in resumable event-budget slices (the
+    /// engine guarantees bit-identity with the monolithic
+    /// [`SimSpec::run`] path); every other family is cheap enough that
+    /// the default single-slice execution is the right call.
+    fn start_sliced(&self, ctx: &mut JobCtx, budget: u64) -> SliceStep<SpecOutput> {
+        if let (Some(cfg), Some((warmup, span))) = (self.dumbbell_config(), self.window()) {
+            assert!(span > 0.0, "measurement span must be positive");
+            let state = SlicedDumbbell {
+                run: DumbbellRun::build(&cfg),
+                warmup,
+                span,
+                phase: DumbbellPhase::Warmup,
+            };
+            return Box::new(state).resume(ctx, budget);
+        }
+        SliceStep::Done(self.run(ctx))
     }
 
     fn run(&self, ctx: &mut JobCtx) -> SpecOutput {

@@ -10,8 +10,8 @@
 use ebrc_experiments::scenarios::{FlowMeasure, RunMeasurements};
 use ebrc_experiments::{SimSpec, SpecOutput, Table};
 use ebrc_runner::{
-    run_specs_cached, stable_hash, CacheCounters, CacheableSpec, DirCache, OutputCache, Pool,
-    RunStats,
+    run_specs_cached, stable_hash, CacheCounters, CacheableSpec, DirCache, ExecConfig, OutputCache,
+    Pool,
 };
 use ebrc_tfrc::FormulaKind;
 use proptest::collection::vec;
@@ -186,7 +186,14 @@ fn corrupted_entries_re_run_instead_of_poisoning() {
             fail: false,
         },
     ];
-    let (cold, c0) = run_specs_cached(&pool, 0, &specs, Some(&cache), |_, _| {});
+    let (cold, c0) = run_specs_cached(
+        &pool,
+        0,
+        &specs,
+        Some(&cache),
+        ExecConfig::default(),
+        |_, _| {},
+    );
     assert_eq!(c0.cache, CacheCounters { hits: 0, misses: 2 });
     // Flip one byte inside the first spec's payload.
     let hash = stable_hash("diag/v7/fail=false");
@@ -196,7 +203,14 @@ fn corrupted_entries_re_run_instead_of_poisoning() {
     bytes[pos] ^= 0x20;
     std::fs::write(cache.entry_path(hash), &bytes).unwrap();
 
-    let (warm, c1) = run_specs_cached(&pool, 0, &specs, Some(&cache), |_, _| {});
+    let (warm, c1) = run_specs_cached(
+        &pool,
+        0,
+        &specs,
+        Some(&cache),
+        ExecConfig::default(),
+        |_, _| {},
+    );
     assert_eq!(
         c1.cache,
         CacheCounters { hits: 1, misses: 1 },
@@ -208,13 +222,16 @@ fn corrupted_entries_re_run_instead_of_poisoning() {
         assert_eq!(encode(a), encode(b), "reduce inputs diverged");
     }
     // The re-run repaired the entry.
-    let (_, c2) = run_specs_cached(&pool, 0, &specs, Some(&cache), |_, _| {});
-    assert_eq!(
-        c2,
-        RunStats {
-            cache: CacheCounters { hits: 2, misses: 0 },
-            events: 0
-        }
+    let (_, c2) = run_specs_cached(
+        &pool,
+        0,
+        &specs,
+        Some(&cache),
+        ExecConfig::default(),
+        |_, _| {},
     );
+    assert_eq!(c2.cache, CacheCounters { hits: 2, misses: 0 });
+    assert_eq!(c2.events, 0);
+    assert!(c2.timings.is_empty(), "hits must not report timings");
     let _ = std::fs::remove_dir_all(cache.dir());
 }

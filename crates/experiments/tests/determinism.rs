@@ -18,7 +18,7 @@ use ebrc_experiments::{
     all_experiments, global_plan, par_run, plan_run_catalogue_cached, table_file_name, Experiment,
     ExperimentReport, Scale, SimSpec, SpecOutput, MASTER_SEED,
 };
-use ebrc_runner::{run_specs, CacheCounters, DirCache, Pool, Spec as _};
+use ebrc_runner::{run_specs, CacheCounters, DirCache, ExecConfig, Pool, Spec as _};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -226,7 +226,15 @@ fn golden_corpus_gates_fresh_warm_cache_and_sharded_runs() {
     let run_catalogue = |cache: Option<&dyn ebrc_runner::OutputCache>| {
         let experiments = all_experiments();
         let refs: Vec<&dyn Experiment> = experiments.iter().map(|e| e.as_ref()).collect();
-        let run = plan_run_catalogue_cached(refs, scale, &pool, cache, |_, _| {}, |_| {});
+        let run = plan_run_catalogue_cached(
+            refs,
+            scale,
+            &pool,
+            cache,
+            ExecConfig::default(),
+            |_, _| {},
+            |_| {},
+        );
         (corpus_from_reports(&run.reports), run.cache)
     };
     let (fresh, _) = run_catalogue(None);
@@ -289,6 +297,43 @@ fn golden_corpus_gates_fresh_warm_cache_and_sharded_runs() {
         .map(|t| (table_file_name(&t.name), t.to_json()))
         .collect();
     assert_corpus_eq(&golden, &sharded, "2-shard merge");
+}
+
+/// Slicing and cost-model scheduling are pure scheduling: a catalogue
+/// run with a tiny per-slice event budget — forcing every dumbbell sim
+/// through many yields and cross-worker migrations, submitted
+/// longest-first — still reduces to the committed golden bytes at any
+/// thread count.
+#[test]
+fn sliced_catalogue_runs_match_the_golden_corpus_at_any_thread_count() {
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        return; // the corpus is being rewritten by the gate test
+    }
+    let scale = Scale::tiny();
+    let golden = corpus_on_disk();
+    for threads in [1usize, 2, 8] {
+        let pool = Pool::new(threads);
+        let experiments = all_experiments();
+        let refs: Vec<&dyn Experiment> = experiments.iter().map(|e| e.as_ref()).collect();
+        let run = plan_run_catalogue_cached(
+            refs,
+            scale,
+            &pool,
+            None,
+            ExecConfig::sliced(2_000),
+            |_, _| {},
+            |_| {},
+        );
+        let got = corpus_from_reports(&run.reports);
+        assert_corpus_eq(&golden, &got, &format!("sliced run, {threads} thread(s)"));
+        // The straggler table covers every executed sim, regardless of
+        // how many slices or workers each one crossed.
+        assert_eq!(
+            run.timings.len(),
+            run.cache.misses,
+            "every executed sim reports a timing row"
+        );
+    }
 }
 
 proptest! {

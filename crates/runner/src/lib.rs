@@ -39,7 +39,8 @@ pub mod pool;
 pub use cache::{CacheCounters, CacheEntry, CacheableSpec, DirCache, OutputCache, CACHE_FORMAT};
 pub use job::{take, Job, JobCtx, JobOutput};
 pub use plan::{
-    run_plan, run_plan_cached, run_specs, run_specs_cached, stable_hash, Plan, RunStats, Spec,
-    SpecExecution, SpecFailures, SpecResult, Subscription, SubscriptionResult,
+    run_plan, run_plan_cached, run_specs, run_specs_cached, stable_hash, ExecConfig, Plan,
+    RunStats, SliceStep, SlicedRun, Spec, SpecCost, SpecExecution, SpecFailures, SpecResult,
+    SpecTiming, Subscription, SubscriptionResult,
 };
-pub use pool::{default_threads, panic_message, Pool};
+pub use pool::{default_threads, panic_message, Pool, ResumableTask, TaskStep};

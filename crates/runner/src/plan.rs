@@ -22,26 +22,58 @@
 //! moment the *last* spec of a subscription completes — the hook that
 //! lets callers reduce and spool each experiment while the rest of the
 //! grid is still running.
+//!
+//! Two scheduling layers keep a straggler-heavy grid from serializing:
+//! misses are submitted *longest-first* by [`Spec::cost_hint`] (so the
+//! expensive sims start while the short tail backfills the workers),
+//! and, when [`ExecConfig::slice_events`] is set, a spec that opts into
+//! [`Spec::start_sliced`] runs as a chain of bounded-event slices the
+//! pool can migrate across workers mid-sim. Neither layer moves any
+//! bytes: results land in per-spec slots and reduction is
+//! completion-driven, so tables stay bit-identical to the sequential
+//! path at any thread count, slice budget, or submission order.
 
 use crate::cache::{CacheCounters, CacheableSpec, OutputCache};
 use crate::job::JobCtx;
-use crate::pool::{panic_message, Pool};
+use crate::pool::{panic_message, Pool, ResumableTask, TaskStep};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Wall-clock accounting of one *executed* spec, accumulated across
+/// its slices when the sliced path is active. Cache hits execute
+/// nothing and get no timing row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecTiming {
+    /// The spec's content key.
+    pub key: String,
+    /// Wall-clock seconds spent executing this spec, summed over its
+    /// slices (each slice may have run on a different worker).
+    pub wall_s: f64,
+    /// Engine events the spec's run dispatched.
+    pub events: u64,
+    /// Number of pool steps the run took (1 = never yielded).
+    pub slices: u32,
+}
 
 /// Execution accounting of one plan (or spec-list) run: cache
 /// effectiveness plus the discrete-event engine events the *executed*
 /// specs dispatched (cache hits execute nothing, so they contribute
 /// zero — `events` measures this run's compute, not its provenance).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// `timings` carries one row per executed spec, sorted by key so the
+/// vector is deterministic even though completion order is not.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     /// Cache hits vs executed specs.
     pub cache: CacheCounters,
     /// Engine events dispatched by the executed specs, as reported
     /// through [`JobCtx::record_events`].
     pub events: u64,
+    /// Per-spec wall time of every executed (non-panicking) spec —
+    /// the straggler table behind the bench's timing report.
+    pub timings: Vec<SpecTiming>,
 }
 
 impl RunStats {
@@ -49,6 +81,28 @@ impl RunStats {
     pub fn absorb(&mut self, other: RunStats) {
         self.cache.absorb(other.cache);
         self.events += other.events;
+        self.timings.extend(other.timings);
+        self.timings.sort_by(|a, b| a.key.cmp(&b.key));
+    }
+}
+
+/// Execution knobs threaded through the cache-aware runners.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecConfig {
+    /// When set, specs that support slicing ([`Spec::start_sliced`])
+    /// yield back to the pool every `slice_events` engine events, so a
+    /// straggler sim migrates to whichever worker frees up first
+    /// instead of pinning one. `None` runs every spec monolithically.
+    /// Output is bit-identical either way.
+    pub slice_events: Option<u64>,
+}
+
+impl ExecConfig {
+    /// Slice supporting specs every `budget` engine events.
+    pub fn sliced(budget: u64) -> Self {
+        Self {
+            slice_events: Some(budget),
+        }
     }
 }
 
@@ -74,8 +128,10 @@ pub fn stable_hash(key: &str) -> u64 {
 /// other ambient state.
 pub trait Spec: Clone + Send + Sync {
     /// What running the spec produces. `Sync` because one output is
-    /// shared with every subscribed reducer.
-    type Output: Send + Sync;
+    /// shared with every subscribed reducer; `'static` because the
+    /// sliced-run path boxes in-flight state (output included) to hand
+    /// it between workers.
+    type Output: Send + Sync + 'static;
 
     /// Canonical content key (also the human-readable label).
     fn key(&self) -> String;
@@ -89,6 +145,49 @@ pub trait Spec: Clone + Send + Sync {
     /// stream; specs may instead carry their own content-derived seeds
     /// (both satisfy the determinism contract).
     fn run(&self, ctx: &mut JobCtx) -> Self::Output;
+
+    /// Relative cost estimate used for longest-first submission (any
+    /// monotone proxy works — the experiments crate returns its
+    /// engine-events estimate). The default `0` keeps catalogue order.
+    /// Scheduling only: the hint never touches spec identity, shard
+    /// membership, or output bytes.
+    fn cost_hint(&self) -> u64 {
+        0
+    }
+
+    /// Starts a (possibly sliced) execution: runs the first slice under
+    /// an event `budget` and either finishes or returns the resumable
+    /// state for the pool to re-enqueue. The default ignores the budget
+    /// and runs the spec monolithically — only specs whose work is a
+    /// resumable engine loop need to override this, and they must
+    /// produce bit-identical output at every budget (the engine's
+    /// budgeted dispatch makes that free: a sliced `run_until` is the
+    /// same event sequence, just with scheduling points in it).
+    fn start_sliced(&self, ctx: &mut JobCtx, budget: u64) -> SliceStep<Self::Output> {
+        let _ = budget;
+        SliceStep::Done(self.run(ctx))
+    }
+}
+
+/// A paused sliced execution: everything a spec needs to continue its
+/// run — engine, measurement phase, accumulated state — boxed so the
+/// pool can hand it to whichever worker is free next.
+pub trait SlicedRun: Send {
+    /// What the finished run produces (the spec's output type).
+    type Output;
+
+    /// Runs the next slice under a fresh event `budget`. `ctx` is the
+    /// same per-spec context the run started with, threaded through
+    /// every slice by the executor.
+    fn resume(self: Box<Self>, ctx: &mut JobCtx, budget: u64) -> SliceStep<Self::Output>;
+}
+
+/// One step of a sliced spec execution.
+pub enum SliceStep<O> {
+    /// The budget ran out mid-sim; re-enqueue this state and resume.
+    Pending(Box<dyn SlicedRun<Output = O>>),
+    /// The run finished.
+    Done(O),
 }
 
 /// One experiment's interest in a plan: the specs it reduces, by index
@@ -228,6 +327,13 @@ impl<S: Spec> Plan<S> {
     /// round-robin over plan order, so shards are balanced and the
     /// union over all shards is exactly the plan.
     ///
+    /// Shard membership is a function of *catalogue order only* — the
+    /// longest-first submission order the executors use is a scheduling
+    /// detail applied after sharding, inside each shard, and never
+    /// moves a spec between shards. Keeping the cut on plan order is
+    /// what lets [`Plan::fingerprint`] verify that independently built
+    /// shards came from one plan, regardless of each host's cost hints.
+    ///
     /// # Panics
     /// Panics unless `shard < of`.
     pub fn shard_indices(&self, shard: usize, of: usize) -> Vec<usize> {
@@ -351,7 +457,17 @@ pub fn run_plan<S: Spec>(
     progress: impl Fn(usize, usize) + Sync,
     on_ready: impl Fn(SubscriptionResult<S>) + Sync,
 ) -> Vec<Option<SpecResult<S>>> {
-    run_plan_core(pool, master_seed, plan, only, None, progress, on_ready).0
+    run_plan_core(
+        pool,
+        master_seed,
+        plan,
+        only,
+        None,
+        ExecConfig::default(),
+        progress,
+        on_ready,
+    )
+    .0
 }
 
 /// [`run_plan`] with a content-addressed output cache.
@@ -367,12 +483,14 @@ pub fn run_plan<S: Spec>(
 /// `progress` counts executed specs only, so a fully warm run reports
 /// zero sims. The returned [`RunStats`] split the selected specs into
 /// hits and misses and total the engine events the misses dispatched.
+#[allow(clippy::too_many_arguments)]
 pub fn run_plan_cached<S: CacheableSpec>(
     pool: &Pool,
     master_seed: u64,
     plan: &Plan<S>,
     only: Option<&[usize]>,
     cache: Option<&dyn OutputCache>,
+    exec: ExecConfig,
     progress: impl Fn(usize, usize) + Sync,
     on_ready: impl Fn(SubscriptionResult<S>) + Sync,
 ) -> (Vec<Option<SpecResult<S>>>, RunStats) {
@@ -381,17 +499,95 @@ pub fn run_plan_cached<S: CacheableSpec>(
         encode: S::encode_output,
         decode: S::decode_output,
     });
-    run_plan_core(pool, master_seed, plan, only, hooks, progress, on_ready)
+    run_plan_core(
+        pool,
+        master_seed,
+        plan,
+        only,
+        hooks,
+        exec,
+        progress,
+        on_ready,
+    )
+}
+
+/// One boxed slice step: takes the spec's job context, returns either
+/// the finished output or the parked state of an unfinished run.
+type StepFn<'a, O> = Box<dyn FnOnce(&mut JobCtx) -> SliceStep<O> + Send + 'a>;
+
+/// The per-spec resumable task chain behind the plan and spec-list
+/// executors: each pool step runs one slice (budget-bounded when the
+/// spec supports slicing, the whole run otherwise), accumulating wall
+/// time and slice count across steps, and reports through `finish`
+/// exactly once — on the completing slice or on the slice that
+/// panicked. Panics are caught *here*, not left to the pool's own
+/// capture, because `finish` must still run for a failed spec: it
+/// records the error in the result slot and advances subscription
+/// readiness so reducers learn about the failure.
+#[allow(clippy::too_many_arguments)]
+fn slice_chain<'a, O, F>(
+    idx: usize,
+    mut ctx: JobCtx,
+    step: StepFn<'a, O>,
+    budget: u64,
+    wall_s: f64,
+    slices: u32,
+    finish: &'a F,
+) -> ResumableTask<'a, ()>
+where
+    O: Send + 'static,
+    F: Fn(usize, Result<(O, u64), String>, f64, u32) + Sync,
+{
+    Box::new(move || {
+        let started = Instant::now();
+        let out = catch_unwind(AssertUnwindSafe(|| step(&mut ctx)));
+        let wall_s = wall_s + started.elapsed().as_secs_f64();
+        let slices = slices + 1;
+        match out {
+            Err(payload) => {
+                finish(idx, Err(panic_message(payload.as_ref())), wall_s, slices);
+                TaskStep::Done(())
+            }
+            Ok(SliceStep::Done(out)) => {
+                let events = ctx.events_processed();
+                finish(idx, Ok((out, events)), wall_s, slices);
+                TaskStep::Done(())
+            }
+            Ok(SliceStep::Pending(state)) => TaskStep::Yield(slice_chain(
+                idx,
+                ctx,
+                Box::new(move |ctx: &mut JobCtx| state.resume(ctx, budget)),
+                budget,
+                wall_s,
+                slices,
+                finish,
+            )),
+        }
+    })
+}
+
+/// Submission order for a miss list: longest-first by cost hint,
+/// original order as the tiebreak. Pure scheduling — results land in
+/// index-keyed slots, so output bytes cannot depend on this order.
+fn longest_first<S: Spec>(to_run: Vec<usize>, spec_of: impl Fn(usize) -> S) -> Vec<usize> {
+    let mut hinted: Vec<(usize, u64)> = to_run
+        .into_iter()
+        .map(|i| (i, spec_of(i).cost_hint()))
+        .collect();
+    hinted.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    hinted.into_iter().map(|(i, _)| i).collect()
 }
 
 /// The shared execution core behind [`run_plan`] and
 /// [`run_plan_cached`].
+#[allow(clippy::too_many_arguments)]
 fn run_plan_core<S: Spec>(
     pool: &Pool,
     master_seed: u64,
     plan: &Plan<S>,
     only: Option<&[usize]>,
     hooks: Option<CacheHooks<'_, S>>,
+    exec: ExecConfig,
     progress: impl Fn(usize, usize) + Sync,
     on_ready: impl Fn(SubscriptionResult<S>) + Sync,
 ) -> (Vec<Option<SpecResult<S>>>, RunStats) {
@@ -495,47 +691,60 @@ fn run_plan_core<S: Spec>(
     }
     counters.misses = to_run.len();
 
+    // Longest-first submission: the expensive sims start immediately
+    // and the short tail backfills idle workers, instead of a straggler
+    // getting dequeued last and serializing the run's finish.
+    let to_run = longest_first(to_run, |i| plan.specs()[i].clone());
+
     let events_total = AtomicU64::new(0);
-    let hooks = &hooks;
-    let tasks: Vec<_> = to_run
-        .iter()
-        .map(|&idx| {
-            let spec = plan.specs()[idx].clone();
-            let hash = plan.spec_hashes()[idx];
-            let results = &results;
-            let remaining = &remaining;
-            let subscribers = &subscribers;
-            let on_ready = &on_ready;
-            let gather = &gather;
-            let events_total = &events_total;
-            move || {
-                let key = spec.key();
-                let out = catch_unwind(AssertUnwindSafe(|| {
-                    let mut ctx = JobCtx::for_label(master_seed, key.clone());
-                    let out = spec.run(&mut ctx);
-                    (out, ctx.events_processed())
-                }))
-                .map(|(out, events)| {
-                    events_total.fetch_add(events, Ordering::Relaxed);
-                    if let Some(h) = hooks {
-                        h.cache.store(hash, &key, &(h.encode)(&out));
-                    }
-                    Arc::new(out)
-                })
-                .map_err(|p| panic_message(p.as_ref()));
-                *results[idx].lock().expect("result slot poisoned") = Some(out);
-                for &si in &subscribers[idx] {
-                    if let Some(r) = &remaining[si] {
-                        if r.fetch_sub(1, Ordering::AcqRel) == 1 {
-                            on_ready(gather(si));
-                        }
+    let timings: Mutex<Vec<SpecTiming>> = Mutex::new(Vec::with_capacity(to_run.len()));
+    let budget = exec.slice_events.unwrap_or(u64::MAX);
+    let finish =
+        |idx: usize, outcome: Result<(S::Output, u64), String>, wall_s: f64, slices: u32| {
+            let key = plan.specs()[idx].key();
+            let result = outcome.map(|(out, events)| {
+                events_total.fetch_add(events, Ordering::Relaxed);
+                timings.lock().expect("timings poisoned").push(SpecTiming {
+                    key: key.clone(),
+                    wall_s,
+                    events,
+                    slices,
+                });
+                if let Some(h) = &hooks {
+                    h.cache
+                        .store(plan.spec_hashes()[idx], &key, &(h.encode)(&out));
+                }
+                Arc::new(out)
+            });
+            *results[idx].lock().expect("result slot poisoned") = Some(result);
+            for &si in &subscribers[idx] {
+                if let Some(r) = &remaining[si] {
+                    if r.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        on_ready(gather(si));
                     }
                 }
             }
+        };
+    let tasks: Vec<ResumableTask<()>> = to_run
+        .iter()
+        .map(|&idx| {
+            let spec = plan.specs()[idx].clone();
+            let ctx = JobCtx::for_label(master_seed, spec.key());
+            slice_chain(
+                idx,
+                ctx,
+                Box::new(move |ctx: &mut JobCtx| spec.start_sliced(ctx, budget)),
+                budget,
+                0.0,
+                0,
+                &finish,
+            )
         })
         .collect();
-    pool.run_with_progress(tasks, progress);
+    pool.run_resumable(tasks, progress);
 
+    let mut timings = timings.into_inner().expect("timings poisoned");
+    timings.sort_by(|a, b| a.key.cmp(&b.key));
     (
         results
             .into_iter()
@@ -544,6 +753,7 @@ fn run_plan_core<S: Spec>(
         RunStats {
             cache: counters,
             events: events_total.into_inner(),
+            timings,
         },
     )
 }
@@ -572,25 +782,40 @@ pub fn run_specs<S: Spec>(
         .collect()
 }
 
-/// One spec's result on the shard execution path: the output plus the
-/// engine events its run dispatched — zero when the output was served
-/// from the cache (nothing executed) or the spec runs no
-/// discrete-event engine.
-pub type SpecExecution<S> = Result<(<S as Spec>::Output, u64), String>;
+/// What one executed spec cost on the shard execution path: engine
+/// events, wall-clock seconds, and the number of pool slices the run
+/// took. All zero when the output was served from the cache (nothing
+/// executed).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpecCost {
+    /// Engine events the run dispatched.
+    pub events: u64,
+    /// Wall-clock seconds across the run's slices.
+    pub wall_s: f64,
+    /// Pool steps the run took (0 = cache hit, 1 = never yielded).
+    pub slices: u32,
+}
+
+/// One spec's result on the shard execution path: the output plus what
+/// producing it cost.
+pub type SpecExecution<S> = Result<(<S as Spec>::Output, SpecCost), String>;
 
 /// [`run_specs`] with a content-addressed output cache — the shard
-/// execution path's warm mode. Hits are loaded and validated, misses
-/// run on the pool and are written back; `progress` counts executed
-/// specs only. With `cache: None` this is exactly [`run_specs`] plus
-/// per-spec event accounting.
+/// execution path's warm mode. Hits are loaded and validated; misses
+/// run on the pool longest-first (and sliced, when `exec` says so) and
+/// are written back; `progress` counts executed specs only. With
+/// `cache: None` this is exactly [`run_specs`] plus per-spec cost
+/// accounting.
 pub fn run_specs_cached<S: CacheableSpec>(
     pool: &Pool,
     master_seed: u64,
     specs: &[S],
     cache: Option<&dyn OutputCache>,
+    exec: ExecConfig,
     progress: impl Fn(usize, usize) + Sync,
 ) -> (Vec<SpecExecution<S>>, RunStats) {
-    let mut slots: Vec<Option<SpecExecution<S>>> = Vec::with_capacity(specs.len());
+    let slots: Vec<Mutex<Option<SpecExecution<S>>>> =
+        (0..specs.len()).map(|_| Mutex::new(None)).collect();
     let mut to_run: Vec<usize> = Vec::new();
     let mut counters = CacheCounters::default();
     for (i, spec) in specs.iter().enumerate() {
@@ -602,50 +827,75 @@ pub fn run_specs_cached<S: CacheableSpec>(
         match hit {
             Some(out) => {
                 counters.hits += 1;
-                slots.push(Some(Ok((out, 0))));
+                *slots[i].lock().expect("spec slot poisoned") =
+                    Some(Ok((out, SpecCost::default())));
             }
-            None => {
-                to_run.push(i);
-                slots.push(None);
-            }
+            None => to_run.push(i),
         }
     }
     counters.misses = to_run.len();
-    let tasks: Vec<_> = to_run
+    let to_run = longest_first(to_run, |i| specs[i].clone());
+
+    let events_total = AtomicU64::new(0);
+    let timings: Mutex<Vec<SpecTiming>> = Mutex::new(Vec::with_capacity(to_run.len()));
+    let budget = exec.slice_events.unwrap_or(u64::MAX);
+    let finish = |i: usize, outcome: Result<(S::Output, u64), String>, wall_s: f64, slices: u32| {
+        let result = outcome.map(|(out, events)| {
+            events_total.fetch_add(events, Ordering::Relaxed);
+            let key = specs[i].key();
+            timings.lock().expect("timings poisoned").push(SpecTiming {
+                key: key.clone(),
+                wall_s,
+                events,
+                slices,
+            });
+            if let Some(c) = cache {
+                c.store(stable_hash(&key), &key, &S::encode_output(&out));
+            }
+            (
+                out,
+                SpecCost {
+                    events,
+                    wall_s,
+                    slices,
+                },
+            )
+        });
+        *slots[i].lock().expect("spec slot poisoned") = Some(result);
+    };
+    let tasks: Vec<ResumableTask<()>> = to_run
         .iter()
         .map(|&i| {
             let spec = specs[i].clone();
-            let cache = &cache;
-            move || {
-                let key = spec.key();
-                let mut ctx = JobCtx::for_label(master_seed, key.clone());
-                let out = spec.run(&mut ctx);
-                if let Some(c) = cache {
-                    c.store(stable_hash(&key), &key, &S::encode_output(&out));
-                }
-                (out, ctx.events_processed())
-            }
+            let ctx = JobCtx::for_label(master_seed, spec.key());
+            slice_chain(
+                i,
+                ctx,
+                Box::new(move |ctx: &mut JobCtx| spec.start_sliced(ctx, budget)),
+                budget,
+                0.0,
+                0,
+                &finish,
+            )
         })
         .collect();
-    let mut events_total = 0u64;
-    for (i, result) in to_run
-        .into_iter()
-        .zip(pool.run_with_progress(tasks, progress))
-    {
-        let result = result.map_err(|p| panic_message(p.as_ref()));
-        if let Ok((_, events)) = &result {
-            events_total += events;
-        }
-        slots[i] = Some(result);
-    }
+    pool.run_resumable(tasks, progress);
+
+    let mut timings = timings.into_inner().expect("timings poisoned");
+    timings.sort_by(|a, b| a.key.cmp(&b.key));
     (
         slots
             .into_iter()
-            .map(|s| s.expect("every spec slot filled"))
+            .map(|s| {
+                s.into_inner()
+                    .expect("spec slot poisoned")
+                    .expect("every spec slot filled")
+            })
             .collect(),
         RunStats {
             cache: counters,
-            events: events_total,
+            events: events_total.into_inner(),
+            timings,
         },
     )
 }
@@ -860,12 +1110,16 @@ mod tests {
         DirCache::new(dir)
     }
 
-    /// Shorthand for the expected stats of a run.
-    fn stats(hits: usize, misses: usize, events: u64) -> RunStats {
-        RunStats {
-            cache: CacheCounters { hits, misses },
-            events,
-        }
+    /// Shorthand for the expected (cache, events) core of a run's
+    /// stats — wall-clock timings are checked separately since they
+    /// are not reproducible.
+    fn stats(hits: usize, misses: usize, events: u64) -> (CacheCounters, u64) {
+        (CacheCounters { hits, misses }, events)
+    }
+
+    /// The reproducible core of a [`RunStats`].
+    fn core(s: &RunStats) -> (CacheCounters, u64) {
+        (s.cache, s.events)
     }
 
     /// (per-spec results, stats, per-subscription fired outputs).
@@ -879,6 +1133,7 @@ mod tests {
             plan,
             None,
             Some(cache),
+            ExecConfig::default(),
             |_, _| {},
             |res: SubscriptionResult<Toy>| {
                 let outs: Vec<u64> = res.outcome.unwrap().iter().map(|o| **o).collect();
@@ -894,9 +1149,25 @@ mod tests {
         plan.merge(Plan::for_experiment("e2", vec![toy("b", 2), toy("c", 3)]));
         let cache = cache_scratch("warm");
         let (cold, c0, fired_cold) = run_cached(&plan, &cache);
-        assert_eq!(c0, stats(0, 3, 6), "cold run executes and dispatches");
+        assert_eq!(
+            core(&c0),
+            stats(0, 3, 6),
+            "cold run executes and dispatches"
+        );
+        // One timing row per executed spec, sorted by key, events
+        // matching what each spec reported.
+        let rows: Vec<(&str, u64, u32)> = c0
+            .timings
+            .iter()
+            .map(|t| (t.key.as_str(), t.events, t.slices))
+            .collect();
+        assert_eq!(
+            rows,
+            vec![("toy/a/v1", 1, 1), ("toy/b/v2", 2, 1), ("toy/c/v3", 3, 1)]
+        );
         let (warm, c1, fired_warm) = run_cached(&plan, &cache);
-        assert_eq!(c1, stats(3, 0, 0), "warm run executes nothing");
+        assert_eq!(core(&c1), stats(3, 0, 0), "warm run executes nothing");
+        assert!(c1.timings.is_empty(), "hits get no timing rows");
         // Byte-for-byte the same outputs, and every subscription fires
         // with identical reduce-order inputs.
         for (a, b) in cold.iter().zip(&warm) {
@@ -922,12 +1193,12 @@ mod tests {
         assert_ne!(text, flipped, "payload to corrupt must be present");
         std::fs::write(cache.entry_path(h_b), flipped).unwrap();
         let (results, counters, fired) = run_cached(&plan, &cache);
-        assert_eq!(counters, stats(0, 2, 3));
+        assert_eq!(core(&counters), stats(0, 2, 3));
         assert_eq!(**results[0].as_ref().unwrap().as_ref().unwrap(), 2);
         assert_eq!(fired, vec![vec![2, 4]], "reduce saw fresh outputs");
         // The re-run repaired the entries.
         let (_, repaired, _) = run_cached(&plan, &cache);
-        assert_eq!(repaired, stats(2, 0, 0));
+        assert_eq!(core(&repaired), stats(2, 0, 0));
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 
@@ -942,10 +1213,11 @@ mod tests {
             &plan,
             Some(&shard0),
             Some(&cache),
+            ExecConfig::default(),
             |_, _| {},
             |_| {},
         );
-        assert_eq!(counters, stats(0, 3, 6));
+        assert_eq!(core(&counters), stats(0, 3, 6));
         assert!(results[1].is_none(), "outside the shard");
         assert_eq!(cache.entries().len(), 3);
         // Shard 1 misses everything; a repeat of shard 0 is all hits.
@@ -955,20 +1227,22 @@ mod tests {
             &plan,
             Some(&plan.shard_indices(1, 2)),
             Some(&cache),
+            ExecConfig::default(),
             |_, _| {},
             |_| {},
         );
-        assert_eq!(c1, stats(0, 3, 9));
+        assert_eq!(core(&c1), stats(0, 3, 9));
         let (_, c0) = run_plan_cached(
             &Pool::new(2),
             0,
             &plan,
             Some(&shard0),
             Some(&cache),
+            ExecConfig::default(),
             |_, _| {},
             |_| {},
         );
-        assert_eq!(c0, stats(3, 0, 0));
+        assert_eq!(core(&c0), stats(3, 0, 0));
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 
@@ -982,12 +1256,29 @@ mod tests {
         let plan = Plan::for_experiment("e", vec![toy("ok", 1), boom]);
         let cache = cache_scratch("fail");
         let c0 = run_cached(&plan, &cache).1;
-        assert_eq!(c0, stats(0, 2, 1), "panicking specs contribute no events");
+        assert_eq!(
+            core(&c0),
+            stats(0, 2, 1),
+            "panicking specs contribute no events"
+        );
+        assert_eq!(c0.timings.len(), 1, "panicking specs get no timing row");
         // Only the successful spec was stored; the failure re-runs.
         let (results, c1, _) = run_cached(&plan, &cache);
-        assert_eq!(c1, stats(1, 1, 0));
+        assert_eq!(core(&c1), stats(1, 1, 0));
         assert!(results[1].as_ref().unwrap().is_err());
         let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    /// `(output, events)` view of a spec-execution list — the
+    /// reproducible part (wall time varies run to run).
+    fn exec_view(out: &[SpecExecution<Toy>]) -> Vec<Result<(u64, u64), String>> {
+        out.iter()
+            .map(|r| {
+                r.as_ref()
+                    .map(|(o, cost)| (*o, cost.events))
+                    .map_err(|e| e.clone())
+            })
+            .collect()
     }
 
     #[test]
@@ -995,18 +1286,262 @@ mod tests {
         let specs: Vec<Toy> = (0..4).map(|i| toy("rs", i)).collect();
         let cache = cache_scratch("specs");
         let pool = Pool::new(2);
-        let (cold, c0) = run_specs_cached(&pool, 0, &specs, Some(&cache), |_, _| {});
-        assert_eq!(c0, stats(0, 4, 6));
-        let (warm, c1) = run_specs_cached(&pool, 0, &specs, Some(&cache), |_, _| {});
-        assert_eq!(c1, stats(4, 0, 0));
+        let exec = ExecConfig::default();
+        let (cold, c0) = run_specs_cached(&pool, 0, &specs, Some(&cache), exec, |_, _| {});
+        assert_eq!(core(&c0), stats(0, 4, 6));
+        let (warm, c1) = run_specs_cached(&pool, 0, &specs, Some(&cache), exec, |_, _| {});
+        assert_eq!(core(&c1), stats(4, 0, 0));
         // Outputs identical; warm per-spec events are zero (nothing
         // executed), cold ones carry each sim's dispatch count.
-        assert_eq!(cold, vec![Ok((0, 0)), Ok((2, 1)), Ok((4, 2)), Ok((6, 3))]);
-        assert_eq!(warm, vec![Ok((0, 0)), Ok((2, 0)), Ok((4, 0)), Ok((6, 0))]);
+        assert_eq!(
+            exec_view(&cold),
+            vec![Ok((0, 0)), Ok((2, 1)), Ok((4, 2)), Ok((6, 3))]
+        );
+        assert_eq!(
+            exec_view(&warm),
+            vec![Ok((0, 0)), Ok((2, 0)), Ok((4, 0)), Ok((6, 0))]
+        );
+        for r in &warm {
+            assert_eq!(r.as_ref().unwrap().1.slices, 0, "hits take no pool steps");
+        }
+        for r in cold.iter().skip(1) {
+            assert_eq!(r.as_ref().unwrap().1.slices, 1, "monolithic runs: 1 step");
+        }
         // No cache behaves exactly like run_specs.
-        let (bare, cb) = run_specs_cached(&pool, 0, &specs, None, |_, _| {});
-        assert_eq!(cb, stats(0, 4, 6));
-        assert_eq!(bare, cold);
+        let (bare, cb) = run_specs_cached(&pool, 0, &specs, None, exec, |_, _| {});
+        assert_eq!(core(&cb), stats(0, 4, 6));
+        assert_eq!(exec_view(&bare), exec_view(&cold));
         let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    // -----------------------------------------------------------------
+    // Cost-model scheduling and sliced execution.
+    // -----------------------------------------------------------------
+
+    /// A toy spec with an explicit cost hint and an optional sliced
+    /// run: `work` counts down `budget` at a time, recording one event
+    /// per unit, and the output is `value * 2` exactly like [`Toy`] —
+    /// so sliced and monolithic paths must agree bit-for-bit.
+    #[derive(Debug, Clone)]
+    struct Sliceable {
+        name: &'static str,
+        value: u64,
+        work: u64,
+    }
+
+    struct SliceableState {
+        value: u64,
+        left: u64,
+    }
+
+    impl SlicedRun for SliceableState {
+        type Output = u64;
+        fn resume(mut self: Box<Self>, ctx: &mut JobCtx, budget: u64) -> SliceStep<u64> {
+            let step = self.left.min(budget.max(1));
+            self.left -= step;
+            ctx.record_events(step);
+            if self.left == 0 {
+                SliceStep::Done(self.value * 2)
+            } else {
+                SliceStep::Pending(self)
+            }
+        }
+    }
+
+    impl Spec for Sliceable {
+        type Output = u64;
+        fn key(&self) -> String {
+            format!("sl/{}/v{}", self.name, self.value)
+        }
+        fn run(&self, ctx: &mut JobCtx) -> u64 {
+            ctx.record_events(self.work);
+            self.value * 2
+        }
+        fn cost_hint(&self) -> u64 {
+            self.work
+        }
+        fn start_sliced(&self, ctx: &mut JobCtx, budget: u64) -> SliceStep<u64> {
+            Box::new(SliceableState {
+                value: self.value,
+                left: self.work,
+            })
+            .resume(ctx, budget)
+        }
+    }
+
+    impl CacheableSpec for Sliceable {
+        fn encode_output(out: &u64) -> String {
+            format!("{out}")
+        }
+        fn decode_output(text: &str) -> Result<u64, String> {
+            text.parse::<u64>().map_err(|e| e.to_string())
+        }
+    }
+
+    #[test]
+    fn longest_first_orders_by_descending_hint_with_stable_ties() {
+        let specs: Vec<Sliceable> = [(0, 5u64), (1, 9), (2, 5), (3, 0), (4, 9)]
+            .iter()
+            .map(|&(i, w)| Sliceable {
+                name: "lf",
+                value: i,
+                work: w,
+            })
+            .collect();
+        let order = longest_first((0..specs.len()).collect(), |i| specs[i].clone());
+        assert_eq!(order, vec![1, 4, 0, 2, 3]);
+    }
+
+    #[test]
+    fn sliced_execution_is_bit_identical_at_any_budget_and_thread_count() {
+        let mut plan = Plan::for_experiment(
+            "big",
+            (0..9u64)
+                .map(|i| Sliceable {
+                    name: "mix",
+                    value: i,
+                    work: 1 + (i * 13) % 40,
+                })
+                .collect(),
+        );
+        plan.merge(Plan::for_experiment(
+            "sub",
+            vec![Sliceable {
+                name: "mix",
+                value: 4,
+                work: 1 + (4 * 13) % 40,
+            }],
+        ));
+        let sequential = plan.run_sequential(0);
+        for threads in [1, 2, 8] {
+            for budget in [None, Some(1), Some(7), Some(1000)] {
+                let fired = Mutex::new(vec![Vec::new(); plan.subscriptions().len()]);
+                let (results, stats) = run_plan_cached(
+                    &Pool::new(threads),
+                    0,
+                    &plan,
+                    None,
+                    None,
+                    ExecConfig {
+                        slice_events: budget,
+                    },
+                    |_, _| {},
+                    |res: SubscriptionResult<Sliceable>| {
+                        let outs: Vec<u64> = res.outcome.unwrap().iter().map(|o| **o).collect();
+                        fired.lock().unwrap()[res.subscription] = outs;
+                    },
+                );
+                for (seq, got) in sequential.iter().zip(&results) {
+                    assert_eq!(
+                        *seq,
+                        **got.as_ref().unwrap().as_ref().unwrap(),
+                        "threads={threads} budget={budget:?}"
+                    );
+                }
+                // Events survive slicing: every unit of work recorded
+                // exactly once no matter how the run was chopped up.
+                assert_eq!(
+                    stats.events,
+                    (0..9u64).map(|i| 1 + (i * 13) % 40).sum::<u64>(),
+                    "threads={threads} budget={budget:?}"
+                );
+                let fired = fired.into_inner().unwrap();
+                assert_eq!(fired[0], sequential.to_vec());
+                assert_eq!(fired[1], vec![sequential[4]]);
+                // Slice counts line up with the budget: ceil(work/budget)
+                // for sliceable specs.
+                if let Some(b) = budget {
+                    for t in &stats.timings {
+                        let work = t.events;
+                        assert_eq!(t.slices as u64, work.div_ceil(b), "key={}", t.key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The straggler test: one sim 10× longer than the rest must not
+    /// bound a two-worker pool's wall-clock. The toy sims *sleep*
+    /// (their cost is time, not CPU), so the comparison measures
+    /// scheduling — it holds even on a single-core host.
+    #[derive(Debug, Clone)]
+    struct Sleeper {
+        id: u64,
+        ms: u64,
+    }
+
+    struct SleeperState {
+        left_ms: u64,
+        id: u64,
+    }
+
+    impl SlicedRun for SleeperState {
+        type Output = u64;
+        fn resume(mut self: Box<Self>, ctx: &mut JobCtx, budget: u64) -> SliceStep<u64> {
+            let step = self.left_ms.min(budget.max(1));
+            std::thread::sleep(std::time::Duration::from_millis(step));
+            ctx.record_events(step);
+            self.left_ms -= step;
+            if self.left_ms == 0 {
+                SliceStep::Done(self.id)
+            } else {
+                SliceStep::Pending(self)
+            }
+        }
+    }
+
+    impl Spec for Sleeper {
+        type Output = u64;
+        fn key(&self) -> String {
+            format!("sleep/{}/ms{}", self.id, self.ms)
+        }
+        fn run(&self, ctx: &mut JobCtx) -> u64 {
+            std::thread::sleep(std::time::Duration::from_millis(self.ms));
+            ctx.record_events(self.ms);
+            self.id
+        }
+        fn cost_hint(&self) -> u64 {
+            self.ms
+        }
+        fn start_sliced(&self, ctx: &mut JobCtx, budget: u64) -> SliceStep<u64> {
+            Box::new(SleeperState {
+                left_ms: self.ms,
+                id: self.id,
+            })
+            .resume(ctx, budget)
+        }
+    }
+
+    impl CacheableSpec for Sleeper {
+        fn encode_output(out: &u64) -> String {
+            format!("{out}")
+        }
+        fn decode_output(text: &str) -> Result<u64, String> {
+            text.parse::<u64>().map_err(|e| e.to_string())
+        }
+    }
+
+    #[test]
+    fn a_single_huge_spec_no_longer_bounds_wall_clock() {
+        // One 120 ms straggler + twelve 12 ms sims ≈ 264 ms serial.
+        // Two workers with longest-first + 6 ms slices should land
+        // near max(120, 264/2) ≈ 132 ms; we assert the generous bound
+        // of 75% of the measured serial wall to stay robust under CI
+        // noise. Sleeping sims parallelize even on one core, so this
+        // exercises the scheduler, not the host's core count.
+        let mut specs = vec![Sleeper { id: 0, ms: 120 }];
+        specs.extend((1..13).map(|id| Sleeper { id, ms: 12 }));
+        let exec = ExecConfig::sliced(6);
+        let serial_start = Instant::now();
+        let (serial_out, _) = run_specs_cached(&Pool::new(1), 0, &specs, None, exec, |_, _| {});
+        let serial = serial_start.elapsed();
+        let par_start = Instant::now();
+        let (par_out, _) = run_specs_cached(&Pool::new(2), 0, &specs, None, exec, |_, _| {});
+        let par = par_start.elapsed();
+        assert_eq!(exec_view(&serial_out), exec_view(&par_out));
+        assert!(
+            par < serial.mul_f64(0.75),
+            "two workers did not beat serial: serial={serial:?} par={par:?}"
+        );
     }
 }

@@ -3,8 +3,19 @@
 //! The pool executes a *static* batch of tasks: indices are dealt
 //! round-robin onto per-worker deques up front, each worker drains its
 //! own deque from the front, and an idle worker steals from the back of
-//! its peers. Because tasks never spawn tasks, one full fruitless
-//! victim scan means the batch is exhausted and the worker retires.
+//! its peers. On the plain [`Pool::run`] path tasks never spawn tasks,
+//! so one full fruitless victim scan means the batch is exhausted and
+//! the worker retires.
+//!
+//! [`Pool::run_resumable`] relaxes exactly that invariant: a task step
+//! may *yield* a continuation ([`TaskStep::Yield`]) instead of a result,
+//! and the pool re-enqueues it at the back of the finishing worker's
+//! deque — where an idle peer's steal picks it up first, so a straggler
+//! task migrates across workers slice by slice instead of pinning one.
+//! Because yielded work reappears after a worker's scan came up empty,
+//! retirement switches from "one fruitless scan" to "all slots
+//! completed": an empty-handed worker spins on [`std::thread::yield_now`]
+//! until the batch-wide completion count reaches the total.
 //!
 //! Results are written into per-task slots, so the returned vector is
 //! in task-submission order no matter which worker ran what — the
@@ -35,6 +46,20 @@ pub fn panic_message(payload: &(dyn Any + Send)) -> String {
         "non-string panic payload".to_string()
     }
 }
+
+/// One step of a resumable task: either the finished value, or the
+/// continuation the pool should re-enqueue and run next.
+pub enum TaskStep<'a, T> {
+    /// The task is finished; its slot gets this value.
+    Done(T),
+    /// The task yielded mid-flight; the pool re-enqueues this closure
+    /// so the next slice can run on whichever worker is free first.
+    Yield(ResumableTask<'a, T>),
+}
+
+/// A boxed task step for [`Pool::run_resumable`]: runs one slice of
+/// work and reports [`TaskStep::Done`] or yields a continuation.
+pub type ResumableTask<'a, T> = Box<dyn FnOnce() -> TaskStep<'a, T> + Send + 'a>;
 
 /// A fixed-width work-stealing pool.
 ///
@@ -127,6 +152,99 @@ impl Pool {
                         *result_slots[idx].lock().expect("result slot poisoned") = Some(result);
                         let finished = done.fetch_add(1, Ordering::AcqRel) + 1;
                         progress(finished, total);
+                    }
+                });
+            }
+        });
+
+        result_slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every task slot filled before the scope ends")
+            })
+            .collect()
+    }
+
+    /// Executes a batch of resumable tasks, returning results in task
+    /// order. Each task runs as a chain of *steps*: a step that returns
+    /// [`TaskStep::Yield`] hands the pool a continuation, which is
+    /// re-enqueued at the back of the finishing worker's deque — prime
+    /// stealing territory, so a long task's remaining slices migrate to
+    /// whichever worker frees up first instead of pinning one.
+    ///
+    /// A panic in any step fails that task's slot (`Err(payload)`)
+    /// without disturbing its neighbours; the task's later slices are
+    /// simply never scheduled (the continuation died with the step).
+    pub fn run_resumable<'a, T, P>(
+        &self,
+        tasks: Vec<ResumableTask<'a, T>>,
+        progress: P,
+    ) -> Vec<std::thread::Result<T>>
+    where
+        T: Send,
+        P: Fn(usize, usize) + Sync,
+    {
+        let total = tasks.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(total);
+        let task_slots: Vec<Mutex<Option<ResumableTask<'a, T>>>> =
+            tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let result_slots: Vec<Mutex<Option<std::thread::Result<T>>>> =
+            (0..total).map(|_| Mutex::new(None)).collect();
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| Mutex::new((w..total).step_by(workers).collect()))
+            .collect();
+        let done = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let queues = &queues;
+                let task_slots = &task_slots;
+                let result_slots = &result_slots;
+                let done = &done;
+                let progress = &progress;
+                scope.spawn(move || loop {
+                    let Some(idx) = pop_or_steal(queues, w) else {
+                        // An empty scan no longer proves the batch is
+                        // drained — a continuation yielded by a peer
+                        // may reappear. Retire only once every slot has
+                        // completed; until then give the running
+                        // workers the core back and rescan.
+                        if done.load(Ordering::Acquire) >= total {
+                            break;
+                        }
+                        std::thread::yield_now();
+                        continue;
+                    };
+                    let task = task_slots[idx]
+                        .lock()
+                        .expect("task slot poisoned")
+                        .take()
+                        .expect("task index dequeued twice");
+                    match catch_unwind(AssertUnwindSafe(task)) {
+                        Ok(TaskStep::Yield(next)) => {
+                            // Park the continuation in its slot first,
+                            // then publish the index; the queue mutex
+                            // orders this against any thief's take.
+                            *task_slots[idx].lock().expect("task slot poisoned") = Some(next);
+                            queues[w].lock().expect("queue poisoned").push_back(idx);
+                        }
+                        Ok(TaskStep::Done(value)) => {
+                            *result_slots[idx].lock().expect("result slot poisoned") =
+                                Some(Ok(value));
+                            let finished = done.fetch_add(1, Ordering::AcqRel) + 1;
+                            progress(finished, total);
+                        }
+                        Err(payload) => {
+                            *result_slots[idx].lock().expect("result slot poisoned") =
+                                Some(Err(payload));
+                            let finished = done.fetch_add(1, Ordering::AcqRel) + 1;
+                            progress(finished, total);
+                        }
                     }
                 });
             }
@@ -275,5 +393,102 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_rejected() {
         let _ = Pool::new(0);
+    }
+
+    /// A resumable task counting down `slices` yields before each one,
+    /// recording which worker-visible step it ran on via the shared log.
+    fn countdown<'a>(
+        id: usize,
+        slices: usize,
+        log: &'a Mutex<Vec<usize>>,
+    ) -> ResumableTask<'a, usize> {
+        Box::new(move || {
+            log.lock().unwrap().push(id);
+            if slices <= 1 {
+                TaskStep::Done(id)
+            } else {
+                TaskStep::Yield(countdown(id, slices - 1, log))
+            }
+        })
+    }
+
+    #[test]
+    fn resumable_tasks_finish_in_slot_order_across_yields() {
+        for threads in [1, 2, 8] {
+            let log = Mutex::new(Vec::new());
+            let tasks: Vec<ResumableTask<usize>> =
+                (0..12).map(|i| countdown(i, 1 + i % 5, &log)).collect();
+            let out = Pool::new(threads).run_resumable(tasks, |_, _| {});
+            let values: Vec<usize> = out.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(values, (0..12).collect::<Vec<_>>());
+            // Every slice ran: task i contributes 1 + i % 5 log entries.
+            let expected: usize = (0..12).map(|i| 1 + i % 5).sum();
+            assert_eq!(log.lock().unwrap().len(), expected);
+        }
+    }
+
+    #[test]
+    fn panic_in_a_late_slice_is_captured_per_slot() {
+        fn exploding<'a>(slices: usize) -> ResumableTask<'a, u32> {
+            Box::new(move || {
+                if slices == 0 {
+                    panic!("slice exploded");
+                }
+                TaskStep::Yield(exploding(slices - 1))
+            })
+        }
+        let tasks: Vec<ResumableTask<u32>> = vec![
+            Box::new(|| TaskStep::Done(1)),
+            exploding(3),
+            Box::new(|| TaskStep::Done(3)),
+        ];
+        let out = Pool::new(2).run_resumable(tasks, |_, _| {});
+        assert_eq!(*out[0].as_ref().unwrap(), 1);
+        let err = out[1].as_ref().unwrap_err();
+        assert_eq!(panic_message(err.as_ref()), "slice exploded");
+        assert_eq!(*out[2].as_ref().unwrap(), 3);
+    }
+
+    #[test]
+    fn yielded_continuations_migrate_to_idle_workers() {
+        // One sliced straggler plus nothing else: with two workers the
+        // straggler's slices are stealable, so every slice must run and
+        // at least one steal is possible (we assert completion + count,
+        // not which thread ran what — scheduling is free to vary).
+        let slices_run = AtomicUsize::new(0);
+        fn sliced<'a>(n: usize, ran: &'a AtomicUsize) -> ResumableTask<'a, usize> {
+            Box::new(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if n == 0 {
+                    TaskStep::Done(ran.load(Ordering::Relaxed))
+                } else {
+                    TaskStep::Yield(sliced(n - 1, ran))
+                }
+            })
+        }
+        let out = Pool::new(2).run_resumable(vec![sliced(7, &slices_run)], |_, _| {});
+        assert_eq!(out.len(), 1);
+        assert_eq!(slices_run.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn resumable_progress_counts_tasks_not_slices() {
+        let log = Mutex::new(Vec::new());
+        let max_seen = AtomicUsize::new(0);
+        let calls = AtomicUsize::new(0);
+        let tasks: Vec<ResumableTask<usize>> = (0..6).map(|i| countdown(i, 4, &log)).collect();
+        Pool::new(3).run_resumable(tasks, |done, total| {
+            assert!(done <= total);
+            calls.fetch_add(1, Ordering::Relaxed);
+            max_seen.fetch_max(done, Ordering::Relaxed);
+        });
+        assert_eq!(max_seen.load(Ordering::Relaxed), 6);
+        assert_eq!(calls.load(Ordering::Relaxed), 6, "one callback per task");
+    }
+
+    #[test]
+    fn empty_resumable_batch_returns_empty() {
+        let out: Vec<std::thread::Result<()>> = Pool::new(4).run_resumable(Vec::new(), |_, _| {});
+        assert!(out.is_empty());
     }
 }

@@ -32,7 +32,13 @@ impl ComponentId {
 /// can downcast components back out of the engine after a run via
 /// [`Engine::get`]/[`Engine::get_mut`] — the upcast to `dyn Any` is
 /// built in, and implementations only write their `handle` logic.
-pub trait Component<E: 'static>: Any {
+///
+/// `Send` is a supertrait so a *whole engine* is `Send`: a run paused
+/// mid-flight by [`Engine::run_budgeted`] can be parked and resumed on
+/// a different worker thread (the runner's sliced-execution path).
+/// Components are plain state plus owned RNG streams, so this costs
+/// implementations nothing.
+pub trait Component<E: 'static>: Any + Send {
     /// Handles one event delivered at simulation time `now`.
     ///
     /// Emit follow-up events through `ctx`; never hold references to
@@ -119,6 +125,59 @@ pub enum StopReason {
     /// The event budget was exhausted (the clock stays at the last
     /// dispatched event).
     Budget,
+}
+
+/// How far a [`Engine::run_budgeted`] call may go: a time horizon, an
+/// event budget, or both. The constructors spell the three common
+/// shapes; mix freely with struct syntax when a caller wants both
+/// bounds at once (the sliced-run path does exactly that).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunLimit {
+    /// Dispatch no event scheduled strictly after this time.
+    pub horizon: f64,
+    /// Dispatch at most this many events in this call.
+    pub max_events: u64,
+}
+
+impl RunLimit {
+    /// Both bounds at once: run to `horizon`, but never dispatch more
+    /// than `max_events` in this call.
+    pub fn new(horizon: f64, max_events: u64) -> Self {
+        Self {
+            horizon,
+            max_events,
+        }
+    }
+
+    /// Time bound only — the [`Engine::run_until`] shape.
+    pub fn until(horizon: f64) -> Self {
+        Self::new(horizon, u64::MAX)
+    }
+
+    /// Event bound only — the [`Engine::run_events`] shape.
+    pub fn events(max_events: u64) -> Self {
+        Self::new(f64::INFINITY, max_events)
+    }
+}
+
+/// What a [`Engine::run_budgeted`] call did: how many events it
+/// dispatched and why it returned. Replaces the old `(u64, StopReason)`
+/// tuple so call sites name what they read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "inspect the stop reason — Budget means the run is unfinished"]
+pub struct RunOutcome {
+    /// Events dispatched by this call (not the engine lifetime total).
+    pub events: u64,
+    /// Why the loop stopped.
+    pub reason: StopReason,
+}
+
+impl RunOutcome {
+    /// True when the run stopped because the event budget ran out — the
+    /// caller should resume with a fresh budget to make progress.
+    pub fn exhausted(&self) -> bool {
+        self.reason == StopReason::Budget
+    }
 }
 
 /// The discrete-event engine: clock + calendar + components.
@@ -209,25 +268,34 @@ impl<E: 'static> Engine<E> {
     /// lies strictly beyond `t_end`; the clock finishes at `t_end` (or at
     /// the last event, whichever is later). Returns the number of events
     /// dispatched by this call.
+    ///
+    /// Convenience forwarder for
+    /// `run_budgeted(RunLimit::until(t_end))` — prefer the budgeted
+    /// core when the caller also needs a stop reason or an event bound.
     pub fn run_until(&mut self, t_end: f64) -> u64 {
-        self.run_budgeted(t_end, u64::MAX).0
+        self.run_budgeted(RunLimit::until(t_end)).events
     }
 
-    /// Dispatches events until the calendar empties, the next event lies
-    /// strictly beyond `t_end`, or `max_events` have been dispatched by
-    /// this call — whichever comes first.
+    /// The single dispatch loop behind every run entry point: dispatches
+    /// events until the calendar empties, the next event lies strictly
+    /// beyond `limit.horizon`, or `limit.max_events` have been
+    /// dispatched by this call — whichever comes first.
     ///
-    /// This is the single dispatch loop behind every run entry point
-    /// ([`Engine::run_until`], [`Engine::run_events`],
-    /// [`Engine::run_to_completion`]) — and the
-    /// whole-engine-as-a-job-body one: a runner job can hand an engine
-    /// a time horizon *and* an event budget, so a pathological scenario
-    /// (a zero-delay event storm, a runaway sender) costs a bounded
-    /// slice of a worker instead of wedging the sweep. On
-    /// [`StopReason::Budget`] the clock stays at the last dispatched
-    /// event; otherwise it finishes at `t_end` (or the last event,
-    /// whichever is later), exactly like [`Engine::run_until`].
-    pub fn run_budgeted(&mut self, t_end: f64, max_events: u64) -> (u64, StopReason) {
+    /// [`Engine::run_until`], [`Engine::run_events`], and
+    /// [`Engine::run_to_completion`] are thin forwarders over this core
+    /// (one bound each); callers that need both bounds — the runner's
+    /// sliced-run path hands a sim a time horizon *and* an event budget
+    /// so one straggler costs a bounded slice of a worker instead of
+    /// pinning it — pass a full [`RunLimit`]. On [`StopReason::Budget`]
+    /// the clock stays at the last dispatched event, so resuming with a
+    /// fresh budget and the same horizon continues bit-exactly where
+    /// the previous slice stopped; otherwise the clock finishes at the
+    /// horizon (or the last event, whichever is later).
+    pub fn run_budgeted(&mut self, limit: RunLimit) -> RunOutcome {
+        let RunLimit {
+            horizon: t_end,
+            max_events,
+        } = limit;
         let before = self.processed;
         let reason = loop {
             if self.processed - before >= max_events {
@@ -246,23 +314,29 @@ impl<E: 'static> Engine<E> {
         if !matches!(reason, StopReason::Budget) && t_end.is_finite() && self.clock < t_end {
             self.clock = t_end;
         }
-        (self.processed - before, reason)
+        RunOutcome {
+            events: self.processed - before,
+            reason,
+        }
     }
 
     /// Drains the calendar completely (up to `max_events`), returning
     /// the number of events dispatched. Use for scenarios whose sources
     /// stop on their own; the budget guards against the ones that don't.
+    ///
+    /// Convenience forwarder for
+    /// `run_budgeted(RunLimit::events(max_events))`.
     pub fn run_to_completion(&mut self, max_events: u64) -> u64 {
-        self.run_budgeted(f64::INFINITY, max_events).0
+        self.run_budgeted(RunLimit::events(max_events)).events
     }
 
     /// Dispatches at most `n` events (or until idle). Returns the number
     /// dispatched; the clock stays at the last dispatched event.
+    ///
+    /// Convenience forwarder for `run_budgeted(RunLimit::events(n))` —
+    /// an infinite horizon never moves the clock past the last event.
     pub fn run_events(&mut self, n: u64) -> u64 {
-        // Routed through the budgeted core so every run path shares one
-        // dispatch loop (and its clock-monotonicity check); an infinite
-        // horizon never moves the clock past the last event.
-        self.run_budgeted(f64::INFINITY, n).0
+        self.run_budgeted(RunLimit::events(n)).events
     }
 
     fn dispatch(&mut self, item: Scheduled<E>) {
@@ -460,7 +534,10 @@ mod tests {
         };
         let mut a = build();
         let mut b = build();
-        assert_eq!(a.run_events(37), b.run_budgeted(f64::INFINITY, 37).0);
+        assert_eq!(
+            a.run_events(37),
+            b.run_budgeted(RunLimit::events(37)).events
+        );
         assert_eq!(a.now(), b.now());
         assert_eq!(a.events_processed(), b.events_processed());
     }
@@ -500,16 +577,36 @@ mod tests {
             eng.schedule(i as f64, rec, Ev::Ping(i));
         }
         // Budget first: only 2 of the 3 events at t ≤ 2 fit.
-        let (n, why) = eng.run_budgeted(2.0, 2);
-        assert_eq!((n, why), (2, StopReason::Budget));
+        let out = eng.run_budgeted(RunLimit::new(2.0, 2));
+        assert_eq!(
+            out,
+            RunOutcome {
+                events: 2,
+                reason: StopReason::Budget
+            }
+        );
+        assert!(out.exhausted());
         assert_eq!(eng.now(), 1.0, "clock stays at the last event on Budget");
         // Horizon next: one event left at t = 2.
-        let (n, why) = eng.run_budgeted(3.5, 10);
-        assert_eq!((n, why), (2, StopReason::Horizon));
+        let out = eng.run_budgeted(RunLimit::new(3.5, 10));
+        assert_eq!(
+            out,
+            RunOutcome {
+                events: 2,
+                reason: StopReason::Horizon
+            }
+        );
+        assert!(!out.exhausted());
         assert_eq!(eng.now(), 3.5);
         // Idle last: drain the rest.
-        let (n, why) = eng.run_budgeted(100.0, 10);
-        assert_eq!((n, why), (1, StopReason::Idle));
+        let out = eng.run_budgeted(RunLimit::new(100.0, 10));
+        assert_eq!(
+            out,
+            RunOutcome {
+                events: 1,
+                reason: StopReason::Idle
+            }
+        );
         assert_eq!(eng.now(), 100.0);
     }
 
@@ -557,9 +654,9 @@ mod tests {
         let mut a = build();
         let mut b = build();
         let na = a.run_until(13.0);
-        let (nb, why) = b.run_budgeted(13.0, u64::MAX);
-        assert_eq!(na, nb);
-        assert_eq!(why, StopReason::Horizon);
+        let out = b.run_budgeted(RunLimit::until(13.0));
+        assert_eq!(na, out.events);
+        assert_eq!(out.reason, StopReason::Horizon);
         assert_eq!(a.now(), b.now());
     }
 

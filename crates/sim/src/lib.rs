@@ -33,4 +33,4 @@
 
 pub mod engine;
 
-pub use engine::{Component, ComponentId, Context, Engine, StopReason};
+pub use engine::{Component, ComponentId, Context, Engine, RunLimit, RunOutcome, StopReason};

@@ -1,7 +1,7 @@
 //! Property tests: the engine delivers events in time order,
 //! deterministically, exactly once.
 
-use ebrc_sim::{Component, Context, Engine, StopReason};
+use ebrc_sim::{Component, Context, Engine, RunLimit, StopReason};
 use proptest::prelude::*;
 
 struct Recorder {
@@ -225,7 +225,7 @@ proptest! {
                     reference.run_until(t);
                 }
                 Op::RunBudgeted(t, n) => {
-                    eng.run_budgeted(t, n);
+                    let _ = eng.run_budgeted(RunLimit::new(t, n));
                     reference.run_budgeted(t, n);
                 }
             }
@@ -261,10 +261,46 @@ proptest! {
         let (mut a, ea) = build(&delays);
         let (mut b, eb) = build(&delays);
         let na = a.run_events(n);
-        let (nb, why) = b.run_budgeted(f64::INFINITY, n);
-        prop_assert_eq!(na, nb);
-        prop_assert!(matches!(why, StopReason::Budget | StopReason::Idle));
+        let out = b.run_budgeted(RunLimit::events(n));
+        prop_assert_eq!(na, out.events);
+        prop_assert!(matches!(out.reason, StopReason::Budget | StopReason::Idle));
         prop_assert_eq!(a.now().to_bits(), b.now().to_bits());
         prop_assert_eq!(&a.get::<Echo>(ea).log, &b.get::<Echo>(eb).log);
+    }
+
+    /// Property: chunking one `run_until(t)` into budgeted slices —
+    /// `run_budgeted(RunLimit::new(t, budget))` repeated until the stop
+    /// reason is no longer `Budget` — reaches a bit-identical final
+    /// state (clock, dispatch log, lifetime event count). This is the
+    /// engine-level contract the runner's sliced-run path rests on.
+    #[test]
+    fn sliced_run_until_is_bit_identical_to_monolithic(
+        delays in proptest::collection::vec(0.0_f64..10.0, 1..60),
+        cut in 0.0_f64..12.0,
+        budget in 1u64..7,
+    ) {
+        let build = |ds: &[f64]| {
+            let mut eng: Engine<u32> = Engine::new();
+            let echo = eng.add(Box::new(Echo { log: vec![] }));
+            for (i, d) in ds.iter().enumerate() {
+                eng.schedule(*d, echo, i as u32);
+            }
+            (eng, echo)
+        };
+        let (mut mono, em) = build(&delays);
+        let (mut sliced, es) = build(&delays);
+        let n_mono = mono.run_until(cut);
+        let mut n_sliced = 0;
+        loop {
+            let out = sliced.run_budgeted(RunLimit::new(cut, budget));
+            n_sliced += out.events;
+            if !out.exhausted() {
+                break;
+            }
+        }
+        prop_assert_eq!(n_mono, n_sliced);
+        prop_assert_eq!(mono.now().to_bits(), sliced.now().to_bits());
+        prop_assert_eq!(mono.events_processed(), sliced.events_processed());
+        prop_assert_eq!(&mono.get::<Echo>(em).log, &sliced.get::<Echo>(es).log);
     }
 }
