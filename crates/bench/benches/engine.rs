@@ -18,7 +18,9 @@
 //! overhead in isolation.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use ebrc_sim::{Component, ComponentId, Context, Engine};
+use ebrc_sim::{
+    Calendar, Component, ComponentId, Context, Engine, HeapCalendar, Scheduled, WheelCalendar,
+};
 
 /// Forwards every event to a peer — the minimal two-party hot loop.
 struct Forwarder {
@@ -151,9 +153,70 @@ fn bench_timer_heavy(c: &mut Criterion) {
     g.finish();
 }
 
+/// Schedule/pop throughput of a calendar backend under the classic
+/// "hold model": fill to `pending` events, then for each measured
+/// element pop the head and push a replacement a pseudo-random offset
+/// into the future. This is the steady-state shape of a many-flow
+/// dumbbell — a large stable population of pending timers churning at
+/// the head — and the workload where the timer wheel's O(1)
+/// schedule/pop separates from the binary heap's O(log n).
+fn bench_calendar_hold<C: Calendar<u64>>(c: &mut Criterion, label: &str) {
+    const PENDING: usize = 100_000;
+    let mut g = c.benchmark_group("calendar-hold-100k");
+    g.throughput(Throughput::Elements(EVENTS));
+    // Fill once outside the timed loop — the hold model measures the
+    // steady-state schedule/pop churn at a stable population, not the
+    // one-time construction cost.
+    let mut cal = C::with_capacity(PENDING);
+    let mut seq = 0u64;
+    // Deterministic LCG offsets spread the population over ~10
+    // simulated seconds, like staggered per-flow pacing timers.
+    let mut state = 0x2002_5eed_u64;
+    let mut next_offset = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 33) as f64 / u32::MAX as f64 * 10.0
+    };
+    for _ in 0..PENDING {
+        cal.push(Scheduled {
+            time: next_offset(),
+            seq,
+            target: 0,
+            event: seq,
+        });
+        seq += 1;
+    }
+    // Touch the head so lazy calibration happens before timing starts.
+    cal.next_time();
+    g.bench_function(label, |b| {
+        b.iter(|| {
+            for _ in 0..EVENTS {
+                let head = cal.pop().expect("population is stable");
+                cal.push(Scheduled {
+                    time: head.time + next_offset(),
+                    seq,
+                    target: 0,
+                    event: seq,
+                });
+                seq += 1;
+            }
+            black_box(cal.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_calendar_heap(c: &mut Criterion) {
+    bench_calendar_hold::<HeapCalendar<u64>>(c, "heap");
+}
+
+fn bench_calendar_wheel(c: &mut Criterion) {
+    bench_calendar_hold::<WheelCalendar<u64>>(c, "wheel");
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().without_plots();
-    targets = bench_dispatch_only, bench_fan_out_storm, bench_timer_heavy
+    targets = bench_dispatch_only, bench_fan_out_storm, bench_timer_heavy,
+        bench_calendar_heap, bench_calendar_wheel
 }
 criterion_main!(benches);

@@ -358,7 +358,11 @@ fn list_catalogue(opts: &Options) -> ExitCode {
     let experiments = all_experiments();
     for e in &experiments {
         let specs = e.specs(opts.scale);
-        let hint: u64 = specs.iter().map(|s| s.events_hint()).sum();
+        // Saturating fold: a pathological scale must pin the estimate
+        // at u64::MAX, not wrap into a small plausible-looking number.
+        let hint = specs
+            .iter()
+            .fold(0u64, |acc, s| acc.saturating_add(s.events_hint()));
         println!(
             "{:16} {:28} {:>4} sims {:>7} ~events  {}",
             e.id(),
@@ -369,7 +373,10 @@ fn list_catalogue(opts: &Options) -> ExitCode {
         );
     }
     if let Some(plan) = try_global_plan(&experiments, opts.scale) {
-        let unique_hint: u64 = plan.specs().iter().map(|s| s.events_hint()).sum();
+        let unique_hint = plan
+            .specs()
+            .iter()
+            .fold(0u64, |acc, s| acc.saturating_add(s.events_hint()));
         println!(
             "# {} experiments, {} subscribed sims -> {} unique (dedup {:.2}x, ~{} events) at scale {}",
             experiments.len(),
@@ -415,7 +422,9 @@ fn print_plan(targets: &[String], opts: &Options) -> ExitCode {
     if k > 1 {
         for shard in 0..k {
             let indices = plan.shard_indices(shard, k);
-            let hint: u64 = indices.iter().map(|&i| plan.specs()[i].events_hint()).sum();
+            let hint = indices.iter().fold(0u64, |acc, &i| {
+                acc.saturating_add(plan.specs()[i].events_hint())
+            });
             println!(
                 "shard {shard}/{k}: {} sims, ~{} events",
                 indices.len(),
@@ -1066,6 +1075,20 @@ const SPEEDUP_FLOOR: f64 = 1.5;
 /// Hardware threads below which the speedup floor stays disarmed.
 const SPEEDUP_GATE_MIN_HOST_THREADS: usize = 4;
 
+/// Coarse parallelism class of a host. Absolute throughput baselines
+/// only compare meaningfully within a class: a number recorded on a
+/// 32-way machine says nothing about a 2-core CI container, and the
+/// gate's tolerance is sized for run-to-run noise, not hardware drift.
+fn host_threads_class(threads: usize) -> &'static str {
+    if threads < SPEEDUP_GATE_MIN_HOST_THREADS {
+        "serial"
+    } else if threads < 16 {
+        "small-parallel"
+    } else {
+        "wide-parallel"
+    }
+}
+
 /// The perf regression gate: compares this run's best `events_per_sec`
 /// (or `jobs_per_sec`, for baselines predating event accounting)
 /// against the committed baseline file, within
@@ -1106,6 +1129,23 @@ fn bench_gate(measured: BenchRates, artifact_json: &str, baseline_path: &Path) -
             return ExitCode::FAILURE;
         }
     };
+    // Cross-class comparisons stay a warning, not a failure: the gate
+    // still catches order-of-magnitude regressions, and failing CI on
+    // a hardware change would just train people to refresh blindly.
+    if let Some(recorded) = baseline.get("host_threads").and_then(Value::as_f64) {
+        let recorded = recorded as usize;
+        if host_threads_class(recorded) != host_threads_class(measured.host_threads) {
+            eprintln!(
+                "# bench-gate: WARNING — baseline recorded on a {}-thread host ({}), \
+                 measuring on {} thread(s) ({}); absolute throughput is cross-class, \
+                 refresh with UPDATE_BENCH_BASELINE=1 on a representative host",
+                recorded,
+                host_threads_class(recorded),
+                measured.host_threads,
+                host_threads_class(measured.host_threads),
+            );
+        }
+    }
     let (metric, want, got) = match baseline.get("events_per_sec").and_then(Value::as_f64) {
         Some(want) => ("events_per_sec", want, measured.events_per_sec),
         None => match baseline.get("jobs_per_sec").and_then(Value::as_f64) {

@@ -11,6 +11,7 @@ pub mod fig10;
 pub mod fig17;
 pub mod internet;
 pub mod lab;
+pub mod manyflow;
 
 /// Arithmetic mean of the replica values of one sweep point (0 when no
 /// replica was valid) — the shared reducer primitive.

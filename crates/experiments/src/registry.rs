@@ -481,6 +481,7 @@ pub fn all_experiments() -> Vec<Box<dyn Experiment>> {
         Box::new(crate::figures::ablations::AblateEstimator),
         Box::new(crate::figures::ablations::AblateFormula),
         Box::new(crate::figures::ablations::AblatePhaseLoss),
+        Box::new(crate::figures::manyflow::FigManyFlow),
     ]
 }
 

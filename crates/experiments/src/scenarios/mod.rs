@@ -1,8 +1,13 @@
 //! Scenario builders shared by the experiments.
 
 pub mod dumbbell;
+pub mod manyflow;
 
 pub use dumbbell::{
     CounterSnapshot, DumbbellConfig, DumbbellRun, FlowMeasure, QueueSpec, RunMeasurements,
     TfrcFlowSpec,
+};
+pub use manyflow::{
+    ClassKind, FlowClass, ManyFlowConfig, ManyFlowMeasure, ManyFlowMeasurements, ManyFlowRun,
+    ManyFlowSnapshot,
 };

@@ -98,6 +98,24 @@ impl Table {
     }
 }
 
+/// The `q`-quantile (0 ≤ q ≤ 1) of an **ascending-sorted** slice, by
+/// linear interpolation between closest ranks (the common "type 7"
+/// estimator). Empty input yields 0.
+///
+/// # Panics
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
 /// Maps a table name onto a safe file stem: path separators and every
 /// other non-`[A-Za-z0-9._-]` byte become `_`, and a name that
 /// sanitizes to nothing (or to dots alone) becomes `table`. The
@@ -160,6 +178,16 @@ mod tests {
     #[should_panic(expected = "row width")]
     fn mismatched_row_rejected() {
         sample().push_row(vec![1.0]);
+    }
+
+    #[test]
+    fn quantiles_interpolate_between_ranks() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(quantile(&xs, 0.5), 2.5);
+        assert_eq!(quantile(&[7.0], 0.25), 7.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
     }
 
     #[test]

@@ -25,7 +25,8 @@ use crate::figures::internet::{site_config, site_table, sites};
 use crate::figures::lab::lab_queues;
 use crate::registry::replica_seed;
 use crate::scenarios::{
-    CounterSnapshot, DumbbellConfig, DumbbellRun, FlowMeasure, QueueSpec, RunMeasurements,
+    CounterSnapshot, DumbbellConfig, DumbbellRun, FlowMeasure, ManyFlowConfig, ManyFlowRun,
+    ManyFlowSnapshot, QueueSpec, RunMeasurements,
 };
 use crate::series::Table;
 use ebrc_core::control::{BasicControl, ComprehensiveControl, ControlConfig};
@@ -164,6 +165,19 @@ pub enum SimSpec {
         /// longer for enough loss events).
         span: f64,
     },
+    /// A many-flow dumbbell (the weak-convergence scaling runs): `n`
+    /// TFRC + `n/10` AIMD flows in SoA banks, capacity scaled to a
+    /// fixed per-flow fair share.
+    ManyFlowDumbbell {
+        /// TFRC flow population.
+        n: usize,
+        /// Replica index (seeds the scenario via [`replica_seed`]).
+        rep: usize,
+        /// Discarded warm-up, seconds.
+        warmup: f64,
+        /// Measurement span, seconds.
+        span: f64,
+    },
     /// A Figure 17 buffer-sweep run over DropTail(`buffer`).
     BufferSweep {
         /// Who is on the bottleneck.
@@ -287,6 +301,14 @@ pub fn cable_modem_config(seed: u64) -> DumbbellConfig {
     cfg
 }
 
+/// The many-flow scenario config shared by `fig-manyflow` — the
+/// per-point seed arithmetic lives here so every subscriber agrees on
+/// the exact instance.
+pub fn manyflow_config(n: usize, rep: usize) -> ManyFlowConfig {
+    let base = 0xf10a_u64.wrapping_add((n as u64).wrapping_mul(131));
+    ManyFlowConfig::standard(n, replica_seed(base, rep))
+}
+
 /// A Figure 17 buffer-sweep scenario config.
 pub fn buffer_sweep_config(mode: SweepMode, buffer: usize, seed: u64) -> DumbbellConfig {
     match mode {
@@ -353,6 +375,12 @@ impl SimSpec {
     /// across the topology); the audio spec from its packet clock;
     /// Monte-Carlo and fixed-link specs report their loss-event counts
     /// as the cost proxy; analytic tabulations are free.
+    ///
+    /// All arithmetic saturates: the estimate feeds longest-first
+    /// scheduling, and a 10⁴⁺-flow spec that wrapped to a small number
+    /// would poison the whole schedule. `saturating_f64_to_u64` clamps
+    /// the float products (NaN and negatives to 0, overflow to
+    /// `u64::MAX`), and any sum over hints must use `saturating_add`.
     pub fn events_hint(&self) -> u64 {
         /// Calendar dispatches per packet that crosses a dumbbell:
         /// sender timer, bottleneck queue, forward delay + demux,
@@ -361,20 +389,39 @@ impl SimSpec {
         if let (Some(cfg), Some((warmup, span))) = (self.dumbbell_config(), self.window()) {
             let pkt_bits = (cfg.tfrc.sender.packet_size.max(cfg.tcp.packet_size)) as f64 * 8.0;
             let pps = cfg.bottleneck_bps / pkt_bits;
-            return ((warmup + span) * pps * DISPATCHES_PER_PACKET) as u64;
+            return saturating_f64_to_u64((warmup + span) * pps * DISPATCHES_PER_PACKET);
         }
         match *self {
+            SimSpec::ManyFlowDumbbell {
+                n, warmup, span, ..
+            } => {
+                let cfg = manyflow_config(n, 0);
+                let pps = cfg.bottleneck_bps() / (cfg.packet_size as f64 * 8.0);
+                saturating_f64_to_u64((warmup + span) * pps * DISPATCHES_PER_PACKET)
+            }
             SimSpec::Audio { duration, .. } => {
                 // 20 ms packet clock; sender + dropper + receiver +
                 // periodic feedback per packet.
-                (duration / 0.02 * 4.0) as u64
+                saturating_f64_to_u64(duration / 0.02 * 4.0)
             }
             SimSpec::Mc { events, .. }
             | SimSpec::PhaseMc { events, .. }
             | SimSpec::Claim4Iso { events, .. } => events as u64,
-            SimSpec::Claim4Shared { t_end, .. } => t_end as u64,
+            SimSpec::Claim4Shared { t_end, .. } => saturating_f64_to_u64(t_end),
             _ => 0,
         }
+    }
+}
+
+/// Clamps a float work estimate into `u64`: NaN and negatives to 0,
+/// `u64`-overflowing values to `u64::MAX`. (Rust's float-to-int `as`
+/// casts saturate too — this spelling makes the planning contract
+/// explicit where hints are computed.)
+fn saturating_f64_to_u64(x: f64) -> u64 {
+    if x.is_nan() {
+        0
+    } else {
+        x.clamp(0.0, u64::MAX as f64) as u64
     }
 }
 
@@ -440,6 +487,60 @@ impl SlicedRun for SlicedDumbbell {
     }
 }
 
+/// A many-flow simulation suspended between event-budget slices — the
+/// [`SlicedDumbbell`] pattern over [`ManyFlowRun`], with the same
+/// bit-identity guarantee at any budget.
+struct SlicedManyFlow {
+    run: ManyFlowRun,
+    warmup: f64,
+    span: f64,
+    phase: ManyFlowPhase,
+}
+
+/// Which `measure` leg a [`SlicedManyFlow`] is inside.
+enum ManyFlowPhase {
+    /// Running to `warmup`; counters not yet snapshotted.
+    Warmup,
+    /// Running to `warmup + span`, differencing against the snapshot.
+    Span(ManyFlowSnapshot),
+}
+
+impl SlicedRun for SlicedManyFlow {
+    type Output = SpecOutput;
+
+    fn resume(mut self: Box<Self>, ctx: &mut JobCtx, budget: u64) -> SliceStep<SpecOutput> {
+        let mut left = budget.max(1);
+        loop {
+            match self.phase {
+                ManyFlowPhase::Warmup => {
+                    let out = self
+                        .run
+                        .engine
+                        .run_budgeted(RunLimit::new(self.warmup, left));
+                    if out.exhausted() {
+                        return SliceStep::Pending(self);
+                    }
+                    left = left.saturating_sub(out.events);
+                    self.phase = ManyFlowPhase::Span(self.run.snapshot_counters());
+                    if left == 0 {
+                        return SliceStep::Pending(self);
+                    }
+                }
+                ManyFlowPhase::Span(ref snap) => {
+                    let horizon = self.warmup + self.span;
+                    let out = self.run.engine.run_budgeted(RunLimit::new(horizon, left));
+                    if out.exhausted() {
+                        return SliceStep::Pending(self);
+                    }
+                    let m = self.run.measurements_since(snap, self.span);
+                    ctx.record_events(self.run.engine.events_processed());
+                    return SliceStep::Done(SpecOutput::Scalars(m.summary()));
+                }
+            }
+        }
+    }
+}
+
 impl ebrc_runner::Spec for SimSpec {
     type Output = SpecOutput;
 
@@ -452,6 +553,15 @@ impl ebrc_runner::Spec for SimSpec {
             return format!("dumbbell/{}/warmup={warmup}/span={span}", cfg.content_key());
         }
         match *self {
+            SimSpec::ManyFlowDumbbell {
+                n,
+                rep,
+                warmup,
+                span,
+            } => {
+                let cfg = manyflow_config(n, rep);
+                format!("manyflow/{}/warmup={warmup}/span={span}", cfg.content_key())
+            }
             SimSpec::Audio {
                 p_drop,
                 formula,
@@ -526,6 +636,22 @@ impl ebrc_runner::Spec for SimSpec {
             };
             return Box::new(state).resume(ctx, budget);
         }
+        if let SimSpec::ManyFlowDumbbell {
+            n,
+            rep,
+            warmup,
+            span,
+        } = *self
+        {
+            assert!(span > 0.0, "measurement span must be positive");
+            let state = SlicedManyFlow {
+                run: ManyFlowRun::build(&manyflow_config(n, rep)),
+                warmup,
+                span,
+                phase: ManyFlowPhase::Warmup,
+            };
+            return Box::new(state).resume(ctx, budget);
+        }
         SliceStep::Done(self.run(ctx))
     }
 
@@ -537,6 +663,17 @@ impl ebrc_runner::Spec for SimSpec {
             return out;
         }
         match *self {
+            SimSpec::ManyFlowDumbbell {
+                n,
+                rep,
+                warmup,
+                span,
+            } => {
+                let mut run = ManyFlowRun::build(&manyflow_config(n, rep));
+                let out = SpecOutput::Scalars(run.measure(warmup, span).summary());
+                ctx.record_events(run.engine.events_processed());
+                out
+            }
             SimSpec::Audio {
                 p_drop,
                 formula,

@@ -9,6 +9,7 @@ use std::collections::HashMap;
 #[derive(Debug, Default)]
 pub struct Demux {
     routes: HashMap<FlowId, ComponentId>,
+    default_route: Option<ComponentId>,
     forwarded: u64,
 }
 
@@ -23,6 +24,15 @@ impl Demux {
         self.routes.insert(flow, target);
     }
 
+    /// Registers a fallback endpoint for flows with no per-flow route.
+    ///
+    /// Batch components (e.g. a many-flow `FlowClass` bank) own
+    /// thousands of flows behind one `ComponentId`; a default route
+    /// forwards all of them in O(1) without one hash entry per flow.
+    pub fn default_route(&mut self, target: ComponentId) {
+        self.default_route = Some(target);
+    }
+
     /// Packets forwarded so far.
     pub fn forwarded(&self) -> u64 {
         self.forwarded
@@ -32,9 +42,11 @@ impl Demux {
 impl Component<NetEvent> for Demux {
     fn handle(&mut self, _now: f64, event: NetEvent, ctx: &mut Context<NetEvent>) {
         if let NetEvent::Packet(pkt) = event {
-            let target = *self
+            let target = self
                 .routes
                 .get(&pkt.flow)
+                .copied()
+                .or(self.default_route)
                 .unwrap_or_else(|| panic!("no route for flow {:?}", pkt.flow));
             self.forwarded += 1;
             ctx.send(0.0, target, NetEvent::Packet(pkt));
@@ -68,6 +80,30 @@ mod tests {
         assert_eq!(eng.get::<Sink>(a).count(), 4);
         assert_eq!(eng.get::<Sink>(b).count(), 6);
         assert_eq!(eng.get::<Demux>(d).forwarded(), 10);
+    }
+
+    #[test]
+    fn default_route_catches_unregistered_flows() {
+        let mut eng: Engine<NetEvent> = Engine::new();
+        let d = eng.add(Box::new(Demux::new()));
+        let a = eng.add(Box::new(Sink::counting_only()));
+        let bank = eng.add(Box::new(Sink::counting_only()));
+        {
+            let demux = eng.get_mut::<Demux>(d);
+            demux.route(FlowId(1), a);
+            demux.default_route(bank);
+        }
+        for i in 0..10u64 {
+            let flow = if i % 5 == 0 {
+                FlowId(1)
+            } else {
+                FlowId(100 + i as u32)
+            };
+            eng.schedule(0.0, d, NetEvent::Packet(Packet::data(flow, i, 100, 0.0)));
+        }
+        eng.run_until(1.0);
+        assert_eq!(eng.get::<Sink>(a).count(), 2);
+        assert_eq!(eng.get::<Sink>(bank).count(), 8);
     }
 
     #[test]

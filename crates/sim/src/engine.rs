@@ -10,9 +10,8 @@
 //! event fires; the scratch buffer starts small and grows (once) to
 //! the widest fan-out any handler produces.
 
+use crate::calendar::{Calendar, Scheduled, WheelCalendar};
 use std::any::Any;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Identifies a component registered with an [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -86,35 +85,6 @@ impl<E> Context<E> {
     }
 }
 
-struct Scheduled<E> {
-    time: f64,
-    seq: u64,
-    target: ComponentId,
-    event: E,
-}
-
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first;
-        // ties broken by scheduling order for determinism.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 /// Why a budgeted run returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopReason {
@@ -181,10 +151,18 @@ impl RunOutcome {
 }
 
 /// The discrete-event engine: clock + calendar + components.
-pub struct Engine<E: 'static> {
+///
+/// Generic over its [`Calendar`] implementation; the default
+/// [`WheelCalendar`] gives O(1) steady-state schedule/pop, and
+/// [`crate::calendar::HeapCalendar`] remains available (via
+/// [`Engine::with_calendar`]) as the reference the wheel is
+/// property-tested against. Every calendar serves events in the same
+/// `(time, seq)` total order, so swapping one for another changes no
+/// output bit.
+pub struct Engine<E: 'static, C: Calendar<E> = WheelCalendar<E>> {
     clock: f64,
     seq: u64,
-    queue: BinaryHeap<Scheduled<E>>,
+    queue: C,
     components: Vec<Option<Box<dyn Component<E>>>>,
     /// Reusable emission buffer lent to the [`Context`] per dispatch —
     /// the steady-state hot loop never allocates.
@@ -192,9 +170,9 @@ pub struct Engine<E: 'static> {
     processed: u64,
 }
 
-impl<E: 'static> Default for Engine<E> {
+impl<E: 'static, C: Calendar<E>> Default for Engine<E, C> {
     fn default() -> Self {
-        Self::new()
+        Self::with_calendar(C::with_capacity(0), 0)
     }
 }
 
@@ -207,14 +185,24 @@ impl<E: 'static> Engine<E> {
     /// Creates an engine pre-sized for `components` registered actors
     /// and `calendar` in-flight events. Scenario builders that know
     /// their topology pass hints here so the slab and the calendar
-    /// heap never reallocate mid-run; the emission scratch buffer
-    /// starts at a few slots and grows once to the widest per-handler
-    /// fan-out, then stays there.
+    /// never reallocate mid-run; the emission scratch buffer starts at
+    /// a few slots and grows once to the widest per-handler fan-out,
+    /// then stays there.
     pub fn with_capacity(components: usize, calendar: usize) -> Self {
+        Self::with_calendar(WheelCalendar::with_capacity(calendar), components)
+    }
+}
+
+impl<E: 'static, C: Calendar<E>> Engine<E, C> {
+    /// Creates an engine around an explicit calendar implementation,
+    /// pre-sized for `components` registered actors. This is how the
+    /// property tests and benches run the same workload on the heap
+    /// and the wheel.
+    pub fn with_calendar(calendar: C, components: usize) -> Self {
         Self {
             clock: 0.0,
             seq: 0,
-            queue: BinaryHeap::with_capacity(calendar),
+            queue: calendar,
             components: Vec::with_capacity(components),
             scratch: Vec::with_capacity(8),
             processed: 0,
@@ -253,7 +241,7 @@ impl<E: 'static> Engine<E> {
         self.queue.push(Scheduled {
             time: self.clock + delay,
             seq,
-            target,
+            target: target.0,
             event,
         });
     }
@@ -301,9 +289,9 @@ impl<E: 'static> Engine<E> {
             if self.processed - before >= max_events {
                 break StopReason::Budget;
             }
-            match self.queue.peek() {
+            match self.queue.next_time() {
                 None => break StopReason::Idle,
-                Some(head) if head.time > t_end => break StopReason::Horizon,
+                Some(head_time) if head_time > t_end => break StopReason::Horizon,
                 Some(_) => {}
             }
             let item = self.queue.pop().expect("peeked");
@@ -347,16 +335,16 @@ impl<E: 'static> Engine<E> {
         // allocation.
         let mut ctx = Context {
             now: self.clock,
-            self_id: item.target,
+            self_id: ComponentId(item.target),
             emitted: std::mem::take(&mut self.scratch),
         };
         // Take the component out so it cannot alias the engine while it
         // runs; events it emits are buffered in the context.
-        let mut component = self.components[item.target.0]
+        let mut component = self.components[item.target]
             .take()
             .expect("component re-entered — a handler scheduled into itself synchronously?");
         component.handle(self.clock, item.event, &mut ctx);
-        self.components[item.target.0] = Some(component);
+        self.components[item.target] = Some(component);
         let mut emitted = ctx.emitted;
         for (delay, target, event) in emitted.drain(..) {
             assert!(target.0 < self.components.len(), "unknown component");
@@ -364,7 +352,7 @@ impl<E: 'static> Engine<E> {
             self.queue.push(Scheduled {
                 time: self.clock + delay,
                 seq,
-                target,
+                target: target.0,
                 event,
             });
         }

@@ -7,9 +7,14 @@
 //! the workload is CPU-bound, so threads and reactors would only add
 //! nondeterminism.
 //!
-//! * [`Engine`] owns the clock, the event calendar (a binary heap ordered
-//!   by `(time, sequence)` so simultaneous events fire in scheduling
-//!   order — fully deterministic), and the components.
+//! * [`Engine`] owns the clock, the event calendar, and the components.
+//!   The calendar is pluggable behind the [`Calendar`] trait — the
+//!   default [`WheelCalendar`] is a calendar queue with O(1)
+//!   steady-state schedule/pop (the many-flow scaling path), and
+//!   [`HeapCalendar`] keeps the original binary heap as the reference
+//!   implementation. Every calendar serves events in ascending
+//!   `(time, sequence)` order, so simultaneous events fire in
+//!   scheduling order — fully deterministic, whichever backend runs.
 //! * [`Component`] is the behaviour trait: `handle(now, event, ctx)` —
 //!   nothing else, since the `Any` supertrait provides the downcast
 //!   upcast for free. Components never touch each other directly; they
@@ -31,6 +36,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod engine;
 
+pub use calendar::{Calendar, HeapCalendar, Scheduled, WheelCalendar};
 pub use engine::{Component, ComponentId, Context, Engine, RunLimit, RunOutcome, StopReason};

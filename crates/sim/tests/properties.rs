@@ -1,7 +1,9 @@
 //! Property tests: the engine delivers events in time order,
 //! deterministically, exactly once.
 
-use ebrc_sim::{Component, Context, Engine, RunLimit, StopReason};
+use ebrc_sim::{
+    Calendar, Component, Context, Engine, HeapCalendar, RunLimit, StopReason, WheelCalendar,
+};
 use proptest::prelude::*;
 
 struct Recorder {
@@ -138,6 +140,27 @@ fn arb_op() -> impl Strategy<Value = Op> {
         (0.0f64..30.0).prop_map(Op::RunUntil),
         ((0.0f64..30.0), 0u64..8).prop_map(|(t, n)| Op::RunBudgeted(t, n)),
     ]
+}
+
+/// Op strategy for the wheel-vs-heap equivalence property: besides the
+/// baseline mix it generates same-timestamp bursts (several events at an
+/// identical delay, so FIFO-within-timestamp is actually exercised) and
+/// far-future outliers that land outside any reasonable wheel window and
+/// wrap its levels through the overflow path.
+fn arb_calendar_op() -> impl Strategy<Value = Vec<Op>> {
+    let one = prop_oneof![
+        4 => (0.0f64..20.0, 0u32..100).prop_map(|(d, e)| vec![Op::Schedule(d, e)]),
+        // Same-timestamp burst: k events at one exact delay.
+        2 => (0.0f64..20.0, 0u32..100, 2usize..6).prop_map(|(d, e, k)| {
+            (0..k).map(|i| Op::Schedule(d, e.wrapping_add(i as u32))).collect()
+        }),
+        // Far-future outlier: forces wheel-level wrap / overflow handling.
+        1 => (1.0e4f64..1.0e7, 0u32..100).prop_map(|(d, e)| vec![Op::Schedule(d, e)]),
+        2 => (0u64..12).prop_map(|n| vec![Op::RunEvents(n)]),
+        2 => (0.0f64..40.0).prop_map(|t| vec![Op::RunUntil(t)]),
+        2 => ((0.0f64..40.0), 0u64..8).prop_map(|(t, n)| vec![Op::RunBudgeted(t, n)]),
+    ];
+    proptest::collection::vec(one, 1..50).prop_map(|chunks| chunks.concat())
 }
 
 proptest! {
@@ -302,5 +325,63 @@ proptest! {
         prop_assert_eq!(mono.now().to_bits(), sliced.now().to_bits());
         prop_assert_eq!(mono.events_processed(), sliced.events_processed());
         prop_assert_eq!(&mono.get::<Echo>(em).log, &sliced.get::<Echo>(es).log);
+    }
+
+    /// Property: the wheel calendar is observationally identical to the
+    /// heap calendar — same dispatch log (bitwise times), same clock,
+    /// same lifetime event count — under arbitrary interleavings of
+    /// schedule and run calls, including same-timestamp bursts and
+    /// far-future events that wrap the wheel's levels into overflow.
+    #[test]
+    fn wheel_calendar_is_bit_identical_to_heap_calendar(
+        ops in arb_calendar_op(),
+    ) {
+        let mut wheel: Engine<u32, WheelCalendar<u32>> =
+            Engine::with_calendar(WheelCalendar::with_capacity(16), 0);
+        let mut heap: Engine<u32, HeapCalendar<u32>> =
+            Engine::with_calendar(HeapCalendar::with_capacity(16), 0);
+        let ew = wheel.add(Box::new(Echo { log: vec![] }));
+        let eh = heap.add(Box::new(Echo { log: vec![] }));
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Schedule(delay, ev) => {
+                    wheel.schedule(delay, ew, ev);
+                    heap.schedule(delay, eh, ev);
+                }
+                Op::RunEvents(n) => {
+                    wheel.run_events(n);
+                    heap.run_events(n);
+                }
+                Op::RunUntil(t) => {
+                    wheel.run_until(t);
+                    heap.run_until(t);
+                }
+                Op::RunBudgeted(t, n) => {
+                    let _ = wheel.run_budgeted(RunLimit::new(t, n));
+                    let _ = heap.run_budgeted(RunLimit::new(t, n));
+                }
+            }
+            prop_assert_eq!(
+                wheel.now().to_bits(),
+                heap.now().to_bits(),
+                "clock diverged after step {} ({:?})", step, op
+            );
+            prop_assert_eq!(
+                wheel.events_processed(),
+                heap.events_processed(),
+                "events_processed diverged after step {} ({:?})", step, op
+            );
+        }
+        // Drain both to the end: every pending event (including the
+        // far-future overflow tail) must pop in the same order.
+        wheel.run_until(f64::INFINITY);
+        heap.run_until(f64::INFINITY);
+        let lw = &wheel.get::<Echo>(ew).log;
+        let lh = &heap.get::<Echo>(eh).log;
+        prop_assert_eq!(lw.len(), lh.len(), "drain lengths differ");
+        for (i, (w, h)) in lw.iter().zip(lh.iter()).enumerate() {
+            prop_assert_eq!(w.0.to_bits(), h.0.to_bits(), "time diverged at dispatch {}", i);
+            prop_assert_eq!(w.1, h.1, "event diverged at dispatch {}", i);
+        }
     }
 }

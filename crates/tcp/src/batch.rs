@@ -1,0 +1,108 @@
+//! Many-flow batch rule: a rate-paced AIMD window update as a pure
+//! function over plain-old-data per-flow state.
+//!
+//! The full [`sender`](crate::sender) is a faithful SACK TCP — right
+//! for the paper's head-to-head scenarios, far too heavy to box 10⁴
+//! times. For many-flow dumbbells the competing TCP population only
+//! needs the AIMD shape of TCP's window dynamics: slow start, additive
+//! increase per loss-free feedback round, multiplicative decrease per
+//! loss event. [`AimdFlowState`] is a `Copy` struct sized for
+//! contiguous arrays; [`round_update`] applies one feedback round. The
+//! bank paces packets at `cwnd / rtt`, which is how the fluid models in
+//! [`aimd`](crate::aimd) treat TCP as well.
+
+/// Per-flow AIMD window state — `Copy`, no heap, array-friendly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AimdFlowState {
+    /// Congestion window in packets (continuous, as in the fluid view).
+    pub cwnd_pkts: f64,
+    /// Slow-start threshold in packets.
+    pub ssthresh_pkts: f64,
+}
+
+impl AimdFlowState {
+    /// A fresh flow: `cwnd = initial`, threshold at `ssthresh`.
+    ///
+    /// # Panics
+    /// Panics unless both arguments are positive.
+    pub fn new(initial_cwnd_pkts: f64, ssthresh_pkts: f64) -> Self {
+        assert!(initial_cwnd_pkts > 0.0, "cwnd must be positive");
+        assert!(ssthresh_pkts > 0.0, "ssthresh must be positive");
+        Self {
+            cwnd_pkts: initial_cwnd_pkts,
+            ssthresh_pkts,
+        }
+    }
+
+    /// The paced send rate implied by the window, packets per second.
+    ///
+    /// # Panics
+    /// Panics unless `rtt > 0`.
+    pub fn rate_pps(&self, rtt: f64) -> f64 {
+        assert!(rtt > 0.0, "rtt must be positive");
+        self.cwnd_pkts / rtt
+    }
+}
+
+/// Applies one feedback round to a flow's window.
+///
+/// `lost` reports whether a new loss event started during the round
+/// (losses within one RTT count once, the paper's loss-event
+/// discipline). A loss event halves the window and sets the threshold
+/// there; a clean round doubles below threshold (slow start) and adds
+/// one packet above it (congestion avoidance). The window never drops
+/// below one packet, and `max_cwnd_pkts` caps it (the receiver-window
+/// stand-in).
+pub fn round_update(state: &mut AimdFlowState, lost: bool, max_cwnd_pkts: f64) {
+    if lost {
+        state.cwnd_pkts = (state.cwnd_pkts / 2.0).max(1.0);
+        state.ssthresh_pkts = state.cwnd_pkts;
+    } else if state.cwnd_pkts < state.ssthresh_pkts {
+        state.cwnd_pkts = (state.cwnd_pkts * 2.0).min(state.ssthresh_pkts);
+    } else {
+        state.cwnd_pkts += 1.0;
+    }
+    state.cwnd_pkts = state.cwnd_pkts.min(max_cwnd_pkts);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_start_doubles_to_threshold_then_adds_one() {
+        let mut s = AimdFlowState::new(2.0, 16.0);
+        round_update(&mut s, false, 1e6);
+        assert_eq!(s.cwnd_pkts, 4.0);
+        round_update(&mut s, false, 1e6);
+        round_update(&mut s, false, 1e6);
+        assert_eq!(s.cwnd_pkts, 16.0, "doubling clamps at ssthresh");
+        round_update(&mut s, false, 1e6);
+        assert_eq!(s.cwnd_pkts, 17.0, "congestion avoidance above threshold");
+    }
+
+    #[test]
+    fn loss_event_halves_and_resets_threshold() {
+        let mut s = AimdFlowState::new(20.0, 10.0);
+        round_update(&mut s, true, 1e6);
+        assert_eq!(s.cwnd_pkts, 10.0);
+        assert_eq!(s.ssthresh_pkts, 10.0);
+        round_update(&mut s, false, 1e6);
+        assert_eq!(s.cwnd_pkts, 11.0, "post-loss rounds are additive");
+    }
+
+    #[test]
+    fn window_floors_at_one_packet() {
+        let mut s = AimdFlowState::new(1.0, 4.0);
+        round_update(&mut s, true, 1e6);
+        assert_eq!(s.cwnd_pkts, 1.0);
+    }
+
+    #[test]
+    fn window_respects_cap_and_rate_is_cwnd_over_rtt() {
+        let mut s = AimdFlowState::new(7.5, 4.0);
+        round_update(&mut s, false, 8.0);
+        assert_eq!(s.cwnd_pkts, 8.0);
+        assert!((s.rate_pps(0.4) - 20.0).abs() < 1e-12);
+    }
+}

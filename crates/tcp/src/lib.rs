@@ -17,18 +17,22 @@
 //!   parameterization) that generates SACK blocks;
 //! * [`aimd`] — the Section IV-A.2 fluid models: AIMD and equation-based
 //!   senders on a fixed-capacity link, alone and sharing, for the
-//!   Claim 4 loss-event-rate ratio.
+//!   Claim 4 loss-event-rate ratio;
+//! * [`batch`] — the AIMD window law alone as a pure function over
+//!   `Copy` per-flow state, for many-flow SoA banks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aimd;
+pub mod batch;
 pub mod receiver;
 pub mod rto;
 pub mod scoreboard;
 pub mod sender;
 
 pub use aimd::{AimdFixedLink, EbrcFixedLink, SharedFixedLink, SharedOutcome};
+pub use batch::AimdFlowState;
 pub use receiver::TcpSink;
 pub use rto::RtoEstimator;
 pub use scoreboard::SackScoreboard;

@@ -1,0 +1,121 @@
+//! Many-flow batch rule: the TFRC rate update as a pure function over
+//! plain-old-data per-flow state.
+//!
+//! The [`sender`](crate::sender) module is the full protocol endpoint —
+//! one boxed component per flow, with its own timers and statistics.
+//! That is the right fidelity for the paper's 1–32-flow scenarios, but
+//! a 10⁴-flow dumbbell cannot afford 10⁴ trait objects. This module
+//! factors the *control law* out of the endpoint: [`TfrcFlowState`] is
+//! a `Copy` struct sized for contiguous arrays, and
+//! [`feedback_update`] applies one feedback report to it. A flow bank
+//! (`ebrc-experiments`' `FlowClass`) stores N of these in an SoA layout
+//! behind a single `Component` and calls the rule per feedback.
+//!
+//! The law is the paper's: slow start (rate doubling per feedback
+//! round) until the first loss report, then `X = f(p̂, r)` from the
+//! selected throughput formula on every report.
+
+use crate::formula_kind::FormulaKind;
+
+/// Per-flow TFRC rate-control state — `Copy`, no heap, array-friendly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TfrcFlowState {
+    /// Current allowed send rate, packets per second.
+    pub rate_pps: f64,
+    /// Still in the initial slow-start phase (no loss event seen yet).
+    pub slow_start: bool,
+}
+
+impl TfrcFlowState {
+    /// A fresh flow in slow start at the given initial rate.
+    ///
+    /// # Panics
+    /// Panics unless `initial_rate_pps > 0`.
+    pub fn new(initial_rate_pps: f64) -> Self {
+        assert!(initial_rate_pps > 0.0, "initial rate must be positive");
+        Self {
+            rate_pps: initial_rate_pps,
+            slow_start: true,
+        }
+    }
+}
+
+/// Applies one feedback report to a flow's state.
+///
+/// `p` is the reported loss-event rate (0 while the receiver has seen
+/// no loss event), `rtt` the round-trip time the formula is evaluated
+/// with, and `max_rate_pps` the cap (a stand-in for RFC 3448's
+/// receive-rate limit). While `p == 0` the flow stays in slow start and
+/// doubles its rate each report; the first `p > 0` report ends slow
+/// start permanently, and from then on the rate is `f(p, rtt)`.
+///
+/// # Panics
+/// Panics unless `rtt > 0` and `p >= 0`.
+pub fn feedback_update(
+    state: &mut TfrcFlowState,
+    formula: FormulaKind,
+    p: f64,
+    rtt: f64,
+    max_rate_pps: f64,
+) {
+    assert!(rtt > 0.0, "rtt must be positive");
+    assert!(p >= 0.0, "loss-event rate must be non-negative");
+    if p > 0.0 {
+        state.slow_start = false;
+        state.rate_pps = formula.rate(p, rtt).min(max_rate_pps);
+    } else if state.slow_start {
+        state.rate_pps = (state.rate_pps * 2.0).min(max_rate_pps);
+    }
+    // p == 0 after slow start: no news, keep the current rate (the
+    // formula is undefined at p = 0).
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_start_doubles_until_first_loss() {
+        let mut s = TfrcFlowState::new(2.0);
+        feedback_update(&mut s, FormulaKind::Sqrt, 0.0, 0.4, 1e6);
+        assert_eq!(s.rate_pps, 4.0);
+        assert!(s.slow_start);
+        feedback_update(&mut s, FormulaKind::Sqrt, 0.0, 0.4, 1e6);
+        assert_eq!(s.rate_pps, 8.0);
+        feedback_update(&mut s, FormulaKind::Sqrt, 0.05, 0.4, 1e6);
+        assert!(!s.slow_start);
+        assert!((s.rate_pps - FormulaKind::Sqrt.rate(0.05, 0.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_free_report_after_slow_start_holds_rate() {
+        let mut s = TfrcFlowState::new(2.0);
+        feedback_update(&mut s, FormulaKind::Sqrt, 0.05, 0.4, 1e6);
+        let held = s.rate_pps;
+        feedback_update(&mut s, FormulaKind::Sqrt, 0.0, 0.4, 1e6);
+        assert_eq!(s.rate_pps, held);
+        assert!(!s.slow_start, "slow start never resumes");
+    }
+
+    #[test]
+    fn rate_is_capped() {
+        let mut s = TfrcFlowState::new(2.0);
+        feedback_update(&mut s, FormulaKind::Sqrt, 0.0, 0.4, 3.0);
+        assert_eq!(s.rate_pps, 3.0);
+        feedback_update(&mut s, FormulaKind::Sqrt, 1e-9, 0.4, 10.0);
+        assert_eq!(s.rate_pps, 10.0);
+    }
+
+    #[test]
+    fn equation_rate_tracks_formula() {
+        for kind in [
+            FormulaKind::Sqrt,
+            FormulaKind::PftkStandard,
+            FormulaKind::PftkSimplified,
+        ] {
+            let mut s = TfrcFlowState::new(1.0);
+            feedback_update(&mut s, kind, 0.02, 0.25, 1e9);
+            assert!((s.rate_pps - kind.rate(0.02, 0.25)).abs() < 1e-9);
+        }
+    }
+}
