@@ -19,6 +19,13 @@
 //! repro plan all --shards 3      # inspect the plan a sweep would run
 //! repro run all --shard 0/2 --shard-dir shards   # execute one shard
 //! repro merge all --shard-dir shards             # reduce merged shards
+//! repro dispatch all --workers 4 --cache-dir cache/
+//!                                # shard workers as supervised child
+//!                                # processes: timeouts, retries, auto-merge
+//! repro serve --listen 127.0.0.1:7077 --cache-dir cache/
+//!                                # resident sweep daemon (TCP or unix:PATH)
+//! repro submit all --connect 127.0.0.1:7077      # run a sweep on the daemon
+//! repro submit --connect 127.0.0.1:7077 --shutdown   # stop it
 //! repro bench-runner --bench-json BENCH_runner.json
 //!                                # sweep-throughput benchmark artifact
 //! ```
@@ -44,12 +51,17 @@
 //! without taking down the rest of the sweep.
 
 use ebrc_experiments::{
-    all_experiments, find_experiment, global_plan, plan_run_catalogue_cached, table_file_name,
-    Experiment, ExperimentFailure, ExperimentReport, Plan, Scale, SpecOutput, MASTER_SEED,
+    all_experiments, global_plan, plan_run_catalogue_cached, scale_by_name, select_experiments,
+    table_file_name, CatalogueBackend, Experiment, ExperimentFailure, ExperimentReport, Plan,
+    Scale, SpecOutput, MASTER_SEED,
 };
 use ebrc_runner::{
     panic_message, run_specs_cached, CacheCounters, DirCache, ExecConfig, OutputCache, Pool,
     Spec as _, SpecTiming,
+};
+use ebrc_serve::{
+    client, supervise, DispatchConfig, DispatchEvent, Event, FaultKill, ListenAddr, Request,
+    Submission,
 };
 use serde::Value;
 use std::collections::HashMap;
@@ -60,11 +72,13 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro (list | plan | run | merge | cache (stats|gc|clear) | bench-runner | \
-         <experiment-id>... | all) \
+        "usage: repro (list | plan | run | merge | dispatch | serve | submit | \
+         cache (stats|gc|clear) | bench-runner | <experiment-id>... | all) \
          [--scale quick|paper|tiny] [--json] [--out DIR] [--threads N] [--progress] \
-         [--slice-events N] [--cache-dir DIR] [--keep-plan ID] [--shard I/K] [--shards K] \
-         [--shard-dir DIR] [--bench-json FILE] [--baseline FILE]"
+         [--slice-events N] [--cache-dir DIR] [--keep-plan ID] [--dry-run] [--shard I/K] \
+         [--shards K] [--shard-dir DIR] [--workers K] [--timeout-s N] [--retries N] \
+         [--listen ADDR] [--connect ADDR] [--ping] [--server-stats] [--shutdown] \
+         [--bench-json FILE] [--baseline FILE]"
     );
     ExitCode::from(2)
 }
@@ -84,6 +98,15 @@ struct Options {
     shard_dir: PathBuf,
     cache_dir: Option<PathBuf>,
     keep_plan: Vec<String>,
+    dry_run: bool,
+    workers: usize,
+    timeout_s: u64,
+    retries: u32,
+    listen: String,
+    connect: String,
+    ping: bool,
+    server_stats: bool,
+    shutdown: bool,
 }
 
 impl Options {
@@ -99,6 +122,7 @@ impl Options {
     fn exec(&self) -> ExecConfig {
         ExecConfig {
             slice_events: self.slice_events,
+            ..ExecConfig::default()
         }
     }
 }
@@ -312,29 +336,6 @@ fn run_and_report(experiments: Vec<Box<dyn Experiment>>, opts: &Options) -> bool
         ),
     );
     ok && write_failures == 0
-}
-
-/// Resolves the positional experiment ids (`all` or nothing selects
-/// the whole catalogue). Every id must resolve — an unknown id next
-/// to `all` (e.g. a mistyped subcommand) is an error, not a silent
-/// catalogue run.
-fn select_experiments(targets: &[String]) -> Result<Vec<Box<dyn Experiment>>, String> {
-    let mut out = Vec::new();
-    let mut want_all = targets.is_empty();
-    for id in targets {
-        if id == "all" {
-            want_all = true;
-        } else {
-            match find_experiment(id) {
-                Some(e) => out.push(e),
-                None => return Err(format!("unknown experiment '{id}'; try `repro list`")),
-            }
-        }
-    }
-    if want_all {
-        return Ok(all_experiments());
-    }
-    Ok(out)
 }
 
 /// Renders an event-count estimate compactly (`1.2M`, `340k`, `85`).
@@ -782,6 +783,387 @@ fn absorb_shard(
     Ok(())
 }
 
+/// Fault-injection hook for `repro dispatch`, from the environment:
+/// `EBRC_FAULT_KILL_SHARD=i` kills shard `i`'s first attempt
+/// (`EBRC_FAULT_KILL_AFTER_MS` into the run, default immediately).
+/// CI uses this to prove the retry path re-merges byte-identically.
+fn env_fault_kill() -> Option<FaultKill> {
+    let shard = std::env::var("EBRC_FAULT_KILL_SHARD")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()?;
+    let after_ms = std::env::var("EBRC_FAULT_KILL_AFTER_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(0);
+    Some(FaultKill {
+        shard,
+        after: std::time::Duration::from_millis(after_ms),
+    })
+}
+
+/// `repro dispatch`: run a sweep as `--workers K` shard worker
+/// *processes*, supervised with per-shard timeouts and bounded
+/// exponential-backoff retries, then auto-merge the artifacts —
+/// byte-identical to a single-process `repro all`. A worker that
+/// crashes or hangs costs one shard retry; per-spec failures inside a
+/// valid artifact ride through to the merge report instead of
+/// aborting the sweep.
+fn dispatch_sweep(targets: &[String], opts: &Options) -> ExitCode {
+    let experiments = match select_experiments(targets) {
+        Ok(e) => e,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(plan) = try_global_plan(&experiments, opts.scale) else {
+        eprintln!("plan construction panicked");
+        return ExitCode::FAILURE;
+    };
+    let fingerprint = format!("{:016x}", plan.fingerprint());
+    let k = opts.workers.max(1);
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot locate the repro binary: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&opts.shard_dir) {
+        eprintln!("cannot create {}: {e}", opts.shard_dir.display());
+        return ExitCode::FAILURE;
+    }
+    // Stale artifacts from an earlier dispatch (possibly at another
+    // shard count) would poison the merge; clear them first.
+    if let Ok(entries) = std::fs::read_dir(&opts.shard_dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("shard-") && (name.ends_with(".json") || name.ends_with(".log")) {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+
+    let worker_threads = (opts.threads / k).max(1);
+    let cfg = DispatchConfig {
+        workers: k,
+        timeout: std::time::Duration::from_secs(opts.timeout_s),
+        retries: opts.retries,
+        fault_kill: env_fault_kill(),
+        ..DispatchConfig::default()
+    };
+    eprintln!(
+        "# dispatch: {} unique sims across {k} shard worker(s) ({} thread(s) each), \
+         plan {fingerprint}, scale {}, timeout {}s, {} retries",
+        plan.unique_len(),
+        worker_threads,
+        opts.scale_name,
+        opts.timeout_s,
+        opts.retries,
+    );
+
+    let spawn = |shard: usize, attempt: u32| -> std::io::Result<std::process::Child> {
+        let log_path = opts
+            .shard_dir
+            .join(format!("shard-{shard}-attempt-{attempt}.log"));
+        let log = std::fs::File::create(&log_path)?;
+        let log_err = log.try_clone()?;
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("run");
+        if targets.is_empty() {
+            cmd.arg("all");
+        } else {
+            cmd.args(targets);
+        }
+        cmd.arg("--scale")
+            .arg(opts.scale_name)
+            .arg("--shard")
+            .arg(format!("{shard}/{k}"))
+            .arg("--shard-dir")
+            .arg(&opts.shard_dir)
+            .arg("--threads")
+            .arg(worker_threads.to_string())
+            .stdout(log)
+            .stderr(log_err);
+        if let Some(dir) = &opts.cache_dir {
+            cmd.arg("--cache-dir").arg(dir);
+        }
+        if let Some(n) = opts.slice_events {
+            cmd.arg("--slice-events").arg(n.to_string());
+        }
+        cmd.spawn()
+    };
+    let accept = |shard: usize| -> Result<(), String> {
+        let path = shard_path(&opts.shard_dir, shard, k);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("no artifact at {}: {e}", path.display()))?;
+        let value: Value =
+            serde_json::from_str(&text).map_err(|e| format!("torn artifact: {e}"))?;
+        let found = value
+            .get("plan")
+            .and_then(Value::as_str)
+            .ok_or("artifact without plan fingerprint")?;
+        if found != fingerprint {
+            return Err(format!(
+                "artifact fingerprint {found} does not match plan {fingerprint}"
+            ));
+        }
+        let tagged = |key: &str| value.get(key).and_then(Value::as_f64).map(|n| n as usize);
+        if tagged("shard") != Some(shard) || tagged("of") != Some(k) {
+            return Err("artifact is for a different shard split".into());
+        }
+        Ok(())
+    };
+    let log = |event: &DispatchEvent| match event {
+        DispatchEvent::Launched { shard, attempt } => {
+            eprintln!("# dispatch: shard {shard} attempt {attempt} launched");
+        }
+        DispatchEvent::Completed { shard, attempt } => {
+            eprintln!("# dispatch: shard {shard} completed (attempt {attempt})");
+        }
+        DispatchEvent::Retrying {
+            shard,
+            attempt,
+            error,
+            backoff,
+        } => {
+            eprintln!(
+                "# dispatch: shard {shard} attempt {attempt} failed ({error}); \
+                 retrying in {backoff:.0?}"
+            );
+        }
+        DispatchEvent::GaveUp {
+            shard,
+            attempts,
+            error,
+        } => {
+            eprintln!(
+                "# dispatch: shard {shard} failed permanently after {attempts} attempt(s): {error}"
+            );
+        }
+        DispatchEvent::FaultInjected { shard } => {
+            eprintln!("# dispatch: FAULT INJECTED — killed shard {shard} (test hook)");
+        }
+    };
+    let reports = supervise(&cfg, k, spawn, accept, log);
+    let failed: Vec<_> = reports.iter().filter(|r| r.error.is_some()).collect();
+    let retried: u32 = reports.iter().map(|r| r.attempts.saturating_sub(1)).sum();
+    eprintln!(
+        "# dispatch: {} of {k} shard(s) ok, {} retried attempt(s)",
+        k - failed.len(),
+        retried,
+    );
+    if !failed.is_empty() {
+        for r in &failed {
+            eprintln!(
+                "#   shard {} gave up after {} attempt(s): {}",
+                r.shard,
+                r.attempts,
+                r.error.as_deref().unwrap_or("unknown"),
+            );
+        }
+        eprintln!("# dispatch: not merging an incomplete shard set");
+        return ExitCode::FAILURE;
+    }
+    merge_shards(targets, opts)
+}
+
+/// `repro serve`: the resident sweep daemon. Binds `--listen ADDR`
+/// (TCP `host:port` or `unix:PATH`), keeps the `--cache-dir` warm
+/// across submissions, and streams rendered tables to each client.
+/// Runs until a client sends `--shutdown`.
+fn serve_daemon(opts: &Options) -> ExitCode {
+    let backend = CatalogueBackend {
+        cache_dir: opts.cache_dir.clone(),
+        threads: opts.threads,
+        slice_events: opts.slice_events,
+    };
+    let addr = ListenAddr::parse(&opts.listen);
+    match ebrc_serve::serve(&addr, &backend, |local| {
+        eprintln!("# serve: listening on {local}");
+        match &backend.cache_dir {
+            Some(dir) => eprintln!("# serve: sharing cache {}", dir.display()),
+            None => eprintln!("# serve: no --cache-dir; submissions will not dedup"),
+        }
+    }) {
+        Ok(()) => {
+            eprintln!("# serve: shut down");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve failed on {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro submit`: client for a running `repro serve`. Computes the
+/// plan fingerprint locally and sends it with the submission — the
+/// daemon refuses on mismatch, so a version-skewed client can never
+/// mislabel streamed tables. Stdout is byte-identical to running the
+/// same sweep locally.
+fn submit_sweep(targets: &[String], opts: &Options) -> ExitCode {
+    let addr = ListenAddr::parse(&opts.connect);
+    // One-shot control requests first.
+    if opts.ping || opts.server_stats || opts.shutdown {
+        let request = if opts.ping {
+            Request::Ping
+        } else if opts.server_stats {
+            Request::Stats
+        } else {
+            Request::Shutdown
+        };
+        return match client::request_one(&addr, &request) {
+            Ok(Event::Pong) => {
+                println!("pong from {addr}");
+                ExitCode::SUCCESS
+            }
+            Ok(Event::Stats(stats)) => {
+                println!(
+                    "serve {addr}: {} submission(s), {} sims executed, {} cache hit(s), \
+                     {} engine events",
+                    stats.submissions, stats.sims_executed, stats.cache_hits, stats.events,
+                );
+                ExitCode::SUCCESS
+            }
+            Ok(Event::Bye) => {
+                eprintln!("# serve at {addr} shutting down");
+                ExitCode::SUCCESS
+            }
+            Ok(other) => {
+                eprintln!("unexpected answer from {addr}: {other:?}");
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("cannot reach {addr}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // Compute the local fingerprint for the end-to-end version check.
+    let fingerprint = match select_experiments(targets) {
+        Ok(experiments) => {
+            try_global_plan(&experiments, opts.scale).map(|p| format!("{:016x}", p.fingerprint()))
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let submission = Submission {
+        targets: targets.to_vec(),
+        scale: opts.scale_name.to_string(),
+        fingerprint,
+    };
+    let mut out_seen: HashMap<String, String> = HashMap::new();
+    let mut write_failures = 0usize;
+    let mut chunk_errors = 0usize;
+    let show_progress = opts.progress;
+    let mut progressed = false;
+    let outcome = client::submit(&addr, submission, |event| match event {
+        Event::Accepted {
+            fingerprint,
+            unique_sims,
+            subscribed_sims,
+        } => {
+            eprintln!(
+                "# submit: accepted at {addr} — plan {fingerprint}, {unique_sims} unique sims \
+                 ({subscribed_sims} subscribed), scale {}",
+                opts.scale_name,
+            );
+        }
+        Event::Queued => eprintln!("# submit: queued behind another sweep"),
+        Event::Running => eprintln!("# submit: running"),
+        Event::Progress { done, total } => {
+            if show_progress {
+                eprint!("\r# progress {done}/{total} sims");
+                let _ = std::io::stderr().flush();
+                progressed = true;
+            }
+        }
+        Event::Report(chunk) => {
+            if progressed {
+                eprintln!();
+                progressed = false;
+            }
+            // Mirror render_reports byte for byte: header on stderr,
+            // server-rendered tables on stdout.
+            eprintln!(
+                "# {} — {} ({})",
+                chunk.experiment, chunk.title, chunk.paper_ref
+            );
+            if let Some(error) = &chunk.error {
+                eprintln!("#   {error}");
+                chunk_errors += 1;
+            }
+            for t in &chunk.tables {
+                if opts.json {
+                    println!("{}", t.json);
+                } else {
+                    println!("{}", t.render);
+                }
+                if let Some(dir) = &opts.out {
+                    if let Some(owner) = out_seen.get(&t.file_name) {
+                        eprintln!(
+                            "# table {:?} collides with {:?} on {}; not overwriting",
+                            t.name,
+                            owner,
+                            dir.join(&t.file_name).display()
+                        );
+                        write_failures += 1;
+                        continue;
+                    }
+                    out_seen.insert(t.file_name.clone(), t.name.clone());
+                    let path = dir.join(&t.file_name);
+                    if let Err(e) = std::fs::write(&path, &t.json) {
+                        eprintln!("# failed to write {}: {e}", path.display());
+                        write_failures += 1;
+                    }
+                }
+            }
+        }
+        Event::Done(_) | Event::Error { .. } => {}
+        other => eprintln!("# submit: unexpected event {other:?}"),
+    });
+    if progressed {
+        eprintln!();
+    }
+    match outcome {
+        Ok(Event::Done(summary)) => {
+            eprintln!(
+                "# summary: {} executed, {} cache hit(s), {} engine events, {} failed \
+                 in {:.1}s on the server",
+                summary.executed,
+                summary.cache_hits,
+                summary.events,
+                summary.failed,
+                summary.wall_s,
+            );
+            if summary.failed == 0 && chunk_errors == 0 && write_failures == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Ok(Event::Error { message }) => {
+            eprintln!("submit refused: {message}");
+            ExitCode::FAILURE
+        }
+        Ok(other) => {
+            eprintln!("unexpected terminal event: {other:?}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("submit to {addr} failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// `repro cache (stats | gc --keep-plan <targets> | clear)`: inspect
 /// and maintain a content-addressed sim cache.
 ///
@@ -808,13 +1190,25 @@ fn cache_command(targets: &[String], opts: &Options) -> ExitCode {
                 entries.len() - valid,
                 bytes,
             );
+            // Writer residue (a killed `repro` leaves its .tmp behind)
+            // and the true on-disk footprint, entries + residue.
+            let temps = cache.temp_files();
+            let temp_bytes: u64 = temps.iter().map(|t| t.bytes).sum();
+            println!(
+                "cache {}: {} temp file(s) ({} bytes), {} bytes total on disk",
+                cache.dir().display(),
+                temps.len(),
+                temp_bytes,
+                bytes + temp_bytes,
+            );
             ExitCode::SUCCESS
         }
         Some("clear") if targets.len() == 1 => {
             let entries = cache.entries();
             let removed = entries.iter().filter(|e| cache.remove(e.hash)).count();
+            let temps = cache.remove_temp_files();
             eprintln!(
-                "# cache clear: removed {removed} of {} entries",
+                "# cache clear: removed {removed} of {} entries, {temps} temp file(s)",
                 entries.len()
             );
             if removed == entries.len() {
@@ -840,6 +1234,42 @@ fn cache_command(targets: &[String], opts: &Options) -> ExitCode {
                 return ExitCode::FAILURE;
             };
             let keep: std::collections::HashSet<u64> = plan.spec_hashes().iter().copied().collect();
+            if opts.dry_run {
+                // Report-only pass: same selection as the real gc,
+                // zero deletions — so an operator can price a cleanup
+                // before committing to it.
+                let mut kept = 0usize;
+                let mut doomed = 0usize;
+                let mut doomed_bytes = 0u64;
+                for entry in cache.entries() {
+                    if entry.valid && keep.contains(&entry.hash) {
+                        kept += 1;
+                    } else {
+                        println!(
+                            "would remove {:016x} ({} bytes{})",
+                            entry.hash,
+                            entry.bytes,
+                            if entry.valid { "" } else { ", invalid" },
+                        );
+                        doomed += 1;
+                        doomed_bytes += entry.bytes;
+                    }
+                }
+                for temp in cache.temp_files() {
+                    println!(
+                        "would remove temp {} ({} bytes)",
+                        temp.path.display(),
+                        temp.bytes
+                    );
+                    doomed += 1;
+                    doomed_bytes += temp.bytes;
+                }
+                eprintln!(
+                    "# cache gc (dry run): would keep {kept}, remove {doomed} ({doomed_bytes} \
+                     bytes); nothing deleted",
+                );
+                return ExitCode::SUCCESS;
+            }
             let mut kept = 0usize;
             let mut removed = 0usize;
             let mut stuck = 0usize;
@@ -852,8 +1282,10 @@ fn cache_command(targets: &[String], opts: &Options) -> ExitCode {
                     stuck += 1;
                 }
             }
+            let temps = cache.remove_temp_files();
             eprintln!(
-                "# cache gc: kept {kept}, removed {removed} (keep-plan: {} unique sims at scale {})",
+                "# cache gc: kept {kept}, removed {removed} + {temps} temp file(s) \
+                 (keep-plan: {} unique sims at scale {})",
                 plan.unique_len(),
                 opts.scale_name,
             );
@@ -1223,6 +1655,15 @@ fn main() -> ExitCode {
         shard_dir: PathBuf::from("shards"),
         cache_dir: env_cache_dir(),
         keep_plan: Vec::new(),
+        dry_run: false,
+        workers: 2,
+        timeout_s: 600,
+        retries: 2,
+        listen: String::from("127.0.0.1:7077"),
+        connect: String::from("127.0.0.1:7077"),
+        ping: false,
+        server_stats: false,
+        shutdown: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -1232,22 +1673,14 @@ fn main() -> ExitCode {
             "--progress" => opts.progress = true,
             "--scale" => {
                 i += 1;
-                match args.get(i).map(String::as_str) {
-                    Some("quick") => {
-                        opts.scale = Scale::quick();
-                        opts.scale_name = "quick";
+                // `tiny` is the undocumented test scale: the whole
+                // catalogue in ~a second, for CI plumbing and tests.
+                match args.get(i).and_then(|s| scale_by_name(s)) {
+                    Some((scale, name)) => {
+                        opts.scale = scale;
+                        opts.scale_name = name;
                     }
-                    Some("paper") => {
-                        opts.scale = Scale::paper();
-                        opts.scale_name = "paper";
-                    }
-                    // Undocumented test scale: the whole catalogue in
-                    // ~a second, for CI plumbing and the test suite.
-                    Some("tiny") => {
-                        opts.scale = Scale::tiny();
-                        opts.scale_name = "tiny";
-                    }
-                    _ => return usage(),
+                    None => return usage(),
                 }
             }
             "--threads" => {
@@ -1316,6 +1749,45 @@ fn main() -> ExitCode {
                     _ => return usage(),
                 }
             }
+            "--dry-run" => opts.dry_run = true,
+            "--ping" => opts.ping = true,
+            "--server-stats" => opts.server_stats = true,
+            "--shutdown" => opts.shutdown = true,
+            "--workers" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(k) if k > 0 => opts.workers = k,
+                    _ => return usage(),
+                }
+            }
+            "--timeout-s" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) if n > 0 => opts.timeout_s = n,
+                    _ => return usage(),
+                }
+            }
+            "--retries" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u32>().ok()) {
+                    Some(n) => opts.retries = n,
+                    None => return usage(),
+                }
+            }
+            "--listen" => {
+                i += 1;
+                match args.get(i) {
+                    Some(addr) if !addr.is_empty() => opts.listen = addr.clone(),
+                    _ => return usage(),
+                }
+            }
+            "--connect" => {
+                i += 1;
+                match args.get(i) {
+                    Some(addr) if !addr.is_empty() => opts.connect = addr.clone(),
+                    _ => return usage(),
+                }
+            }
             "--bench-json" => {
                 i += 1;
                 match args.get(i) {
@@ -1335,7 +1807,8 @@ fn main() -> ExitCode {
             // positional — `repro fig03 list` must not silently turn
             // into a catalogue listing (the stray word becomes an
             // unknown-experiment error instead).
-            s @ ("list" | "plan" | "run" | "merge" | "cache" | "bench-runner")
+            s @ ("list" | "plan" | "run" | "merge" | "dispatch" | "serve" | "submit" | "cache"
+            | "bench-runner")
                 if command.is_none() && targets.is_empty() =>
             {
                 command = Some(s.to_string());
@@ -1353,6 +1826,9 @@ fn main() -> ExitCode {
         Some("plan") => print_plan(&targets, &opts),
         Some("run") => run_shard(&targets, &opts),
         Some("merge") => merge_shards(&targets, &opts),
+        Some("dispatch") => dispatch_sweep(&targets, &opts),
+        Some("serve") => serve_daemon(&opts),
+        Some("submit") => submit_sweep(&targets, &opts),
         Some("cache") => cache_command(&targets, &opts),
         Some("bench-runner") => bench_runner(&opts),
         Some(_) => usage(),

@@ -33,12 +33,14 @@ pub mod figures;
 pub mod registry;
 pub mod scenarios;
 pub mod series;
+pub mod service;
 pub mod spec;
 
 pub use registry::{
     all_experiments, find_experiment, global_plan, par_run, par_run_all, par_run_catalogue,
-    plan_run_catalogue, plan_run_catalogue_cached, replica_seed, CatalogueRun, Experiment,
-    ExperimentFailure, ExperimentReport, Plan, Scale, MASTER_SEED,
+    plan_run_catalogue, plan_run_catalogue_cached, replica_seed, scale_by_name, select_experiments,
+    CatalogueRun, Experiment, ExperimentFailure, ExperimentReport, Plan, Scale, MASTER_SEED,
 };
 pub use series::{table_file_name, Table};
+pub use service::CatalogueBackend;
 pub use spec::{SimSpec, SpecOutput};

@@ -490,6 +490,42 @@ pub fn find_experiment(id: &str) -> Option<Box<dyn Experiment>> {
     all_experiments().into_iter().find(|e| e.id() == id)
 }
 
+/// Resolves a scale name (`quick`, `paper`, or the undocumented test
+/// scale `tiny`) to the scale and its canonical name. The CLI and the
+/// sweep service share this so a daemon and its clients agree on what
+/// a name means.
+pub fn scale_by_name(name: &str) -> Option<(Scale, &'static str)> {
+    match name {
+        "quick" => Some((Scale::quick(), "quick")),
+        "paper" => Some((Scale::paper(), "paper")),
+        "tiny" => Some((Scale::tiny(), "tiny")),
+        _ => None,
+    }
+}
+
+/// Resolves positional experiment ids (`all` or nothing selects the
+/// whole catalogue). Every id must resolve — an unknown id next to
+/// `all` (e.g. a mistyped subcommand) is an error, not a silent
+/// catalogue run.
+pub fn select_experiments(targets: &[String]) -> Result<Vec<Box<dyn Experiment>>, String> {
+    let mut out = Vec::new();
+    let mut want_all = targets.is_empty();
+    for id in targets {
+        if id == "all" {
+            want_all = true;
+        } else {
+            match find_experiment(id) {
+                Some(e) => out.push(e),
+                None => return Err(format!("unknown experiment '{id}'; try `repro list`")),
+            }
+        }
+    }
+    if want_all {
+        return Ok(all_experiments());
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

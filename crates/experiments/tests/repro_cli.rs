@@ -250,13 +250,15 @@ fn merge_rejects_foreign_or_missing_shards() {
         .unwrap_or_default();
     assert!(written.is_empty(), "mismatched merge wrote tables");
 
-    // Same plan but shard 1/2 never ran → incomplete.
+    // Same plan but shard 1/2 never ran → incomplete. The exit code
+    // is pinned: scripts piping `repro merge` must be able to trust
+    // that missing sims fail the command, not just print a complaint.
     let partial = repro()
         .args(["merge", "fig01", "--scale", "tiny", "--shard-dir"])
         .arg(&dir)
         .output()
         .unwrap();
-    assert!(!partial.status.success());
+    assert_eq!(partial.status.code(), Some(1), "missing sims must exit 1");
     let err = String::from_utf8_lossy(&partial.stderr);
     assert!(err.contains("incomplete shard set"), "stderr: {err}");
     let _ = std::fs::remove_dir_all(&dir);
@@ -447,6 +449,224 @@ fn cache_command_requires_a_directory_and_known_action() {
     assert!(!no_keep.status.success());
     let err = String::from_utf8_lossy(&no_keep.stderr);
     assert!(err.contains("--keep-plan"), "stderr: {err}");
+}
+
+#[test]
+fn cache_gc_dry_run_prints_the_removals_without_deleting() {
+    let base = scratch("gc-dry");
+    let cdir = base.join("cache");
+    let run = repro()
+        .args(["fig02", "--scale", "tiny", "--cache-dir"])
+        .arg(&cdir)
+        .output()
+        .unwrap();
+    assert!(run.status.success());
+    let entry_count = || {
+        std::fs::read_dir(&cdir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".json"))
+            .count()
+    };
+    let before = entry_count();
+    assert!(before > 0);
+
+    // Keep claim4 only: every fig02 entry is a candidate — but the dry
+    // run must delete none of them.
+    let dry = repro()
+        .args([
+            "cache",
+            "gc",
+            "--dry-run",
+            "--keep-plan",
+            "claim4",
+            "--scale",
+            "tiny",
+            "--cache-dir",
+        ])
+        .arg(&cdir)
+        .output()
+        .unwrap();
+    assert!(
+        dry.status.success(),
+        "{}",
+        String::from_utf8_lossy(&dry.stderr)
+    );
+    let text = String::from_utf8_lossy(&dry.stdout);
+    assert_eq!(
+        text.lines()
+            .filter(|l| l.starts_with("would remove"))
+            .count(),
+        before,
+        "stdout: {text}"
+    );
+    let err = String::from_utf8_lossy(&dry.stderr);
+    assert!(err.contains("nothing deleted"), "stderr: {err}");
+    assert_eq!(entry_count(), before, "--dry-run deleted entries");
+
+    // `cache stats` reports the on-disk footprint (entries + temps).
+    let stats = repro()
+        .args(["cache", "stats", "--cache-dir"])
+        .arg(&cdir)
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&stats.stdout);
+    assert!(
+        text.contains("0 temp file(s)") && text.contains("bytes total on disk"),
+        "stats: {text}"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// The dispatcher end to end through the real binary: shard worker
+/// processes, a fault-injected mid-run kill, retry, and an auto-merge
+/// byte-identical to the single-process run.
+#[test]
+fn dispatch_retries_a_killed_worker_and_merges_byte_identically() {
+    // The whole catalogue, so a shard worker is reliably still
+    // mid-run when the fault hook kills it (a too-small sweep could
+    // finish before the supervisor's first poll).
+    let ids = ["all"];
+    let scale = ["--scale", "tiny"];
+    let dir = scratch("dispatch");
+
+    let direct = repro().args(ids).args(scale).output().unwrap();
+    assert!(direct.status.success());
+
+    let dispatched = repro()
+        .arg("dispatch")
+        .args(ids)
+        .args(scale)
+        .args(["--workers", "2", "--shard-dir"])
+        .arg(&dir)
+        .env("EBRC_FAULT_KILL_SHARD", "1")
+        .env("EBRC_FAULT_KILL_AFTER_MS", "0")
+        .output()
+        .unwrap();
+    let err = String::from_utf8_lossy(&dispatched.stderr);
+    assert!(dispatched.status.success(), "stderr: {err}");
+    assert!(err.contains("FAULT INJECTED"), "hook never fired: {err}");
+    assert!(
+        err.contains("shard 1 attempt 0 failed"),
+        "kill not observed: {err}"
+    );
+    assert!(
+        err.contains("shard 1 completed (attempt 1)"),
+        "retry never completed: {err}"
+    );
+    assert_eq!(
+        dispatched.stdout, direct.stdout,
+        "retried dispatch diverged from the direct run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dispatch_gives_up_after_the_retry_budget_and_does_not_merge() {
+    // The fault hook only fires once, so guaranteed permanent failure
+    // needs a zero retry budget: kill attempt 0, no attempt 1. The
+    // full catalogue keeps the worker alive long enough to be killed.
+    let dir = scratch("dispatch-fail");
+    let out = repro()
+        .args(["dispatch", "all", "--scale", "tiny"])
+        .args(["--workers", "1", "--retries", "0", "--shard-dir"])
+        .arg(&dir)
+        .env("EBRC_FAULT_KILL_SHARD", "0")
+        .env("EBRC_FAULT_KILL_AFTER_MS", "0")
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "a dead shard must fail the dispatch");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("failed permanently"), "stderr: {err}");
+    assert!(err.contains("not merging"), "stderr: {err}");
+    assert!(out.stdout.is_empty(), "no tables from an incomplete sweep");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The resident service end to end through the real binary: daemon up,
+/// two submissions sharing one cache (the second executes zero sims),
+/// stdout byte-identical to the local run, clean shutdown.
+#[test]
+fn serve_and_submit_round_trip_with_cache_dedup() {
+    use std::io::BufRead as _;
+
+    let ids = ["fig02", "fig05", "claim4"];
+    let scale = ["--scale", "tiny"];
+    let base = scratch("serve");
+    let cdir = base.join("cache");
+    std::fs::create_dir_all(&cdir).unwrap();
+
+    let direct = repro().args(ids).args(scale).output().unwrap();
+    assert!(direct.status.success());
+
+    let mut daemon = repro()
+        .args(["serve", "--listen", "127.0.0.1:0", "--cache-dir"])
+        .arg(&cdir)
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    // The daemon prints the resolved port once bound; read until then.
+    let mut stderr = std::io::BufReader::new(daemon.stderr.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        assert_ne!(stderr.read_line(&mut line).unwrap(), 0, "daemon died");
+        if let Some(rest) = line.trim().strip_prefix("# serve: listening on ") {
+            break rest.to_string();
+        }
+    };
+
+    let submit = |connect: &str| {
+        repro()
+            .arg("submit")
+            .args(ids)
+            .args(scale)
+            .args(["--connect", connect])
+            .output()
+            .unwrap()
+    };
+    let first = submit(&addr);
+    let err = String::from_utf8_lossy(&first.stderr);
+    assert!(first.status.success(), "first submit: {err}");
+    assert_eq!(first.stdout, direct.stdout, "streamed tables diverged");
+    assert!(err.contains("# submit: accepted"), "stderr: {err}");
+
+    // Same fingerprint again: the daemon's cache serves every sim.
+    let second = submit(&addr);
+    assert!(second.status.success());
+    assert_eq!(second.stdout, first.stdout, "repeat submission diverged");
+    let err = String::from_utf8_lossy(&second.stderr);
+    assert!(
+        err.contains("# summary: 0 executed"),
+        "dedup failed — second submission executed sims: {err}"
+    );
+
+    let ping = repro()
+        .args(["submit", "--ping", "--connect", &addr])
+        .output()
+        .unwrap();
+    assert!(ping.status.success());
+    assert!(String::from_utf8_lossy(&ping.stdout).contains("pong"));
+
+    let down = repro()
+        .args(["submit", "--shutdown", "--connect", &addr])
+        .output()
+        .unwrap();
+    assert!(down.status.success());
+    let status = daemon.wait().unwrap();
+    assert!(status.success(), "daemon exited uncleanly");
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn submit_against_nothing_fails_cleanly() {
+    // Port 1 on localhost: connection refused, not a hang.
+    let out = repro()
+        .args(["submit", "fig02", "--connect", "127.0.0.1:1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("127.0.0.1:1"), "stderr: {err}");
 }
 
 #[test]

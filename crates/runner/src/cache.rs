@@ -187,6 +187,58 @@ impl DirCache {
     pub fn remove(&self, hash: u64) -> bool {
         std::fs::remove_file(self.entry_path(hash)).is_ok()
     }
+
+    /// Scans for orphaned temp files (`<hash:016x>.tmp.<pid>`) left by
+    /// writers that died between write and rename. Live writers hold a
+    /// temp file only for the instant before the atomic rename, so
+    /// anything a scan observes is almost certainly a crash residue;
+    /// the load path never looks at temp files, they only waste disk.
+    pub fn temp_files(&self) -> Vec<TempFile> {
+        let Ok(dir) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for entry in dir.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let Some((stem, pid)) = name.split_once(".tmp.") else {
+                continue;
+            };
+            if stem.len() != 16
+                || !stem.bytes().all(|b| b.is_ascii_hexdigit())
+                || pid.is_empty()
+                || !pid.bytes().all(|b| b.is_ascii_digit())
+            {
+                continue;
+            }
+            let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            out.push(TempFile {
+                path: entry.path(),
+                bytes,
+            });
+        }
+        out.sort();
+        out
+    }
+
+    /// Deletes every orphaned temp file, returning how many were
+    /// removed. Safe against concurrent writers: a racing rename makes
+    /// this delete a no-op, and a racing writer that loses its temp
+    /// file fails its (best-effort) store without corrupting anything.
+    pub fn remove_temp_files(&self) -> usize {
+        self.temp_files()
+            .iter()
+            .filter(|t| std::fs::remove_file(&t.path).is_ok())
+            .count()
+    }
+}
+
+/// An orphaned writer temp file found by [`DirCache::temp_files`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TempFile {
+    /// Full path of the temp file.
+    pub path: PathBuf,
+    /// Its size in bytes.
+    pub bytes: u64,
 }
 
 impl OutputCache for DirCache {
@@ -330,6 +382,56 @@ mod tests {
         assert!(cache.remove(stable_hash("toy/a/v1")));
         assert!(!cache.remove(stable_hash("toy/a/v1")), "already gone");
         assert_eq!(cache.entries().len(), keys.len() - 1);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn killed_writer_residue_is_rejected_then_repaired() {
+        // Simulate a writer killed mid-store: a stale temp file from a
+        // dead pid plus a truncated entry (the kill landed inside
+        // fs::write on a filesystem without atomic visibility).
+        let cache = DirCache::new(scratch("killed"));
+        let key = "toy/a/v1";
+        let hash = stable_hash(key);
+        cache.store(hash, key, &payload());
+        let full = std::fs::read_to_string(cache.entry_path(hash)).unwrap();
+        std::fs::write(cache.entry_path(hash), &full[..full.len() / 2]).unwrap();
+        let stale = cache.dir().join(format!("{hash:016x}.tmp.99999"));
+        std::fs::write(&stale, &full[..full.len() / 3]).unwrap();
+
+        // Reads reject both: the truncated entry fails validation and
+        // the temp file is never consulted.
+        assert_eq!(cache.load(hash, key), None, "truncated entry served");
+        let entries = cache.entries();
+        assert_eq!(entries.len(), 1);
+        assert!(!entries[0].valid);
+        let temps = cache.temp_files();
+        assert_eq!(temps.len(), 1);
+        assert_eq!(temps[0].path, stale);
+        assert!(temps[0].bytes > 0);
+
+        // Re-execution (a fresh store) repairs the entry in place.
+        cache.store(hash, key, &payload());
+        assert_eq!(cache.load(hash, key), Some(payload()));
+        assert!(cache.entries()[0].valid);
+
+        // gc's temp sweep removes the orphan and nothing else.
+        assert_eq!(cache.remove_temp_files(), 1);
+        assert!(cache.temp_files().is_empty());
+        assert_eq!(cache.load(hash, key), Some(payload()), "entry survived gc");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn temp_scan_ignores_non_writer_files() {
+        let cache = DirCache::new(scratch("tempscan"));
+        cache.store(stable_hash("toy/a/v1"), "toy/a/v1", &payload());
+        // Decoys: wrong stem length, non-numeric pid, unrelated names.
+        std::fs::write(cache.dir().join("beef.tmp.123"), "x").unwrap();
+        std::fs::write(cache.dir().join("0123456789abcdef.tmp.pid"), "x").unwrap();
+        std::fs::write(cache.dir().join("notes.txt"), "x").unwrap();
+        assert!(cache.temp_files().is_empty());
+        assert_eq!(cache.remove_temp_files(), 0);
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

@@ -36,11 +36,13 @@ pub mod job;
 pub mod plan;
 pub mod pool;
 
-pub use cache::{CacheCounters, CacheEntry, CacheableSpec, DirCache, OutputCache, CACHE_FORMAT};
+pub use cache::{
+    CacheCounters, CacheEntry, CacheableSpec, DirCache, OutputCache, TempFile, CACHE_FORMAT,
+};
 pub use job::{take, Job, JobCtx, JobOutput};
 pub use plan::{
-    run_plan, run_plan_cached, run_specs, run_specs_cached, stable_hash, ExecConfig, Plan,
-    RunStats, SliceStep, SlicedRun, Spec, SpecCost, SpecExecution, SpecFailures, SpecResult,
-    SpecTiming, Subscription, SubscriptionResult,
+    run_plan, run_plan_cached, run_specs, run_specs_cached, stable_hash, CancelToken, ExecConfig,
+    Plan, RunStats, SliceStep, SlicedRun, Spec, SpecCost, SpecExecution, SpecFailures, SpecResult,
+    SpecTiming, Subscription, SubscriptionResult, CANCELLED,
 };
 pub use pool::{default_threads, panic_message, Pool, ResumableTask, TaskStep};

@@ -38,9 +38,41 @@ use crate::job::JobCtx;
 use crate::pool::{panic_message, Pool, ResumableTask, TaskStep};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Cooperative cancellation for an in-flight sweep.
+///
+/// A token is shared between the party that may abort (a daemon whose
+/// client disconnected, a supervisor tearing a sweep down) and the
+/// executors, via [`ExecConfig::cancel`]. Cancellation is checked at
+/// every pool step boundary: specs not yet started and the remaining
+/// slices of sliced specs fail fast with a `"cancelled"` error instead
+/// of executing, so a cancelled sweep drains in at most one slice per
+/// worker. Cancelled specs are never written to the cache.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+/// The error message a cancelled spec reports.
+pub const CANCELLED: &str = "cancelled";
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; every clone of the token observes it.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
 
 /// Wall-clock accounting of one *executed* spec, accumulated across
 /// its slices when the sliced path is active. Cache hits execute
@@ -87,7 +119,7 @@ impl RunStats {
 }
 
 /// Execution knobs threaded through the cache-aware runners.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ExecConfig {
     /// When set, specs that support slicing ([`Spec::start_sliced`])
     /// yield back to the pool every `slice_events` engine events, so a
@@ -95,6 +127,10 @@ pub struct ExecConfig {
     /// instead of pinning one. `None` runs every spec monolithically.
     /// Output is bit-identical either way.
     pub slice_events: Option<u64>,
+    /// When set, the run polls this token at every pool step boundary
+    /// and fails not-yet-started specs (and the remaining slices of
+    /// sliced specs) with [`CANCELLED`] instead of executing them.
+    pub cancel: Option<CancelToken>,
 }
 
 impl ExecConfig {
@@ -102,7 +138,14 @@ impl ExecConfig {
     pub fn sliced(budget: u64) -> Self {
         Self {
             slice_events: Some(budget),
+            ..Self::default()
         }
+    }
+
+    /// This config with cancellation observed from `token`.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 }
 
@@ -532,6 +575,7 @@ fn slice_chain<'a, O, F>(
     budget: u64,
     wall_s: f64,
     slices: u32,
+    cancel: Option<&'a CancelToken>,
     finish: &'a F,
 ) -> ResumableTask<'a, ()>
 where
@@ -539,6 +583,13 @@ where
     F: Fn(usize, Result<(O, u64), String>, f64, u32) + Sync,
 {
     Box::new(move || {
+        // The cancellation hook: checked before every slice, so a
+        // cancelled sweep drains in at most one in-flight slice per
+        // worker and queued specs never start at all.
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            finish(idx, Err(CANCELLED.to_string()), wall_s, slices);
+            return TaskStep::Done(());
+        }
         let started = Instant::now();
         let out = catch_unwind(AssertUnwindSafe(|| step(&mut ctx)));
         let wall_s = wall_s + started.elapsed().as_secs_f64();
@@ -560,6 +611,7 @@ where
                 budget,
                 wall_s,
                 slices,
+                cancel,
                 finish,
             )),
         }
@@ -699,6 +751,7 @@ fn run_plan_core<S: Spec>(
     let events_total = AtomicU64::new(0);
     let timings: Mutex<Vec<SpecTiming>> = Mutex::new(Vec::with_capacity(to_run.len()));
     let budget = exec.slice_events.unwrap_or(u64::MAX);
+    let cancel = exec.cancel.clone();
     let finish =
         |idx: usize, outcome: Result<(S::Output, u64), String>, wall_s: f64, slices: u32| {
             let key = plan.specs()[idx].key();
@@ -737,6 +790,7 @@ fn run_plan_core<S: Spec>(
                 budget,
                 0.0,
                 0,
+                cancel.as_ref(),
                 &finish,
             )
         })
@@ -839,6 +893,7 @@ pub fn run_specs_cached<S: CacheableSpec>(
     let events_total = AtomicU64::new(0);
     let timings: Mutex<Vec<SpecTiming>> = Mutex::new(Vec::with_capacity(to_run.len()));
     let budget = exec.slice_events.unwrap_or(u64::MAX);
+    let cancel = exec.cancel.clone();
     let finish = |i: usize, outcome: Result<(S::Output, u64), String>, wall_s: f64, slices: u32| {
         let result = outcome.map(|(out, events)| {
             events_total.fetch_add(events, Ordering::Relaxed);
@@ -875,6 +930,7 @@ pub fn run_specs_cached<S: CacheableSpec>(
                 budget,
                 0.0,
                 0,
+                cancel.as_ref(),
                 &finish,
             )
         })
@@ -1287,9 +1343,9 @@ mod tests {
         let cache = cache_scratch("specs");
         let pool = Pool::new(2);
         let exec = ExecConfig::default();
-        let (cold, c0) = run_specs_cached(&pool, 0, &specs, Some(&cache), exec, |_, _| {});
+        let (cold, c0) = run_specs_cached(&pool, 0, &specs, Some(&cache), exec.clone(), |_, _| {});
         assert_eq!(core(&c0), stats(0, 4, 6));
-        let (warm, c1) = run_specs_cached(&pool, 0, &specs, Some(&cache), exec, |_, _| {});
+        let (warm, c1) = run_specs_cached(&pool, 0, &specs, Some(&cache), exec.clone(), |_, _| {});
         assert_eq!(core(&c1), stats(4, 0, 0));
         // Outputs identical; warm per-spec events are zero (nothing
         // executed), cold ones carry each sim's dispatch count.
@@ -1424,6 +1480,7 @@ mod tests {
                     None,
                     ExecConfig {
                         slice_events: budget,
+                        ..ExecConfig::default()
                     },
                     |_, _| {},
                     |res: SubscriptionResult<Sliceable>| {
@@ -1533,7 +1590,8 @@ mod tests {
         specs.extend((1..13).map(|id| Sleeper { id, ms: 12 }));
         let exec = ExecConfig::sliced(6);
         let serial_start = Instant::now();
-        let (serial_out, _) = run_specs_cached(&Pool::new(1), 0, &specs, None, exec, |_, _| {});
+        let (serial_out, _) =
+            run_specs_cached(&Pool::new(1), 0, &specs, None, exec.clone(), |_, _| {});
         let serial = serial_start.elapsed();
         let par_start = Instant::now();
         let (par_out, _) = run_specs_cached(&Pool::new(2), 0, &specs, None, exec, |_, _| {});
@@ -1543,5 +1601,51 @@ mod tests {
             par < serial.mul_f64(0.75),
             "two workers did not beat serial: serial={serial:?} par={par:?}"
         );
+    }
+
+    #[test]
+    fn a_cancelled_run_fails_fast_without_executing_or_caching() {
+        // A pre-cancelled token: no spec may execute, nothing may be
+        // written to the cache, and every slot reports CANCELLED.
+        let specs: Vec<Toy> = (0..4).map(|i| toy("cancel", i)).collect();
+        let cache = cache_scratch("cancel");
+        let token = CancelToken::new();
+        token.cancel();
+        let exec = ExecConfig::default().with_cancel(token);
+        let (out, stats) =
+            run_specs_cached(&Pool::new(2), 0, &specs, Some(&cache), exec, |_, _| {});
+        assert_eq!(stats.events, 0, "cancelled specs dispatch no events");
+        assert!(stats.timings.is_empty(), "cancelled specs record no cost");
+        for r in &out {
+            assert_eq!(r.as_ref().unwrap_err(), CANCELLED);
+        }
+        assert!(cache.entries().is_empty(), "cancelled specs never cached");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn a_live_token_cancels_between_slices() {
+        // Cancel from inside the first completing sim: with one worker
+        // the remaining queued sims must fail fast as CANCELLED rather
+        // than execute (their slice chain polls the token on entry).
+        let token = CancelToken::new();
+        let specs: Vec<Sliceable> = (0..6)
+            .map(|i| Sliceable {
+                name: "live",
+                value: i,
+                work: 4,
+            })
+            .collect();
+        let t = token.clone();
+        let progress = move |_done: usize, _total: usize| t.cancel();
+        let exec = ExecConfig::default().with_cancel(token);
+        let (out, _) = run_specs_cached(&Pool::new(1), 0, &specs, None, exec, progress);
+        let cancelled = out.iter().filter(|r| r.is_err()).count();
+        let finished = out.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(cancelled + finished, specs.len());
+        assert!(cancelled >= specs.len() - 1, "cancellation did not drain");
+        for r in out.iter().filter(|r| r.is_err()) {
+            assert_eq!(r.as_ref().unwrap_err(), CANCELLED);
+        }
     }
 }

@@ -1,0 +1,39 @@
+//! What the daemon runs: a sweep backend behind a narrow trait.
+//!
+//! The service layer (connections, framing, admission, counters) lives
+//! in this crate, but the actual catalogue — experiments, plans, the
+//! cost-model pool — lives in `ebrc-experiments`, which *depends on*
+//! this crate. Inverting the dependency through [`SweepBackend`] keeps
+//! the service testable with a mock (no sims, no cache dir) and keeps
+//! this crate free of any experiment vocabulary.
+
+use crate::proto::{Event, PlanInfo, RunSummary};
+use ebrc_runner::CancelToken;
+
+/// A sink for events streamed back to one client. `emit` returns
+/// `false` once the receiver is gone (connection dropped); callers
+/// should treat that as a cancellation signal and stop producing.
+pub trait EventSink: Sync {
+    /// Delivers one event; `false` means the receiver is gone.
+    fn emit(&self, event: Event) -> bool;
+}
+
+/// The sweep executor behind the daemon.
+pub trait SweepBackend: Send + Sync {
+    /// Resolves a target selection at a named scale into a plan
+    /// without executing anything. Errors are user-facing strings
+    /// (unknown experiment, unknown scale).
+    fn resolve(&self, targets: &[String], scale: &str) -> Result<PlanInfo, String>;
+
+    /// Runs the sweep, streaming [`Event::Progress`] and
+    /// [`Event::Report`] through `sink`. Honors `cancel` (set when the
+    /// client disconnects mid-run) by abandoning remaining work. The
+    /// returned summary's `wall_s` may be zero; the service stamps it.
+    fn execute(
+        &self,
+        targets: &[String],
+        scale: &str,
+        cancel: &CancelToken,
+        sink: &dyn EventSink,
+    ) -> Result<RunSummary, String>;
+}

@@ -1,0 +1,42 @@
+//! Client helpers for talking to a running sweep daemon.
+
+use crate::frame::{read_value, write_value};
+use crate::proto::{Event, Request, Submission};
+use crate::service::{connect, ListenAddr};
+use std::io;
+
+fn bad(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// Sends one request and returns the first event the daemon answers
+/// with. For `ping` / `stats` / `shutdown` that single event is the
+/// whole exchange.
+pub fn request_one(addr: &ListenAddr, request: &Request) -> io::Result<Event> {
+    let mut conn = connect(addr)?;
+    write_value(&mut conn, &request.to_value())?;
+    let value = read_value(&mut conn)?
+        .ok_or_else(|| bad("daemon closed the connection without answering".into()))?;
+    Event::from_value(&value).map_err(bad)
+}
+
+/// Submits a sweep and streams every event to `on_event` until a
+/// terminal `Done` or `Error` arrives (returned). An early disconnect
+/// is an error — the sweep outcome is unknown.
+pub fn submit(
+    addr: &ListenAddr,
+    submission: Submission,
+    mut on_event: impl FnMut(&Event),
+) -> io::Result<Event> {
+    let mut conn = connect(addr)?;
+    write_value(&mut conn, &Request::Submit(submission).to_value())?;
+    loop {
+        let value = read_value(&mut conn)?
+            .ok_or_else(|| bad("daemon disconnected mid-sweep; outcome unknown".into()))?;
+        let event = Event::from_value(&value).map_err(bad)?;
+        on_event(&event);
+        if matches!(event, Event::Done(_) | Event::Error { .. }) {
+            return Ok(event);
+        }
+    }
+}

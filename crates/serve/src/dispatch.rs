@@ -1,0 +1,519 @@
+//! Shard dispatcher: spawn, supervise, retry.
+//!
+//! `repro dispatch` splits a sweep into `k` shards and runs each as a
+//! child `repro run --shard i/k` process. This module owns the generic
+//! supervision loop: it knows nothing about repro's CLI — the caller
+//! supplies a `spawn` closure that launches shard `i` (attempt `n`)
+//! and an `accept` closure that validates the shard's artifact after
+//! the child exits. That split keeps the whole state machine testable
+//! with `/bin/sh` stand-ins.
+//!
+//! Failure policy, in one sentence: a shard that exits without a
+//! valid artifact — crash, hang past the timeout, torn or mismatched
+//! output — is relaunched with bounded exponential backoff, and only
+//! after the retry budget is spent does the shard (not the sweep)
+//! count as failed. Per-*spec* failures inside a valid artifact are
+//! not the dispatcher's business; they ride through to the merge
+//! report so a persistent sim bug surfaces per-spec rather than
+//! aborting the sweep.
+//!
+//! Sharding is deterministic (`shard_indices` partitions the deduped
+//! plan by index) and artifacts are fingerprint-checked on merge, so
+//! a retried shard reproduces byte-identical output — retries are
+//! invisible in the final tables.
+
+use std::io;
+use std::process::Child;
+use std::time::{Duration, Instant};
+
+/// Supervision knobs for one dispatch run.
+#[derive(Debug, Clone)]
+pub struct DispatchConfig {
+    /// Concurrent shard workers.
+    pub workers: usize,
+    /// Wall-clock budget per attempt; a child past this is killed and
+    /// the attempt counts as failed (hung-worker defense).
+    pub timeout: Duration,
+    /// Relaunches allowed per shard after the first attempt.
+    pub retries: u32,
+    /// Backoff before the first relaunch; doubles per attempt.
+    pub backoff: Duration,
+    /// Ceiling on the exponential backoff.
+    pub backoff_cap: Duration,
+    /// Supervisor poll interval.
+    pub poll: Duration,
+    /// Test hook: kill one shard's first attempt mid-run.
+    pub fault_kill: Option<FaultKill>,
+}
+
+impl Default for DispatchConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            timeout: Duration::from_secs(600),
+            retries: 2,
+            backoff: Duration::from_millis(250),
+            backoff_cap: Duration::from_secs(5),
+            poll: Duration::from_millis(20),
+            fault_kill: None,
+        }
+    }
+}
+
+/// Fault-injection hook: kill `shard`'s attempt 0 once `after` has
+/// elapsed, exactly once. Exists so CI can prove the retry path
+/// produces byte-identical tables without patching the binary.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultKill {
+    /// Which shard to kill.
+    pub shard: usize,
+    /// How long into attempt 0 to kill it.
+    pub after: Duration,
+}
+
+/// Something the supervisor observed; surfaced via the `log` callback
+/// so the CLI can narrate progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DispatchEvent {
+    /// Shard `shard` attempt `attempt` launched.
+    Launched {
+        /// Shard index.
+        shard: usize,
+        /// Attempt number, 0-based.
+        attempt: u32,
+    },
+    /// Shard finished and its artifact was accepted.
+    Completed {
+        /// Shard index.
+        shard: usize,
+        /// Attempt number that succeeded.
+        attempt: u32,
+    },
+    /// An attempt failed; a retry is scheduled.
+    Retrying {
+        /// Shard index.
+        shard: usize,
+        /// The attempt that failed.
+        attempt: u32,
+        /// Why it failed.
+        error: String,
+        /// Backoff before the relaunch.
+        backoff: Duration,
+    },
+    /// The retry budget is spent; the shard is permanently failed.
+    GaveUp {
+        /// Shard index.
+        shard: usize,
+        /// Attempts consumed.
+        attempts: u32,
+        /// The final error.
+        error: String,
+    },
+    /// The fault-injection hook fired.
+    FaultInjected {
+        /// Shard index that was killed.
+        shard: usize,
+    },
+}
+
+/// Per-shard outcome of a dispatch run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Attempts consumed (≥ 1 unless the sweep had zero shards).
+    pub attempts: u32,
+    /// `None` on success; the final error otherwise.
+    pub error: Option<String>,
+}
+
+enum ShardState {
+    Pending {
+        attempt: u32,
+    },
+    Backoff {
+        until: Instant,
+        attempt: u32,
+    },
+    Running {
+        child: Child,
+        attempt: u32,
+        started: Instant,
+        fault_armed: bool,
+    },
+    Done {
+        attempts: u32,
+        error: Option<String>,
+    },
+}
+
+/// Runs `shards` shard workers to completion under `cfg`, at most
+/// `cfg.workers` concurrently.
+///
+/// `spawn(shard, attempt)` launches one attempt; `accept(shard)`
+/// validates the artifact after a child exits (exit status is
+/// deliberately ignored — a *valid artifact* from a nonzero exit
+/// means per-spec failures, which merge handles; an invalid artifact
+/// from a zero exit is still a failed attempt). `log` receives every
+/// [`DispatchEvent`].
+pub fn supervise(
+    cfg: &DispatchConfig,
+    shards: usize,
+    mut spawn: impl FnMut(usize, u32) -> io::Result<Child>,
+    mut accept: impl FnMut(usize) -> Result<(), String>,
+    mut log: impl FnMut(&DispatchEvent),
+) -> Vec<ShardReport> {
+    let mut states: Vec<ShardState> = (0..shards)
+        .map(|_| ShardState::Pending { attempt: 0 })
+        .collect();
+    let workers = cfg.workers.max(1);
+
+    loop {
+        let mut running = 0;
+        let mut all_done = true;
+
+        // Pass 1: poll running children for exit, timeout, or fault.
+        for (i, state) in states.iter_mut().enumerate() {
+            if let ShardState::Running {
+                child,
+                attempt,
+                started,
+                fault_armed,
+            } = state
+            {
+                let attempt = *attempt;
+                if *fault_armed {
+                    let fault = cfg.fault_kill.expect("armed implies configured");
+                    if started.elapsed() >= fault.after {
+                        let _ = child.kill();
+                        *fault_armed = false;
+                        log(&DispatchEvent::FaultInjected { shard: i });
+                    }
+                }
+                let outcome = match child.try_wait() {
+                    Ok(Some(_status)) => {
+                        // Exited (any status): the artifact is the truth.
+                        Some(accept(i))
+                    }
+                    Ok(None) if started.elapsed() >= cfg.timeout => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        Some(Err(format!(
+                            "timed out after {:.0?} (attempt {attempt})",
+                            cfg.timeout
+                        )))
+                    }
+                    Ok(None) => None,
+                    Err(e) => Some(Err(format!("wait failed: {e}"))),
+                };
+                match outcome {
+                    Some(Ok(())) => {
+                        log(&DispatchEvent::Completed { shard: i, attempt });
+                        *state = ShardState::Done {
+                            attempts: attempt + 1,
+                            error: None,
+                        };
+                    }
+                    Some(Err(error)) => {
+                        *state = next_after_failure(cfg, i, attempt, error, &mut log);
+                    }
+                    None => {
+                        running += 1;
+                        all_done = false;
+                    }
+                }
+            }
+        }
+
+        // Pass 2: launch pending/backed-off shards into free slots.
+        for (i, state) in states.iter_mut().enumerate() {
+            let attempt = match state {
+                ShardState::Pending { attempt } => *attempt,
+                ShardState::Backoff { until, attempt } if Instant::now() >= *until => *attempt,
+                ShardState::Backoff { .. } => {
+                    all_done = false;
+                    continue;
+                }
+                _ => continue,
+            };
+            all_done = false;
+            if running >= workers {
+                continue;
+            }
+            match spawn(i, attempt) {
+                Ok(child) => {
+                    log(&DispatchEvent::Launched { shard: i, attempt });
+                    let fault_armed = attempt == 0 && cfg.fault_kill.map(|f| f.shard) == Some(i);
+                    *state = ShardState::Running {
+                        child,
+                        attempt,
+                        started: Instant::now(),
+                        fault_armed,
+                    };
+                    running += 1;
+                }
+                Err(e) => {
+                    *state =
+                        next_after_failure(cfg, i, attempt, format!("spawn failed: {e}"), &mut log);
+                }
+            }
+        }
+
+        if all_done {
+            break;
+        }
+        std::thread::sleep(cfg.poll);
+    }
+
+    states
+        .into_iter()
+        .enumerate()
+        .map(|(shard, state)| match state {
+            ShardState::Done { attempts, error } => ShardReport {
+                shard,
+                attempts,
+                error,
+            },
+            _ => unreachable!("loop exits only when every shard is done"),
+        })
+        .collect()
+}
+
+fn next_after_failure(
+    cfg: &DispatchConfig,
+    shard: usize,
+    attempt: u32,
+    error: String,
+    log: &mut impl FnMut(&DispatchEvent),
+) -> ShardState {
+    if attempt < cfg.retries {
+        let backoff = cfg
+            .backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(cfg.backoff_cap);
+        log(&DispatchEvent::Retrying {
+            shard,
+            attempt,
+            error,
+            backoff,
+        });
+        ShardState::Backoff {
+            until: Instant::now() + backoff,
+            attempt: attempt + 1,
+        }
+    } else {
+        log(&DispatchEvent::GaveUp {
+            shard,
+            attempts: attempt + 1,
+            error: error.clone(),
+        });
+        ShardState::Done {
+            attempts: attempt + 1,
+            error: Some(error),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::process::Command;
+
+    fn sh(script: &str) -> io::Result<Child> {
+        Command::new("/bin/sh").arg("-c").arg(script).spawn()
+    }
+
+    fn quick() -> DispatchConfig {
+        DispatchConfig {
+            workers: 2,
+            timeout: Duration::from_secs(10),
+            retries: 2,
+            backoff: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(20),
+            poll: Duration::from_millis(5),
+            fault_kill: None,
+        }
+    }
+
+    #[test]
+    fn happy_path_runs_every_shard_once() {
+        let mut events = Vec::new();
+        let reports = supervise(
+            &quick(),
+            3,
+            |_, _| sh("true"),
+            |_| Ok(()),
+            |e| events.push(e.clone()),
+        );
+        assert_eq!(reports.len(), 3);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!((r.shard, r.attempts, r.error.as_deref()), (i, 1, None));
+        }
+        let launches = events
+            .iter()
+            .filter(|e| matches!(e, DispatchEvent::Launched { .. }))
+            .count();
+        assert_eq!(launches, 3);
+    }
+
+    #[test]
+    fn flaky_shard_is_retried_until_the_artifact_appears() {
+        // The shard "writes its artifact" only on the second attempt:
+        // accept() keys off a marker file the second launch creates.
+        let dir = std::env::temp_dir().join(format!("ebrc-dispatch-flaky-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let marker = dir.join("attempt2");
+        let marker_sh = marker.display().to_string();
+        let mut events = Vec::new();
+        let reports = supervise(
+            &quick(),
+            1,
+            |_, attempt| {
+                if attempt == 0 {
+                    sh("exit 7")
+                } else {
+                    sh(&format!("touch '{marker_sh}'"))
+                }
+            },
+            |_| {
+                if marker.exists() {
+                    Ok(())
+                } else {
+                    Err("artifact missing".into())
+                }
+            },
+            |e| events.push(e.clone()),
+        );
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(reports[0].attempts, 2);
+        assert_eq!(reports[0].error, None);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            DispatchEvent::Retrying {
+                shard: 0,
+                attempt: 0,
+                ..
+            }
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            DispatchEvent::Completed {
+                shard: 0,
+                attempt: 1
+            }
+        )));
+    }
+
+    #[test]
+    fn hung_worker_is_killed_and_eventually_given_up_on() {
+        let cfg = DispatchConfig {
+            timeout: Duration::from_millis(60),
+            retries: 1,
+            ..quick()
+        };
+        let mut events = Vec::new();
+        let reports = supervise(
+            &cfg,
+            1,
+            |_, _| sh("sleep 30"),
+            |_| Err("no artifact".into()),
+            |e| events.push(e.clone()),
+        );
+        assert_eq!(reports[0].attempts, 2);
+        let err = reports[0].error.as_deref().unwrap();
+        assert!(err.contains("timed out"), "got: {err}");
+        assert!(events.iter().any(|e| matches!(
+            e,
+            DispatchEvent::GaveUp {
+                shard: 0,
+                attempts: 2,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn rejected_artifact_counts_as_a_failed_attempt_despite_exit_zero() {
+        let mut seen = 0u32;
+        let reports = supervise(
+            &quick(),
+            1,
+            |_, _| sh("true"),
+            |_| {
+                seen += 1;
+                if seen >= 2 {
+                    Ok(())
+                } else {
+                    Err("fingerprint mismatch".into())
+                }
+            },
+            |_| {},
+        );
+        assert_eq!(reports[0].attempts, 2);
+        assert_eq!(reports[0].error, None);
+    }
+
+    #[test]
+    fn fault_kill_fires_once_and_the_retry_recovers() {
+        let cfg = DispatchConfig {
+            fault_kill: Some(FaultKill {
+                shard: 0,
+                after: Duration::from_millis(0),
+            }),
+            ..quick()
+        };
+        let mut events = Vec::new();
+        let accepted_attempts = std::cell::RefCell::new(Vec::new());
+        let attempt_seen = std::cell::Cell::new(0u32);
+        let reports = supervise(
+            &cfg,
+            1,
+            |_, attempt| {
+                attempt_seen.set(attempt);
+                // Attempt 0 lingers so the fault hook has a live child
+                // to kill; the retry finishes immediately.
+                if attempt == 0 {
+                    sh("sleep 30")
+                } else {
+                    sh("true")
+                }
+            },
+            |_| {
+                if attempt_seen.get() == 0 {
+                    Err("killed mid-run".into())
+                } else {
+                    accepted_attempts.borrow_mut().push(attempt_seen.get());
+                    Ok(())
+                }
+            },
+            |e| events.push(e.clone()),
+        );
+        assert_eq!(reports[0].attempts, 2);
+        assert_eq!(reports[0].error, None);
+        assert_eq!(accepted_attempts.into_inner(), vec![1]);
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, DispatchEvent::FaultInjected { shard: 0 }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn spawn_failures_burn_the_retry_budget() {
+        let reports = supervise(
+            &quick(),
+            1,
+            |_, _| Err(io::Error::new(io::ErrorKind::NotFound, "no such binary")),
+            |_| Ok(()),
+            |_| {},
+        );
+        assert_eq!(reports[0].attempts, 3);
+        assert!(reports[0]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("spawn failed"));
+    }
+}

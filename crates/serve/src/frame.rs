@@ -1,0 +1,154 @@
+//! Length-prefixed JSON framing — the wire layer of the sweep service.
+//!
+//! A frame is a 4-byte big-endian payload length followed by exactly
+//! that many bytes of UTF-8 JSON. The prefix makes message boundaries
+//! explicit on a stream transport (TCP or a Unix socket), so neither
+//! side ever scans for delimiters or buffers unbounded input: a reader
+//! knows after 4 bytes how much to expect, and a length above
+//! [`MAX_FRAME`] is rejected before any allocation — a garbage prefix
+//! (wrong port, HTTP client, random scanner) cannot make the daemon
+//! reserve gigabytes.
+//!
+//! Hand-rolled over `std::io` because the workspace builds offline:
+//! no tokio, no serde wire formats, just the vendored JSON tree.
+
+use serde::Value;
+use std::io::{self, Read, Write};
+
+/// Upper bound on a single frame's payload, in bytes. Paper-scale
+/// table sets measure in megabytes; 64 MiB leaves two orders of
+/// magnitude of headroom while still rejecting nonsense prefixes.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Writes one frame: 4-byte big-endian length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload. `Ok(None)` is a clean end-of-stream (the
+/// peer closed between frames); EOF *inside* a frame is an error, as
+/// is a length prefix above [`MAX_FRAME`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    let mut got = 0;
+    while got < len.len() {
+        match r.read(&mut len[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(None)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "stream closed inside a frame header",
+                    ))
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let n = u32::from_be_bytes(len) as usize;
+    if n > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {n} exceeds MAX_FRAME (bad peer or wrong protocol)"),
+        ));
+    }
+    let mut payload = vec![0u8; n];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Writes one JSON value as a compact frame.
+pub fn write_value(w: &mut impl Write, value: &Value) -> io::Result<()> {
+    let text = serde_json::to_string(value).expect("values serialize");
+    write_frame(w, text.as_bytes())
+}
+
+/// Reads one frame and parses it as JSON. `Ok(None)` is a clean
+/// end-of-stream; a frame that is not valid UTF-8 JSON is an
+/// [`io::ErrorKind::InvalidData`] error.
+pub fn read_value(r: &mut impl Read) -> io::Result<Option<Value>> {
+    let Some(payload) = read_frame(r)? else {
+        return Ok(None);
+    };
+    let text = std::str::from_utf8(&payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("non-UTF-8 frame: {e}")))?;
+    serde_json::from_str(text)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad JSON frame: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, "tabl\u{00e9}s\n".as_bytes()).unwrap();
+        let mut r = Cursor::new(wire);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(
+            read_frame(&mut r).unwrap().as_deref(),
+            Some("tabl\u{00e9}s\n".as_bytes())
+        );
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+        assert!(read_frame(&mut r).unwrap().is_none(), "EOF is sticky");
+    }
+
+    #[test]
+    fn truncated_frames_are_errors_not_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"payload").unwrap();
+        // Cut inside the payload.
+        let mut r = Cursor::new(wire[..6].to_vec());
+        assert!(read_frame(&mut r).is_err());
+        // Cut inside the header.
+        let mut wire2 = Vec::new();
+        write_frame(&mut wire2, b"x").unwrap();
+        let mut r = Cursor::new(wire2[..2].to_vec());
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn oversize_lengths_are_rejected_before_allocation() {
+        let mut wire = (u32::MAX).to_be_bytes().to_vec();
+        wire.extend_from_slice(b"junk");
+        let err = read_frame(&mut Cursor::new(wire)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(write_frame(&mut Vec::new(), &vec![0u8; MAX_FRAME + 1]).is_err());
+    }
+
+    #[test]
+    fn values_round_trip() {
+        let v = Value::Object(vec![
+            ("type".into(), Value::String("progress".into())),
+            ("done".into(), Value::Number(3.0)),
+        ]);
+        let mut wire = Vec::new();
+        write_value(&mut wire, &v).unwrap();
+        assert_eq!(read_value(&mut Cursor::new(wire)).unwrap(), Some(v));
+    }
+
+    #[test]
+    fn garbage_json_is_invalid_data() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"{not json").unwrap();
+        let err = read_value(&mut Cursor::new(wire)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}
