@@ -9,6 +9,8 @@
 //! repro all --threads 1          # sequential (byte-identical output)
 //! repro all --progress           # live sims-completed line on stderr
 //! repro fig05 --json             # machine-readable output
+//! repro fig03 --trace out.pftrace  # Perfetto trace (one sim: file;
+//!                                # several: per-spec files under PATH/)
 //! repro all --out results/       # one JSON file per table, spooled as
 //!                                # each experiment's last sim completes
 //! repro all --cache-dir cache/   # content-addressed sim cache: a repeat
@@ -57,7 +59,7 @@ use ebrc_experiments::{
 };
 use ebrc_runner::{
     panic_message, run_specs_cached, CacheCounters, DirCache, ExecConfig, OutputCache, Pool,
-    Spec as _, SpecTiming,
+    Spec as _, SpecTiming, TraceConfig,
 };
 use ebrc_serve::{
     client, supervise, DispatchConfig, DispatchEvent, Event, FaultKill, ListenAddr, Request,
@@ -75,7 +77,7 @@ fn usage() -> ExitCode {
         "usage: repro (list | plan | run | merge | dispatch | serve | submit | \
          cache (stats|gc|clear) | bench-runner | <experiment-id>... | all) \
          [--scale quick|paper|tiny] [--json] [--out DIR] [--threads N] [--progress] \
-         [--slice-events N] [--cache-dir DIR] [--keep-plan ID] [--dry-run] [--shard I/K] \
+         [--trace PATH] [--slice-events N] [--cache-dir DIR] [--keep-plan ID] [--dry-run] [--shard I/K] \
          [--shards K] [--shard-dir DIR] [--workers K] [--timeout-s N] [--retries N] \
          [--listen ADDR] [--connect ADDR] [--ping] [--server-stats] [--shutdown] \
          [--bench-json FILE] [--baseline FILE]"
@@ -91,6 +93,7 @@ struct Options {
     threads: usize,
     progress: bool,
     slice_events: Option<u64>,
+    trace: Option<PathBuf>,
     bench_json: Option<PathBuf>,
     baseline: Option<PathBuf>,
     shard: (usize, usize),
@@ -123,6 +126,33 @@ impl Options {
         ExecConfig {
             slice_events: self.slice_events,
             ..ExecConfig::default()
+        }
+    }
+
+    /// Resolves `--trace PATH` against the number of sims the run will
+    /// execute: one sim records straight into the file at PATH; more
+    /// sims turn PATH into a directory of per-spec `.pftrace` files.
+    /// Creates the needed directories; tracing forces every selected
+    /// sim to execute (cache hits record nothing).
+    fn trace_config(&self, unique_sims: usize) -> Result<Option<TraceConfig>, String> {
+        let Some(path) = &self.trace else {
+            return Ok(None);
+        };
+        if unique_sims == 1 {
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            }
+            eprintln!("# trace: recording 1 sim to {}", path.display());
+            Ok(Some(TraceConfig::single(path)))
+        } else {
+            std::fs::create_dir_all(path)
+                .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+            eprintln!(
+                "# trace: recording {unique_sims} sims under {}",
+                path.display()
+            );
+            Ok(Some(TraceConfig::per_spec(path)))
         }
     }
 }
@@ -265,7 +295,8 @@ fn summarize(reports: &[ExperimentReport], detail: &str) -> bool {
 /// results. Returns `true` when everything succeeded.
 fn run_and_report(experiments: Vec<Box<dyn Experiment>>, opts: &Options) -> bool {
     let pool = Pool::new(opts.threads);
-    match try_global_plan(&experiments, opts.scale) {
+    let plan = try_global_plan(&experiments, opts.scale);
+    match &plan {
         Some(plan) => eprintln!(
             "# {} experiment(s), {} unique sims ({} subscribed, dedup {:.2}x), {} thread(s), scale {}",
             experiments.len(),
@@ -282,6 +313,18 @@ fn run_and_report(experiments: Vec<Box<dyn Experiment>>, opts: &Options) -> bool
             opts.scale_name,
         ),
     }
+    // An unbuildable plan (overlapping subscriptions that failed to
+    // merge) still runs; treat it as many sims so --trace takes the
+    // per-spec-directory shape.
+    let unique_sims = plan.as_ref().map_or(usize::MAX, Plan::unique_len);
+    let mut exec = opts.exec();
+    match opts.trace_config(unique_sims) {
+        Ok(tc) => exec.trace = tc,
+        Err(e) => {
+            eprintln!("# error: {e}");
+            return false;
+        }
+    }
     let started = std::time::Instant::now();
     let show_progress = opts.progress;
     // The executed sim count, as the progress callback sees it — no
@@ -296,7 +339,7 @@ fn run_and_report(experiments: Vec<Box<dyn Experiment>>, opts: &Options) -> bool
         opts.scale,
         &pool,
         cache.as_ref().map(|c| c as &dyn OutputCache),
-        opts.exec(),
+        exec,
         |done, total| {
             total_sims.store(total, std::sync::atomic::Ordering::Relaxed);
             if show_progress {
@@ -473,12 +516,20 @@ fn run_shard(targets: &[String], opts: &Options) -> ExitCode {
     let show_progress = opts.progress;
     let started = std::time::Instant::now();
     let cache = opts.cache();
+    let mut exec = opts.exec();
+    match opts.trace_config(specs.len()) {
+        Ok(tc) => exec.trace = tc,
+        Err(e) => {
+            eprintln!("# error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let (results, stats) = run_specs_cached(
         &pool,
         MASTER_SEED,
         &specs,
         cache.as_ref().map(|c| c as &dyn OutputCache),
-        opts.exec(),
+        exec,
         |done, total| {
             if show_progress {
                 eprint!("\r# progress {done}/{total} sims (shard {shard}/{of})");
@@ -1648,6 +1699,7 @@ fn main() -> ExitCode {
         threads: env_threads().unwrap_or_else(ebrc_runner::default_threads),
         progress: false,
         slice_events: env_slice_events(),
+        trace: None,
         bench_json: None,
         baseline: None,
         shard: (0, 1),
@@ -1694,6 +1746,13 @@ fn main() -> ExitCode {
                 i += 1;
                 match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
                     Some(n) if n > 0 => opts.slice_events = Some(n),
+                    _ => return usage(),
+                }
+            }
+            "--trace" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) if !p.is_empty() => opts.trace = Some(PathBuf::from(p)),
                     _ => return usage(),
                 }
             }

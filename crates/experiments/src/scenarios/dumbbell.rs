@@ -221,6 +221,9 @@ pub struct DumbbellRun {
     pub probe: Option<(ComponentId, ComponentId)>,
     /// The bottleneck link.
     pub bottleneck: ComponentId,
+    /// The forward/reverse path hops, in topology order (for named
+    /// trace tracks).
+    hops: [ComponentId; 4],
     nominal_rtt: f64,
     tfrc_formula: FormulaKind,
 }
@@ -349,9 +352,44 @@ impl DumbbellRun {
             tcp,
             probe,
             bottleneck,
+            hops: [fwd, fwd_demux, rev, rev_demux],
             nominal_rtt,
             tfrc_formula: cfg.tfrc.sender.formula,
         }
+    }
+
+    /// Installs a Perfetto trace sink on the engine, with every
+    /// component registered under a topology-meaningful track name.
+    /// Record the run, then collect the bytes with
+    /// [`DumbbellRun::take_trace`].
+    pub fn install_tracer(&mut self) {
+        let mut sink = ebrc_trace::PerfettoSink::new(ebrc_net::net_event_name);
+        sink.register(self.bottleneck, "bottleneck");
+        let [fwd, fwd_demux, rev, rev_demux] = self.hops;
+        sink.register(fwd, "fwd-delay");
+        sink.register(fwd_demux, "fwd-demux");
+        sink.register(rev, "rev-delay");
+        sink.register(rev_demux, "rev-demux");
+        for (i, (snd, rcv)) in self.tfrc.iter().enumerate() {
+            sink.register(*snd, &format!("tfrc-{i}-snd"));
+            sink.register(*rcv, &format!("tfrc-{i}-rcv"));
+        }
+        for (i, (snd, sk)) in self.tcp.iter().enumerate() {
+            sink.register(*snd, &format!("tcp-{i}-snd"));
+            sink.register(*sk, &format!("tcp-{i}-sink"));
+        }
+        if let Some((snd, sk)) = self.probe {
+            sink.register(snd, "probe-snd");
+            sink.register(sk, "probe-sink");
+        }
+        self.engine.set_tracer(Box::new(sink));
+    }
+
+    /// Finishes a trace started by [`DumbbellRun::install_tracer`] and
+    /// returns the encoded Perfetto bytes (`None` if no tracer was
+    /// installed).
+    pub fn take_trace(&mut self) -> Option<Vec<u8>> {
+        ebrc_trace::take_sink(&mut self.engine).map(ebrc_trace::PerfettoSink::finish)
     }
 
     /// Runs to `warmup`, snapshots counters, runs to `warmup + span`,

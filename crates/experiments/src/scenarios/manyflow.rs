@@ -382,6 +382,9 @@ pub struct ManyFlowRun {
     pub tcp_bank: ComponentId,
     /// The bottleneck link.
     pub bottleneck: ComponentId,
+    /// The forward/reverse path hops, in topology order (for named
+    /// trace tracks).
+    hops: [ComponentId; 4],
     nominal_rtt: f64,
     share_pps: f64,
     formula: FormulaKind,
@@ -471,10 +474,35 @@ impl ManyFlowRun {
             tfrc_bank,
             tcp_bank,
             bottleneck,
+            hops: [fwd, fwd_demux, rev, rev_demux],
             nominal_rtt,
             share_pps: cfg.share_pps,
             formula: cfg.formula,
         }
+    }
+
+    /// Installs a Perfetto trace sink on the engine, with the network
+    /// core and both flow banks registered under named tracks. Record
+    /// the run, then collect the bytes with
+    /// [`ManyFlowRun::take_trace`].
+    pub fn install_tracer(&mut self) {
+        let mut sink = ebrc_trace::PerfettoSink::new(ebrc_net::net_event_name);
+        sink.register(self.bottleneck, "bottleneck");
+        let [fwd, fwd_demux, rev, rev_demux] = self.hops;
+        sink.register(fwd, "fwd-delay");
+        sink.register(fwd_demux, "fwd-demux");
+        sink.register(rev, "rev-delay");
+        sink.register(rev_demux, "rev-demux");
+        sink.register(self.tfrc_bank, "tfrc-bank");
+        sink.register(self.tcp_bank, "tcp-bank");
+        self.engine.set_tracer(Box::new(sink));
+    }
+
+    /// Finishes a trace started by [`ManyFlowRun::install_tracer`] and
+    /// returns the encoded Perfetto bytes (`None` if no tracer was
+    /// installed).
+    pub fn take_trace(&mut self) -> Option<Vec<u8>> {
+        ebrc_trace::take_sink(&mut self.engine).map(ebrc_trace::PerfettoSink::finish)
     }
 
     /// Runs to `warmup`, snapshots counters, runs to `warmup + span`,

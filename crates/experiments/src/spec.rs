@@ -413,6 +413,20 @@ impl SimSpec {
     }
 }
 
+/// Writes a finished trace to the ctx's trace path. Called at the end
+/// of every traced run — monolithic or on the final slice — so the
+/// file lands exactly once, wherever the run happened to finish.
+///
+/// # Panics
+/// Panics if the trace file cannot be written: a traced run that
+/// silently dropped its trace would defeat the point of asking for one.
+fn write_trace(bytes: Option<Vec<u8>>, ctx: &JobCtx) {
+    if let (Some(bytes), Some(path)) = (bytes, ctx.trace_path()) {
+        std::fs::write(path, bytes)
+            .unwrap_or_else(|e| panic!("writing trace {}: {e}", path.display()));
+    }
+}
+
 /// Clamps a float work estimate into `u64`: NaN and negatives to 0,
 /// `u64`-overflowing values to `u64::MAX`. (Rust's float-to-int `as`
 /// casts saturate too — this spelling makes the planning contract
@@ -480,6 +494,7 @@ impl SlicedRun for SlicedDumbbell {
                     }
                     let m = self.run.measurements_since(snap, self.span);
                     ctx.record_events(self.run.engine.events_processed());
+                    write_trace(self.run.take_trace(), ctx);
                     return SliceStep::Done(SpecOutput::Run(m));
                 }
             }
@@ -534,6 +549,7 @@ impl SlicedRun for SlicedManyFlow {
                     }
                     let m = self.run.measurements_since(snap, self.span);
                     ctx.record_events(self.run.engine.events_processed());
+                    write_trace(self.run.take_trace(), ctx);
                     return SliceStep::Done(SpecOutput::Scalars(m.summary()));
                 }
             }
@@ -628,8 +644,12 @@ impl ebrc_runner::Spec for SimSpec {
     fn start_sliced(&self, ctx: &mut JobCtx, budget: u64) -> SliceStep<SpecOutput> {
         if let (Some(cfg), Some((warmup, span))) = (self.dumbbell_config(), self.window()) {
             assert!(span > 0.0, "measurement span must be positive");
+            let mut run = DumbbellRun::build(&cfg);
+            if ctx.trace_path().is_some() {
+                run.install_tracer();
+            }
             let state = SlicedDumbbell {
-                run: DumbbellRun::build(&cfg),
+                run,
                 warmup,
                 span,
                 phase: DumbbellPhase::Warmup,
@@ -644,8 +664,12 @@ impl ebrc_runner::Spec for SimSpec {
         } = *self
         {
             assert!(span > 0.0, "measurement span must be positive");
+            let mut run = ManyFlowRun::build(&manyflow_config(n, rep));
+            if ctx.trace_path().is_some() {
+                run.install_tracer();
+            }
             let state = SlicedManyFlow {
-                run: ManyFlowRun::build(&manyflow_config(n, rep)),
+                run,
                 warmup,
                 span,
                 phase: ManyFlowPhase::Warmup,
@@ -658,8 +682,12 @@ impl ebrc_runner::Spec for SimSpec {
     fn run(&self, ctx: &mut JobCtx) -> SpecOutput {
         if let (Some(cfg), Some((warmup, span))) = (self.dumbbell_config(), self.window()) {
             let mut run = DumbbellRun::build(&cfg);
+            if ctx.trace_path().is_some() {
+                run.install_tracer();
+            }
             let out = SpecOutput::Run(run.measure(warmup, span));
             ctx.record_events(run.engine.events_processed());
+            write_trace(run.take_trace(), ctx);
             return out;
         }
         match *self {
@@ -670,8 +698,12 @@ impl ebrc_runner::Spec for SimSpec {
                 span,
             } => {
                 let mut run = ManyFlowRun::build(&manyflow_config(n, rep));
+                if ctx.trace_path().is_some() {
+                    run.install_tracer();
+                }
                 let out = SpecOutput::Scalars(run.measure(warmup, span).summary());
                 ctx.record_events(run.engine.events_processed());
+                write_trace(run.take_trace(), ctx);
                 out
             }
             SimSpec::Audio {

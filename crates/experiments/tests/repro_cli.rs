@@ -700,3 +700,130 @@ fn bench_runner_writes_the_artifact_with_dedup_counters() {
     assert!(text.contains("\"cache_hits\": 0"), "artifact: {text}");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// More shard workers than threads must never spawn a 0-thread worker:
+/// the per-worker allocation is `(threads / k).max(1)`, and the banner
+/// pins it so a refactor cannot silently reintroduce `threads / k == 0`
+/// (which `Pool::new(0)` would reject in every child at once).
+#[test]
+fn dispatch_floors_per_worker_threads_at_one() {
+    // 4 workers sharing 2 threads: floor(2/4) = 0 must become 1.
+    let dir = scratch("dispatch-floor");
+    let out = repro()
+        .args(["dispatch", "claim4", "--scale", "tiny"])
+        .args(["--workers", "4", "--threads", "2", "--shard-dir"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr: {err}");
+    assert!(
+        err.contains("4 shard worker(s) (1 thread(s) each)"),
+        "banner: {err}"
+    );
+    for shard in 0..4 {
+        assert!(
+            err.contains(&format!("shard {shard} completed")),
+            "shard {shard} never completed: {err}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The even case still divides: 2 workers over 8 threads get 4 each.
+    let dir = scratch("dispatch-even");
+    let out = repro()
+        .args(["dispatch", "claim4", "--scale", "tiny"])
+        .args(["--workers", "2", "--threads", "8", "--shard-dir"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr: {err}");
+    assert!(
+        err.contains("2 shard worker(s) (4 thread(s) each)"),
+        "banner: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--trace` end to end through the real binary: per-spec traces in a
+/// directory for a multi-sim run, stdout byte-identical to the
+/// untraced run (tables must not change because observability is on),
+/// and trace bytes invariant under thread count.
+#[test]
+fn traced_runs_keep_stdout_identical_and_traces_thread_invariant() {
+    let base = scratch("trace");
+    let ids = ["fig05", "--scale", "tiny"];
+
+    let plain = repro().args(ids).output().unwrap();
+    assert!(plain.status.success());
+
+    let t1 = base.join("t1");
+    let traced = repro()
+        .args(ids)
+        .args(["--threads", "1", "--trace"])
+        .arg(&t1)
+        .output()
+        .unwrap();
+    let err = String::from_utf8_lossy(&traced.stderr);
+    assert!(traced.status.success(), "stderr: {err}");
+    assert!(err.contains("# trace: recording 6 sims"), "stderr: {err}");
+    assert_eq!(
+        traced.stdout, plain.stdout,
+        "tracing changed the table output"
+    );
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&t1)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    assert_eq!(files.len(), 6, "one trace per unique sim: {files:?}");
+
+    let t8 = base.join("t8");
+    let retraced = repro()
+        .args(ids)
+        .args(["--threads", "8", "--trace"])
+        .arg(&t8)
+        .output()
+        .unwrap();
+    assert!(retraced.status.success());
+    assert_eq!(retraced.stdout, plain.stdout);
+    for f in &files {
+        let other = t8.join(f.file_name().unwrap());
+        assert_eq!(
+            std::fs::read(f).unwrap(),
+            std::fs::read(&other).unwrap(),
+            "trace {} differs between 1 and 8 threads",
+            f.display()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// A single-sim run records straight into the named file (no
+/// directory), creating parent directories as needed.
+#[test]
+fn single_sim_trace_writes_the_named_file() {
+    let base = scratch("trace-single");
+    let path = base.join("deep/one.pftrace");
+    let out = repro()
+        .args(["run", "fig05", "--scale", "tiny", "--shard", "0/6"])
+        .args(["--shard-dir"])
+        .arg(base.join("shards"))
+        .arg("--trace")
+        .arg(&path)
+        .output()
+        .unwrap();
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr: {err}");
+    assert!(err.contains("# trace: recording 1 sim to"), "stderr: {err}");
+    let bytes = std::fs::read(&path).unwrap();
+    assert!(!bytes.is_empty());
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn trace_without_a_path_is_a_usage_error() {
+    let out = repro().args(["fig05", "--trace"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -43,7 +43,7 @@ pub use link::{LinkQueue, LinkStats};
 pub use lossrec::LossEventRecorder;
 pub use monitor::{sample_queue, QueueMonitor};
 pub use onoff::OnOffSender;
-pub use packet::{AckInfo, FeedbackInfo, FlowId, NetEvent, Packet, PacketKind};
+pub use packet::{net_event_name, AckInfo, FeedbackInfo, FlowId, NetEvent, Packet, PacketKind};
 pub use probe::{CbrSender, PoissonSender, ProbeSink};
 pub use queue::{AqmQueue, ByteDropTailQueue, DropTailQueue, QueueStats, RedConfig, RedQueue};
 pub use sink::Sink;

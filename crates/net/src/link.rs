@@ -35,6 +35,9 @@ pub struct LinkQueue {
     stats: LinkStats,
     departures: HashMap<FlowId, u64>,
     drops: HashMap<FlowId, u64>,
+    /// Running drop total across all flows — the per-flow map summed
+    /// would be O(flows) per sample, too slow for the trace hook.
+    total_drops: u64,
 }
 
 impl LinkQueue {
@@ -58,6 +61,7 @@ impl LinkQueue {
             stats: LinkStats::default(),
             departures: HashMap::new(),
             drops: HashMap::new(),
+            total_drops: 0,
         }
     }
 
@@ -92,6 +96,11 @@ impl LinkQueue {
         self.drops.get(&flow).copied().unwrap_or(0)
     }
 
+    /// Packets dropped across all flows.
+    pub fn total_drops(&self) -> u64 {
+        self.total_drops
+    }
+
     /// Current queue occupancy in packets.
     pub fn queue_len(&self) -> usize {
         self.queue.len()
@@ -116,9 +125,14 @@ impl Component<NetEvent> for LinkQueue {
             NetEvent::Packet(pkt) => {
                 let flow = pkt.flow;
                 match self.queue.enqueue(pkt, now, &mut self.rng) {
-                    Ok(()) => self.start_tx(now, ctx),
+                    Ok(()) => {
+                        self.start_tx(now, ctx);
+                        ctx.trace_counter("qlen", self.queue.len() as f64);
+                    }
                     Err(_dropped) => {
                         *self.drops.entry(flow).or_insert(0) += 1;
+                        self.total_drops += 1;
+                        ctx.trace_counter("drops", self.total_drops as f64);
                     }
                 }
             }
@@ -134,6 +148,7 @@ impl Component<NetEvent> for LinkQueue {
                 let next = self.next_hop.expect("link next hop not wired");
                 ctx.send(self.prop_delay, next, NetEvent::Packet(pkt));
                 self.start_tx(now, ctx);
+                ctx.trace_counter("qlen", self.queue.len() as f64);
             }
             NetEvent::Timer(_) => {}
         }

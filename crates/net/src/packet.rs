@@ -100,9 +100,47 @@ pub enum NetEvent {
     Timer(u64),
 }
 
+/// A static display label for `event`, for trace slices: which kind of
+/// event a component is handling, without per-event allocation.
+pub fn net_event_name(event: &NetEvent) -> &'static str {
+    match event {
+        NetEvent::Packet(p) => match p.kind {
+            PacketKind::Data => "packet:data",
+            PacketKind::Ack(_) => "packet:ack",
+            PacketKind::Feedback(_) => "packet:feedback",
+        },
+        NetEvent::TxDone => "txdone",
+        NetEvent::Timer(_) => "timer",
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn net_event_names_cover_every_variant() {
+        assert_eq!(
+            net_event_name(&NetEvent::Packet(Packet::data(FlowId(0), 0, 100, 0.0))),
+            "packet:data"
+        );
+        assert_eq!(net_event_name(&NetEvent::TxDone), "txdone");
+        assert_eq!(net_event_name(&NetEvent::Timer(3)), "timer");
+        let fb = NetEvent::Packet(Packet {
+            flow: FlowId(0),
+            seq: 0,
+            size: 40,
+            kind: PacketKind::Feedback(FeedbackInfo {
+                avg_interval: f64::INFINITY,
+                x_recv: 0.0,
+                x_recv_bytes: 0.0,
+                echo_ts: 0.0,
+                events: 0,
+            }),
+            sent_at: 0.0,
+        });
+        assert_eq!(net_event_name(&fb), "packet:feedback");
+    }
 
     #[test]
     fn data_packet_constructor() {

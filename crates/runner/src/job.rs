@@ -15,6 +15,7 @@
 
 use ebrc_dist::Rng;
 use std::any::Any;
+use std::path::{Path, PathBuf};
 
 /// Type-erased job result. Reducers recover the concrete type with
 /// [`take`].
@@ -26,6 +27,7 @@ pub struct JobCtx {
     label: String,
     rng: Rng,
     events: u64,
+    trace_path: Option<PathBuf>,
 }
 
 impl JobCtx {
@@ -39,6 +41,7 @@ impl JobCtx {
             rng: Rng::from_label(master_seed, &label),
             label,
             events: 0,
+            trace_path: None,
         }
     }
 
@@ -65,6 +68,21 @@ impl JobCtx {
     /// (zero for jobs that run no discrete-event engine).
     pub fn events_processed(&self) -> u64 {
         self.events
+    }
+
+    /// Asks the job to record an execution trace at this path. Set by
+    /// the executor (from [`crate::TraceConfig`]) before the body runs;
+    /// bodies that support tracing check [`JobCtx::trace_path`] and
+    /// write their trace file there on completion.
+    pub fn set_trace_path(&mut self, path: PathBuf) {
+        self.trace_path = Some(path);
+    }
+
+    /// Where this job should write its execution trace, if tracing was
+    /// requested. `None` means run untraced (the default, and the only
+    /// path the bench gate ever measures).
+    pub fn trace_path(&self) -> Option<&Path> {
+        self.trace_path.as_deref()
     }
 }
 

@@ -43,6 +43,6 @@ pub use job::{take, Job, JobCtx, JobOutput};
 pub use plan::{
     run_plan, run_plan_cached, run_specs, run_specs_cached, stable_hash, CancelToken, ExecConfig,
     Plan, RunStats, SliceStep, SlicedRun, Spec, SpecCost, SpecExecution, SpecFailures, SpecResult,
-    SpecTiming, Subscription, SubscriptionResult, CANCELLED,
+    SpecTiming, Subscription, SubscriptionResult, TraceConfig, CANCELLED,
 };
 pub use pool::{default_threads, panic_message, Pool, ResumableTask, TaskStep};

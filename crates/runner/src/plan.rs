@@ -38,6 +38,7 @@ use crate::job::JobCtx;
 use crate::pool::{panic_message, Pool, ResumableTask, TaskStep};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -118,6 +119,54 @@ impl RunStats {
     }
 }
 
+/// Where a traced run writes its per-spec trace files.
+///
+/// Tracing is an executor-level request: the executor stamps each
+/// spec's [`JobCtx`] with a destination path
+/// ([`JobCtx::set_trace_path`]) before the run starts, and specs that
+/// support tracing write a trace file there on completion. A traced
+/// run always *executes* — the cache probe is skipped for every
+/// selected spec, because a cache hit would produce no trace — but the
+/// outputs it computes are identical to untraced ones, so they are
+/// still written back to the cache.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Destination: a single file when `single_file`, otherwise a
+    /// directory receiving one file per spec.
+    pub dest: PathBuf,
+    /// Whether `dest` names the one output file (single-spec runs) or
+    /// a directory of per-spec files.
+    pub single_file: bool,
+}
+
+impl TraceConfig {
+    /// Trace a single spec straight into the file at `dest`.
+    pub fn single(dest: impl Into<PathBuf>) -> Self {
+        Self {
+            dest: dest.into(),
+            single_file: true,
+        }
+    }
+
+    /// Trace every spec into `dir`, one file per spec named by its
+    /// content hash.
+    pub fn per_spec(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dest: dir.into(),
+            single_file: false,
+        }
+    }
+
+    /// The trace file for the spec with this content key.
+    pub fn path_for(&self, key: &str) -> PathBuf {
+        if self.single_file {
+            self.dest.clone()
+        } else {
+            self.dest.join(format!("{:016x}.pftrace", stable_hash(key)))
+        }
+    }
+}
+
 /// Execution knobs threaded through the cache-aware runners.
 #[derive(Debug, Clone, Default)]
 pub struct ExecConfig {
@@ -131,6 +180,10 @@ pub struct ExecConfig {
     /// and fails not-yet-started specs (and the remaining slices of
     /// sliced specs) with [`CANCELLED`] instead of executing them.
     pub cancel: Option<CancelToken>,
+    /// When set, every selected spec executes (cache probing is
+    /// skipped) with its [`JobCtx`] trace path set, so tracing-aware
+    /// specs record a trace file per [`TraceConfig::path_for`].
+    pub trace: Option<TraceConfig>,
 }
 
 impl ExecConfig {
@@ -145,6 +198,12 @@ impl ExecConfig {
     /// This config with cancellation observed from `token`.
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// This config with tracing per `trace`.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = Some(trace);
         self
     }
 }
@@ -720,12 +779,17 @@ fn run_plan_core<S: Spec>(
     let mut to_run: Vec<usize> = Vec::with_capacity(selected.len());
     let mut counters = CacheCounters::default();
     for &idx in &selected {
-        let hit = hooks.as_ref().and_then(|h| {
-            let text = h
-                .cache
-                .load(plan.spec_hashes()[idx], &plan.specs()[idx].key())?;
-            (h.decode)(&text).ok()
-        });
+        // A traced run must execute: a cache hit produces no trace.
+        let hit = if exec.trace.is_some() {
+            None
+        } else {
+            hooks.as_ref().and_then(|h| {
+                let text = h
+                    .cache
+                    .load(plan.spec_hashes()[idx], &plan.specs()[idx].key())?;
+                (h.decode)(&text).ok()
+            })
+        };
         match hit {
             Some(out) => {
                 counters.hits += 1;
@@ -782,7 +846,10 @@ fn run_plan_core<S: Spec>(
         .iter()
         .map(|&idx| {
             let spec = plan.specs()[idx].clone();
-            let ctx = JobCtx::for_label(master_seed, spec.key());
+            let mut ctx = JobCtx::for_label(master_seed, spec.key());
+            if let Some(tc) = &exec.trace {
+                ctx.set_trace_path(tc.path_for(&spec.key()));
+            }
             slice_chain(
                 idx,
                 ctx,
@@ -873,11 +940,16 @@ pub fn run_specs_cached<S: CacheableSpec>(
     let mut to_run: Vec<usize> = Vec::new();
     let mut counters = CacheCounters::default();
     for (i, spec) in specs.iter().enumerate() {
-        let hit = cache.and_then(|c| {
-            let key = spec.key();
-            let text = c.load(stable_hash(&key), &key)?;
-            S::decode_output(&text).ok()
-        });
+        // A traced run must execute: a cache hit produces no trace.
+        let hit = if exec.trace.is_some() {
+            None
+        } else {
+            cache.and_then(|c| {
+                let key = spec.key();
+                let text = c.load(stable_hash(&key), &key)?;
+                S::decode_output(&text).ok()
+            })
+        };
         match hit {
             Some(out) => {
                 counters.hits += 1;
@@ -922,7 +994,10 @@ pub fn run_specs_cached<S: CacheableSpec>(
         .iter()
         .map(|&i| {
             let spec = specs[i].clone();
-            let ctx = JobCtx::for_label(master_seed, spec.key());
+            let mut ctx = JobCtx::for_label(master_seed, spec.key());
+            if let Some(tc) = &exec.trace {
+                ctx.set_trace_path(tc.path_for(&spec.key()));
+            }
             slice_chain(
                 i,
                 ctx,
@@ -977,6 +1052,11 @@ mod tests {
         fn run(&self, ctx: &mut JobCtx) -> u64 {
             if self.fail {
                 panic!("toy spec failure");
+            }
+            // Honor the tracing contract: specs that support tracing
+            // write a trace file at the ctx's path.
+            if let Some(p) = ctx.trace_path() {
+                std::fs::write(p, self.key()).unwrap();
             }
             // Pretend each run dispatched `value` engine events, so the
             // accounting below is observable.
@@ -1601,6 +1681,42 @@ mod tests {
             par < serial.mul_f64(0.75),
             "two workers did not beat serial: serial={serial:?} par={par:?}"
         );
+    }
+
+    #[test]
+    fn traced_runs_bypass_the_cache_and_stamp_trace_paths() {
+        let specs: Vec<Toy> = (0..3).map(|i| toy("tr", i)).collect();
+        let cache = cache_scratch("trace");
+        let pool = Pool::new(2);
+        // Warm the cache, then trace: every spec must re-execute (a
+        // hit would produce no trace) and write its per-spec file.
+        let (_, c0) = run_specs_cached(
+            &pool,
+            0,
+            &specs,
+            Some(&cache),
+            ExecConfig::default(),
+            |_, _| {},
+        );
+        assert_eq!(core(&c0), stats(0, 3, 3));
+        let dir = std::env::temp_dir().join(format!("ebrc-trace-out-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let tc = TraceConfig::per_spec(&dir);
+        let exec = ExecConfig::default().with_trace(tc.clone());
+        let (traced, c1) = run_specs_cached(&pool, 0, &specs, Some(&cache), exec, |_, _| {});
+        assert_eq!(core(&c1), stats(0, 3, 3), "tracing forces execution");
+        for spec in &specs {
+            let path = tc.path_for(&spec.key());
+            assert_eq!(std::fs::read_to_string(&path).unwrap(), spec.key());
+        }
+        // Traced outputs are the same computation — identical results.
+        assert_eq!(exec_view(&traced), vec![Ok((0, 0)), Ok((2, 1)), Ok((4, 2))]);
+        // A single-file config routes every key to the one destination.
+        let single = TraceConfig::single(dir.join("one.pftrace"));
+        assert_eq!(single.path_for("a"), single.path_for("b"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(cache.dir());
     }
 
     #[test]

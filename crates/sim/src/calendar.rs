@@ -83,8 +83,12 @@ pub trait Calendar<E> {
     where
         Self: Sized;
 
-    /// Accepts a pending event. Times must be non-negative; non-finite
-    /// times are legal and sort after every finite time.
+    /// Accepts a pending event. The engine only ever pushes finite,
+    /// non-negative times (`Engine::schedule` and `Context::send`
+    /// reject anything else — a NaN would poison the `(time, seq)`
+    /// total order). Implementations still tolerate `±inf`
+    /// structurally, sorting it after every finite time, but must
+    /// never see NaN.
     fn push(&mut self, item: Scheduled<E>);
 
     /// Removes and returns the pending event with the smallest

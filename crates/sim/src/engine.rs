@@ -11,7 +11,23 @@
 //! the widest fan-out any handler produces.
 
 use crate::calendar::{Calendar, Scheduled, WheelCalendar};
+use crate::trace::TraceSink;
 use std::any::Any;
+
+/// Panics unless `delay` is a finite, non-negative number of seconds.
+///
+/// A NaN time would poison the `(time, seq)` total order every
+/// calendar sorts by, and an infinite time names an event that can
+/// never fire — both are scheduling bugs worth failing loudly on.
+#[inline]
+fn check_delay(delay: f64) {
+    assert!(
+        delay.is_finite(),
+        "non-finite delay {delay}: event times must be finite or the \
+         (time, seq) dispatch order breaks"
+    );
+    assert!(delay >= 0.0, "negative delay {delay}");
+}
 
 /// Identifies a component registered with an [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,15 +65,29 @@ pub trait Component<E: 'static>: Any + Send {
 ///
 /// The `emitted` buffer is the engine's scratch space on loan: the
 /// engine drains it into the calendar after the handler returns and
-/// keeps the allocation for the next dispatch.
-#[derive(Debug)]
+/// keeps the allocation for the next dispatch. The `tracer` slot is
+/// likewise the engine's sink on loan (always `None` unless a sink was
+/// installed), so [`Context::trace_counter`]/[`Context::trace_instant`]
+/// reach the same observer as the dispatch hook.
 pub struct Context<E> {
     now: f64,
     self_id: ComponentId,
     emitted: Vec<(f64, ComponentId, E)>,
+    tracer: Option<Box<dyn TraceSink<E>>>,
 }
 
-impl<E> Context<E> {
+impl<E: std::fmt::Debug> std::fmt::Debug for Context<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context")
+            .field("now", &self.now)
+            .field("self_id", &self.self_id)
+            .field("emitted", &self.emitted)
+            .field("traced", &self.tracer.is_some())
+            .finish()
+    }
+}
+
+impl<E: 'static> Context<E> {
     /// Current simulation time in seconds.
     pub fn now(&self) -> f64 {
         self.now
@@ -71,10 +101,11 @@ impl<E> Context<E> {
     /// Schedules `event` for `target` after `delay ≥ 0` seconds.
     ///
     /// # Panics
-    /// Panics on negative or NaN delays — an event in the past would
-    /// corrupt the clock.
+    /// Panics on negative or non-finite delays — an event in the past
+    /// would corrupt the clock, and a NaN or infinite time would break
+    /// the `(time, seq)` dispatch order.
     pub fn send(&mut self, delay: f64, target: ComponentId, event: E) {
-        assert!(delay >= 0.0, "negative delay {delay}");
+        check_delay(delay);
         self.emitted.push((delay, target, event));
     }
 
@@ -82,6 +113,26 @@ impl<E> Context<E> {
     pub fn send_self(&mut self, delay: f64, event: E) {
         let id = self.self_id;
         self.send(delay, id, event);
+    }
+
+    /// Records a named numeric sample against the current component on
+    /// the installed [`TraceSink`]. A no-op (one inlined `None` check)
+    /// when the engine runs untraced — instrumented components cost
+    /// nothing on the bench-gated hot path.
+    #[inline]
+    pub fn trace_counter(&mut self, name: &'static str, value: f64) {
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.on_counter(self.now, self.self_id, name, value);
+        }
+    }
+
+    /// Records a named point-in-time marker against the current
+    /// component on the installed [`TraceSink`]. A no-op when untraced.
+    #[inline]
+    pub fn trace_instant(&mut self, name: &'static str) {
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.on_instant(self.now, self.self_id, name);
+        }
     }
 }
 
@@ -168,6 +219,10 @@ pub struct Engine<E: 'static, C: Calendar<E> = WheelCalendar<E>> {
     /// the steady-state hot loop never allocates.
     scratch: Vec<(f64, ComponentId, E)>,
     processed: u64,
+    /// Opt-in dispatch observer, lent to the [`Context`] per dispatch
+    /// like the scratch buffer. `None` (the default) keeps every trace
+    /// hook a single inlined branch.
+    tracer: Option<Box<dyn TraceSink<E>>>,
 }
 
 impl<E: 'static, C: Calendar<E>> Default for Engine<E, C> {
@@ -206,7 +261,26 @@ impl<E: 'static, C: Calendar<E>> Engine<E, C> {
             components: Vec::with_capacity(components),
             scratch: Vec::with_capacity(8),
             processed: 0,
+            tracer: None,
         }
+    }
+
+    /// Installs a [`TraceSink`] that observes every dispatch from now
+    /// on. Replaces any previously installed sink.
+    pub fn set_tracer(&mut self, tracer: Box<dyn TraceSink<E>>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Removes and returns the installed [`TraceSink`], if any — the
+    /// post-run recovery point. Downcast it (via `Box<dyn Any>`) to the
+    /// concrete sink type to read what it recorded.
+    pub fn take_tracer(&mut self) -> Option<Box<dyn TraceSink<E>>> {
+        self.tracer.take()
+    }
+
+    /// Whether a [`TraceSink`] is currently installed.
+    pub fn has_tracer(&self) -> bool {
+        self.tracer.is_some()
     }
 
     /// Registers a component, returning its id.
@@ -233,9 +307,9 @@ impl<E: 'static, C: Calendar<E>> Engine<E, C> {
     /// Schedules an event from outside any component (experiment setup).
     ///
     /// # Panics
-    /// Panics on negative delay or an unknown target.
+    /// Panics on a negative or non-finite delay, or an unknown target.
     pub fn schedule(&mut self, delay: f64, target: ComponentId, event: E) {
-        assert!(delay >= 0.0, "negative delay {delay}");
+        check_delay(delay);
         assert!(target.0 < self.components.len(), "unknown component");
         let seq = self.next_seq();
         self.queue.push(Scheduled {
@@ -329,14 +403,19 @@ impl<E: 'static, C: Calendar<E>> Engine<E, C> {
 
     fn dispatch(&mut self, item: Scheduled<E>) {
         self.processed += 1;
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.on_event(self.clock, ComponentId(item.target), &item.event);
+        }
         // Lend the engine's scratch buffer to the context; handlers
         // emit into it, then the drain below feeds the calendar and
         // the (empty) buffer returns home — zero steady-state
-        // allocation.
+        // allocation. The tracer rides along the same way (a pointer
+        // move of a `None` in the untraced default).
         let mut ctx = Context {
             now: self.clock,
             self_id: ComponentId(item.target),
             emitted: std::mem::take(&mut self.scratch),
+            tracer: self.tracer.take(),
         };
         // Take the component out so it cannot alias the engine while it
         // runs; events it emits are buffered in the context.
@@ -345,6 +424,7 @@ impl<E: 'static, C: Calendar<E>> Engine<E, C> {
             .expect("component re-entered — a handler scheduled into itself synchronously?");
         component.handle(self.clock, item.event, &mut ctx);
         self.components[item.target] = Some(component);
+        self.tracer = ctx.tracer;
         let mut emitted = ctx.emitted;
         for (delay, target, event) in emitted.drain(..) {
             assert!(target.0 < self.components.len(), "unknown component");
@@ -724,5 +804,112 @@ mod tests {
         let mut eng: Engine<Ev> = Engine::new();
         let rec = eng.add(Box::new(Recorder { log: vec![] }));
         let _: &Ticker = eng.get(rec);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite delay")]
+    fn nan_delay_rejected_by_schedule() {
+        let mut eng: Engine<Ev> = Engine::new();
+        let rec = eng.add(Box::new(Recorder { log: vec![] }));
+        eng.schedule(f64::NAN, rec, Ev::Tick);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite delay")]
+    fn infinite_delay_rejected_by_schedule() {
+        let mut eng: Engine<Ev> = Engine::new();
+        let rec = eng.add(Box::new(Recorder { log: vec![] }));
+        eng.schedule(f64::INFINITY, rec, Ev::Tick);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite delay")]
+    fn negative_infinite_delay_rejected_by_schedule() {
+        let mut eng: Engine<Ev> = Engine::new();
+        let rec = eng.add(Box::new(Recorder { log: vec![] }));
+        eng.schedule(f64::NEG_INFINITY, rec, Ev::Tick);
+    }
+
+    /// Emits one event with a NaN delay — `Context::send` must reject
+    /// it before it can reach the calendar.
+    struct NanEmitter {
+        peer: ComponentId,
+    }
+
+    impl Component<Ev> for NanEmitter {
+        fn handle(&mut self, _now: f64, _event: Ev, ctx: &mut Context<Ev>) {
+            ctx.send(f64::NAN, self.peer, Ev::Tick);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite delay")]
+    fn nan_delay_rejected_by_context_send() {
+        let mut eng = Engine::new();
+        let rec = eng.add(Box::new(Recorder { log: vec![] }));
+        let bad = eng.add(Box::new(NanEmitter { peer: rec }));
+        eng.schedule(1.0, bad, Ev::Tick);
+        eng.run_until(2.0);
+    }
+
+    /// A sink that logs everything it observes, for the hook tests.
+    #[derive(Default)]
+    struct LogSink {
+        events: Vec<(f64, usize, String)>,
+        counters: Vec<(f64, usize, &'static str, f64)>,
+        instants: Vec<(f64, usize, &'static str)>,
+    }
+
+    impl crate::trace::TraceSink<Ev> for LogSink {
+        fn on_event(&mut self, now: f64, target: ComponentId, event: &Ev) {
+            self.events
+                .push((now, target.index(), format!("{event:?}")));
+        }
+        fn on_counter(&mut self, now: f64, component: ComponentId, name: &'static str, value: f64) {
+            self.counters.push((now, component.index(), name, value));
+        }
+        fn on_instant(&mut self, now: f64, component: ComponentId, name: &'static str) {
+            self.instants.push((now, component.index(), name));
+        }
+    }
+
+    /// Emits a counter and an instant on every dispatch.
+    struct Instrumented;
+
+    impl Component<Ev> for Instrumented {
+        fn handle(&mut self, now: f64, _event: Ev, ctx: &mut Context<Ev>) {
+            ctx.trace_counter("depth", now * 2.0);
+            ctx.trace_instant("handled");
+        }
+    }
+
+    #[test]
+    fn tracer_observes_dispatches_counters_and_instants() {
+        let mut eng = Engine::new();
+        let rec = eng.add(Box::new(Recorder { log: vec![] }));
+        let ins = eng.add(Box::new(Instrumented));
+        eng.set_tracer(Box::new(LogSink::default()));
+        assert!(eng.has_tracer());
+        eng.schedule(1.0, rec, Ev::Ping(1));
+        eng.schedule(2.0, ins, Ev::Tick);
+        eng.run_until(5.0);
+        let sink = eng.take_tracer().expect("tracer installed");
+        assert!(!eng.has_tracer());
+        let any: Box<dyn std::any::Any> = sink;
+        let sink = any.downcast::<LogSink>().expect("concrete sink type");
+        assert_eq!(sink.events.len(), 2);
+        assert_eq!(sink.events[0], (1.0, rec.index(), "Ping(1)".to_string()));
+        assert_eq!(sink.counters, vec![(2.0, ins.index(), "depth", 4.0)]);
+        assert_eq!(sink.instants, vec![(2.0, ins.index(), "handled")]);
+    }
+
+    #[test]
+    fn untraced_trace_calls_are_noops() {
+        let mut eng = Engine::new();
+        let ins = eng.add(Box::new(Instrumented));
+        eng.schedule(0.5, ins, Ev::Tick);
+        // No tracer installed: instrumented handlers must run unchanged.
+        assert_eq!(eng.run_until(1.0), 1);
+        assert!(eng.take_tracer().is_none());
     }
 }

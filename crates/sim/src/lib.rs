@@ -38,6 +38,8 @@
 
 pub mod calendar;
 pub mod engine;
+pub mod trace;
 
 pub use calendar::{Calendar, HeapCalendar, Scheduled, WheelCalendar};
 pub use engine::{Component, ComponentId, Context, Engine, RunLimit, RunOutcome, StopReason};
+pub use trace::TraceSink;

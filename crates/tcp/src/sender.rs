@@ -198,6 +198,8 @@ impl TcpSender {
         self.sb.mark_all_lost();
         self.stats.timeouts += 1;
         self.record_loss_event(now);
+        ctx.trace_instant("timeout");
+        ctx.trace_counter("cwnd", self.cwnd);
         self.try_send(now, ctx);
         self.arm_timer(ctx);
     }
@@ -232,6 +234,7 @@ impl TcpSender {
     }
 
     fn on_ack(&mut self, now: f64, info: &ebrc_net::AckInfo, ctx: &mut Context<NetEvent>) {
+        let cwnd_before = self.cwnd;
         // RTT sample: per-transmission timestamps make this unambiguous.
         let rtt = now - info.echo_ts;
         if rtt > 0.0 && rtt.is_finite() {
@@ -268,9 +271,13 @@ impl TcpSender {
                 || self.sb.sacked_count() >= self.cfg.dupack_threshold as usize)
         {
             self.enter_recovery(now);
+            ctx.trace_instant("recovery");
         }
         if self.recovery_point.is_some() {
             self.sb.mark_holes_lost();
+        }
+        if self.cwnd != cwnd_before {
+            ctx.trace_counter("cwnd", self.cwnd);
         }
         self.try_send(now, ctx);
     }

@@ -293,7 +293,15 @@ impl Component<NetEvent> for TfrcSender {
             NetEvent::Packet(pkt) => {
                 if let PacketKind::Feedback(fb) = &pkt.kind {
                     if self.started {
+                        let events_before = self.stats.loss_events;
+                        let rate_before = self.rate;
                         self.on_feedback(now, &fb.clone());
+                        if self.stats.loss_events > events_before {
+                            ctx.trace_instant("loss-event");
+                        }
+                        if self.rate != rate_before {
+                            ctx.trace_counter("rate_pps", self.rate);
+                        }
                     }
                 }
             }

@@ -1,0 +1,52 @@
+//! Validates `.pftrace` files with the crate's own reader and prints
+//! their summaries — the check the CI `trace-smoke` job runs on every
+//! recorded trace.
+//!
+//! ```text
+//! cargo run -p ebrc-trace --example validate -- out.pftrace …
+//! ```
+//!
+//! Exits nonzero if any file fails to read or validate.
+
+use ebrc_trace::read_trace;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate <trace.pftrace>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{path}: read failed: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match read_trace(&bytes) {
+            Ok(s) => println!(
+                "{path}: ok — {} packets, {} tracks ({} counter), \
+                 {} slices, {} instants, {} counter samples, \
+                 span {}..{} ns",
+                s.packets,
+                s.tracks,
+                s.counter_tracks,
+                s.slice_begins,
+                s.instants,
+                s.counters,
+                s.min_ts.unwrap_or(0),
+                s.max_ts.unwrap_or(0),
+            ),
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

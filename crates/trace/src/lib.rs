@@ -1,0 +1,39 @@
+//! Perfetto trace export for engine runs.
+//!
+//! The observability layer of the reproduction: a std-only writer for
+//! the [Perfetto](https://ui.perfetto.dev) protobuf trace format with
+//! the encoding hand-rolled in [`proto`] (this repo builds with no
+//! registry access, so no protobuf dependency), plus the
+//! engine-facing [`PerfettoSink`] that records a run through
+//! `ebrc_sim`'s `TraceSink` hook:
+//!
+//! * every dispatched event is a zero-duration slice on its
+//!   component's named track;
+//! * `Context::trace_counter` samples (queue depths, send rates,
+//!   congestion windows) are per-`(component, name)` counter tracks;
+//! * `Context::trace_instant` markers (loss events, timeouts,
+//!   recoveries) are instant events.
+//!
+//! Timestamps are simulation nanoseconds, so recorded traces inherit
+//! the repo's determinism contract: byte-identical at any thread
+//! count, shard count, or slice budget. [`read_trace`] validates a
+//! file with the crate's own decoder (track references, slice
+//! nesting, monotone time) — the CI `trace-smoke` job and the
+//! `validate` example run every recorded trace through it.
+//!
+//! ```text
+//! cargo run --release -p ebrc-experiments --bin repro -- run ns2 --trace out.pftrace
+//! cargo run -p ebrc-trace --example validate -- out.pftrace
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod proto;
+pub mod reader;
+pub mod sink;
+pub mod writer;
+
+pub use reader::{read_trace, TraceError, TraceSummary};
+pub use sink::{take_sink, PerfettoSink};
+pub use writer::TraceWriter;

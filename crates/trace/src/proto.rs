@@ -1,0 +1,190 @@
+//! The protobuf wire format, hand-rolled.
+//!
+//! Perfetto traces are ordinary protobuf: a `Trace` message holding
+//! repeated length-delimited `TracePacket`s. This repo builds in an
+//! environment with no registry access, so rather than vendoring a
+//! protobuf stack for the handful of field shapes a trace needs, this
+//! module spells out the wire format directly: base-128 varints,
+//! `(field number << 3) | wire type` tags, and length-delimited
+//! framing. The encoder and decoder live side by side so the crate can
+//! validate its own output (and the proptest suite can round-trip
+//! arbitrary values through both).
+
+/// Wire type 0: base-128 varint.
+pub const WIRE_VARINT: u64 = 0;
+/// Wire type 1: little-endian fixed 64-bit.
+pub const WIRE_FIXED64: u64 = 1;
+/// Wire type 2: length-delimited (strings, bytes, sub-messages).
+pub const WIRE_LEN: u64 = 2;
+/// Wire type 5: little-endian fixed 32-bit.
+pub const WIRE_FIXED32: u64 = 5;
+
+/// Appends `v` as a base-128 varint: 7 bits per byte, least
+/// significant group first, high bit set on every byte but the last.
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Decodes a varint at `*pos`, advancing `*pos` past it. Returns
+/// `None` on a truncated buffer or a varint running past the 10 bytes
+/// a `u64` can need (overlong encodings within 10 bytes are accepted,
+/// matching protobuf decoders; overflowing bits are rejected).
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    for i in 0..10 {
+        let byte = *buf.get(*pos + i)?;
+        let bits = u64::from(byte & 0x7f);
+        // The 10th byte may only carry the u64's top bit.
+        if i == 9 && bits > 1 {
+            return None;
+        }
+        v |= bits << (7 * i);
+        if byte & 0x80 == 0 {
+            *pos += i + 1;
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// Appends a field tag: `(field << 3) | wire`.
+pub fn put_tag(buf: &mut Vec<u8>, field: u64, wire: u64) {
+    put_varint(buf, (field << 3) | wire);
+}
+
+/// Appends a varint-typed field (`field`, wire type 0).
+pub fn put_varint_field(buf: &mut Vec<u8>, field: u64, v: u64) {
+    put_tag(buf, field, WIRE_VARINT);
+    put_varint(buf, v);
+}
+
+/// Appends a fixed64-typed field (`field`, wire type 1) carrying the
+/// raw little-endian bits — how protobuf `double`s travel.
+pub fn put_fixed64_field(buf: &mut Vec<u8>, field: u64, bits: u64) {
+    put_tag(buf, field, WIRE_FIXED64);
+    buf.extend_from_slice(&bits.to_le_bytes());
+}
+
+/// Appends a length-delimited field (`field`, wire type 2): strings,
+/// bytes, and nested messages.
+pub fn put_len_field(buf: &mut Vec<u8>, field: u64, bytes: &[u8]) {
+    put_tag(buf, field, WIRE_LEN);
+    put_varint(buf, bytes.len() as u64);
+    buf.extend_from_slice(bytes);
+}
+
+/// Reads a length-delimited payload at `*pos` (length varint already
+/// consumed must NOT be the case — this reads the length itself),
+/// returning the payload slice and advancing past it.
+pub fn get_len_payload<'a>(buf: &'a [u8], pos: &mut usize) -> Option<&'a [u8]> {
+    let len = get_varint(buf, pos)? as usize;
+    let end = pos.checked_add(len)?;
+    let slice = buf.get(*pos..end)?;
+    *pos = end;
+    Some(slice)
+}
+
+/// Skips one field's payload given its already-decoded tag, advancing
+/// `*pos`. Returns `None` on truncation or an unknown wire type.
+pub fn skip_field(buf: &[u8], pos: &mut usize, wire: u64) -> Option<()> {
+    match wire {
+        WIRE_VARINT => {
+            get_varint(buf, pos)?;
+        }
+        WIRE_FIXED64 => {
+            *pos = pos.checked_add(8)?;
+            if *pos > buf.len() {
+                return None;
+            }
+        }
+        WIRE_LEN => {
+            get_len_payload(buf, pos)?;
+        }
+        WIRE_FIXED32 => {
+            *pos = pos.checked_add(4)?;
+            if *pos > buf.len() {
+                return None;
+            }
+        }
+        _ => return None,
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_known_vectors() {
+        // The canonical protobuf examples plus the edges.
+        let cases: &[(u64, &[u8])] = &[
+            (0, &[0x00]),
+            (1, &[0x01]),
+            (127, &[0x7f]),
+            (128, &[0x80, 0x01]),
+            (300, &[0xac, 0x02]),
+            (
+                u64::MAX,
+                &[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01],
+            ),
+        ];
+        for (v, bytes) in cases {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, *v);
+            assert_eq!(&buf, bytes, "encoding {v}");
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos), Some(*v), "decoding {v}");
+            assert_eq!(pos, bytes.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        let mut pos = 0;
+        assert_eq!(get_varint(&[0x80], &mut pos), None, "truncated");
+        let mut pos = 0;
+        // 11 continuation bytes: longer than any u64 varint.
+        assert_eq!(get_varint(&[0x80; 11], &mut pos), None, "overlong");
+        let mut pos = 0;
+        // 10 bytes but the last carries more than the u64's top bit.
+        let overflow = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        assert_eq!(get_varint(&overflow, &mut pos), None, "overflow");
+    }
+
+    #[test]
+    fn len_field_roundtrip() {
+        let mut buf = Vec::new();
+        put_len_field(&mut buf, 1, b"hello");
+        let mut pos = 0;
+        let tag = get_varint(&buf, &mut pos).unwrap();
+        assert_eq!(tag >> 3, 1);
+        assert_eq!(tag & 7, WIRE_LEN);
+        assert_eq!(get_len_payload(&buf, &mut pos), Some(&b"hello"[..]));
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn skip_field_covers_every_wire_type() {
+        let mut buf = Vec::new();
+        put_varint_field(&mut buf, 1, 300);
+        put_fixed64_field(&mut buf, 2, 0xdead_beef);
+        put_len_field(&mut buf, 3, &[1, 2, 3]);
+        put_tag(&mut buf, 4, WIRE_FIXED32);
+        buf.extend_from_slice(&7u32.to_le_bytes());
+        let mut pos = 0;
+        for _ in 0..4 {
+            let tag = get_varint(&buf, &mut pos).unwrap();
+            skip_field(&buf, &mut pos, tag & 7).unwrap();
+        }
+        assert_eq!(pos, buf.len());
+    }
+}

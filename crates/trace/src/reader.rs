@@ -1,0 +1,330 @@
+//! A validating reader for the traces [`TraceWriter`] writes.
+//!
+//! This is not a general Perfetto parser — it decodes exactly the
+//! packet shapes the writer emits (tolerating unknown fields, as any
+//! protobuf reader must) and checks the structural invariants a
+//! loadable trace needs: every `TrackEvent` references a declared
+//! track, counter samples land on counter tracks and slices/instants
+//! on event tracks, per-track slice begin/end nesting balances, and
+//! timestamps never run backwards. The CI `trace-smoke` job runs
+//! recorded traces through this before trusting them, and the golden
+//! fixture test uses the summary to describe what it pins.
+//!
+//! [`TraceWriter`]: crate::writer::TraceWriter
+
+use crate::proto::{get_len_payload, get_varint, skip_field, WIRE_LEN, WIRE_VARINT};
+use std::collections::HashMap;
+
+/// What a validated trace contains, in counts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Total `TracePacket`s.
+    pub packets: u64,
+    /// Declared tracks (event + counter).
+    pub tracks: u64,
+    /// Declared counter tracks (included in `tracks`).
+    pub counter_tracks: u64,
+    /// `TYPE_SLICE_BEGIN` events.
+    pub slice_begins: u64,
+    /// `TYPE_SLICE_END` events.
+    pub slice_ends: u64,
+    /// `TYPE_INSTANT` events.
+    pub instants: u64,
+    /// `TYPE_COUNTER` events.
+    pub counters: u64,
+    /// Earliest event timestamp, ns.
+    pub min_ts: Option<u64>,
+    /// Latest event timestamp, ns.
+    pub max_ts: Option<u64>,
+}
+
+/// Why a trace failed validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The protobuf framing itself is broken (truncation, bad varint,
+    /// unknown wire type) at roughly this byte offset.
+    Malformed(usize),
+    /// A `TrackEvent` referenced a track uuid no descriptor declared.
+    UnknownTrack(u64),
+    /// A track descriptor reused an already-declared uuid.
+    DuplicateTrack(u64),
+    /// A counter sample landed on a non-counter track, or a
+    /// slice/instant on a counter track.
+    TrackKindMismatch(u64),
+    /// A `TYPE_SLICE_END` with no open slice on its track.
+    UnbalancedSliceEnd(u64),
+    /// A track still had open slices at the end of the trace.
+    UnclosedSlices(u64),
+    /// A packet's timestamp ran backwards relative to its predecessor.
+    TimeWentBackwards(u64),
+    /// A `TrackEvent` carried no recognized type.
+    MissingEventType,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Malformed(at) => write!(f, "malformed protobuf near byte {at}"),
+            Self::UnknownTrack(u) => write!(f, "event references undeclared track {u}"),
+            Self::DuplicateTrack(u) => write!(f, "track {u} declared twice"),
+            Self::TrackKindMismatch(u) => write!(f, "event kind not valid for track {u}"),
+            Self::UnbalancedSliceEnd(u) => write!(f, "slice end with no open slice on track {u}"),
+            Self::UnclosedSlices(u) => write!(f, "track {u} ends with open slices"),
+            Self::TimeWentBackwards(ts) => write!(f, "timestamp {ts} ran backwards"),
+            Self::MissingEventType => write!(f, "track event with no type"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+// TracePacket fields.
+const PACKET_TIMESTAMP: u64 = 8;
+const PACKET_TRACK_EVENT: u64 = 11;
+const PACKET_TRACK_DESCRIPTOR: u64 = 60;
+// TrackDescriptor fields.
+const TRACK_UUID: u64 = 1;
+const TRACK_COUNTER: u64 = 8;
+// TrackEvent fields.
+const EVENT_TYPE: u64 = 9;
+const EVENT_TRACK_UUID: u64 = 11;
+// TrackEvent types.
+const TYPE_SLICE_BEGIN: u64 = 1;
+const TYPE_SLICE_END: u64 = 2;
+const TYPE_INSTANT: u64 = 3;
+const TYPE_COUNTER: u64 = 4;
+
+#[derive(Default)]
+struct DescriptorInfo {
+    uuid: Option<u64>,
+    counter: bool,
+}
+
+#[derive(Default)]
+struct EventInfo {
+    ty: Option<u64>,
+    track: Option<u64>,
+}
+
+fn parse_message<F>(payload: &[u8], mut field: F) -> Result<(), TraceError>
+where
+    F: FnMut(u64, u64, &[u8], &mut usize) -> Result<bool, TraceError>,
+{
+    let mut pos = 0;
+    while pos < payload.len() {
+        let at = pos;
+        let tag = get_varint(payload, &mut pos).ok_or(TraceError::Malformed(at))?;
+        let (num, wire) = (tag >> 3, tag & 7);
+        if !field(num, wire, payload, &mut pos)? {
+            skip_field(payload, &mut pos, wire).ok_or(TraceError::Malformed(at))?;
+        }
+    }
+    Ok(())
+}
+
+fn parse_descriptor(payload: &[u8]) -> Result<DescriptorInfo, TraceError> {
+    let mut info = DescriptorInfo::default();
+    parse_message(payload, |num, wire, buf, pos| match (num, wire) {
+        (TRACK_UUID, WIRE_VARINT) => {
+            info.uuid = Some(get_varint(buf, pos).ok_or(TraceError::Malformed(*pos))?);
+            Ok(true)
+        }
+        (TRACK_COUNTER, WIRE_LEN) => {
+            get_len_payload(buf, pos).ok_or(TraceError::Malformed(*pos))?;
+            info.counter = true;
+            Ok(true)
+        }
+        _ => Ok(false),
+    })?;
+    Ok(info)
+}
+
+fn parse_event(payload: &[u8]) -> Result<EventInfo, TraceError> {
+    let mut info = EventInfo::default();
+    parse_message(payload, |num, wire, buf, pos| match (num, wire) {
+        (EVENT_TYPE, WIRE_VARINT) => {
+            info.ty = Some(get_varint(buf, pos).ok_or(TraceError::Malformed(*pos))?);
+            Ok(true)
+        }
+        (EVENT_TRACK_UUID, WIRE_VARINT) => {
+            info.track = Some(get_varint(buf, pos).ok_or(TraceError::Malformed(*pos))?);
+            Ok(true)
+        }
+        _ => Ok(false),
+    })?;
+    Ok(info)
+}
+
+/// Decodes and validates a trace, returning its [`TraceSummary`].
+pub fn read_trace(bytes: &[u8]) -> Result<TraceSummary, TraceError> {
+    let mut summary = TraceSummary::default();
+    // uuid → (is_counter, open slice depth)
+    let mut tracks: HashMap<u64, (bool, u64)> = HashMap::new();
+    let mut last_ts: Option<u64> = None;
+
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let at = pos;
+        let tag = get_varint(bytes, &mut pos).ok_or(TraceError::Malformed(at))?;
+        if tag >> 3 != 1 || tag & 7 != WIRE_LEN {
+            // Only `Trace.packet` may appear at the top level.
+            return Err(TraceError::Malformed(at));
+        }
+        let packet = get_len_payload(bytes, &mut pos).ok_or(TraceError::Malformed(at))?;
+        summary.packets += 1;
+
+        let mut ts: Option<u64> = None;
+        let mut descriptor: Option<DescriptorInfo> = None;
+        let mut event: Option<EventInfo> = None;
+        parse_message(packet, |num, wire, buf, p| match (num, wire) {
+            (PACKET_TIMESTAMP, WIRE_VARINT) => {
+                ts = Some(get_varint(buf, p).ok_or(TraceError::Malformed(*p))?);
+                Ok(true)
+            }
+            (PACKET_TRACK_DESCRIPTOR, WIRE_LEN) => {
+                let payload = get_len_payload(buf, p).ok_or(TraceError::Malformed(*p))?;
+                descriptor = Some(parse_descriptor(payload)?);
+                Ok(true)
+            }
+            (PACKET_TRACK_EVENT, WIRE_LEN) => {
+                let payload = get_len_payload(buf, p).ok_or(TraceError::Malformed(*p))?;
+                event = Some(parse_event(payload)?);
+                Ok(true)
+            }
+            _ => Ok(false),
+        })?;
+
+        if let Some(d) = descriptor {
+            let uuid = d.uuid.ok_or(TraceError::Malformed(at))?;
+            if tracks.insert(uuid, (d.counter, 0)).is_some() {
+                return Err(TraceError::DuplicateTrack(uuid));
+            }
+            summary.tracks += 1;
+            if d.counter {
+                summary.counter_tracks += 1;
+            }
+        }
+
+        if let Some(e) = event {
+            let ts = ts.ok_or(TraceError::Malformed(at))?;
+            if let Some(prev) = last_ts {
+                if ts < prev {
+                    return Err(TraceError::TimeWentBackwards(ts));
+                }
+            }
+            last_ts = Some(ts);
+            summary.min_ts = Some(summary.min_ts.map_or(ts, |m| m.min(ts)));
+            summary.max_ts = Some(summary.max_ts.map_or(ts, |m| m.max(ts)));
+
+            let uuid = e.track.ok_or(TraceError::Malformed(at))?;
+            let (is_counter, depth) = tracks
+                .get_mut(&uuid)
+                .ok_or(TraceError::UnknownTrack(uuid))?;
+            match e.ty.ok_or(TraceError::MissingEventType)? {
+                TYPE_SLICE_BEGIN => {
+                    if *is_counter {
+                        return Err(TraceError::TrackKindMismatch(uuid));
+                    }
+                    *depth += 1;
+                    summary.slice_begins += 1;
+                }
+                TYPE_SLICE_END => {
+                    if *is_counter {
+                        return Err(TraceError::TrackKindMismatch(uuid));
+                    }
+                    if *depth == 0 {
+                        return Err(TraceError::UnbalancedSliceEnd(uuid));
+                    }
+                    *depth -= 1;
+                    summary.slice_ends += 1;
+                }
+                TYPE_INSTANT => {
+                    if *is_counter {
+                        return Err(TraceError::TrackKindMismatch(uuid));
+                    }
+                    summary.instants += 1;
+                }
+                TYPE_COUNTER => {
+                    if !*is_counter {
+                        return Err(TraceError::TrackKindMismatch(uuid));
+                    }
+                    summary.counters += 1;
+                }
+                _ => return Err(TraceError::MissingEventType),
+            }
+        }
+    }
+
+    for (uuid, (_, depth)) in tracks {
+        if depth != 0 {
+            return Err(TraceError::UnclosedSlices(uuid));
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::TraceWriter;
+
+    #[test]
+    fn empty_trace_is_valid_and_empty() {
+        assert_eq!(read_trace(&[]), Ok(TraceSummary::default()));
+    }
+
+    #[test]
+    fn truncated_trace_is_malformed() {
+        let mut w = TraceWriter::new();
+        w.add_track("a", None);
+        let mut bytes = w.finish();
+        bytes.truncate(bytes.len() - 1);
+        assert!(matches!(read_trace(&bytes), Err(TraceError::Malformed(_))));
+    }
+
+    #[test]
+    fn event_on_undeclared_track_is_rejected() {
+        let mut w = TraceWriter::new();
+        w.instant(42, 1, "ghost");
+        assert_eq!(read_trace(&w.finish()), Err(TraceError::UnknownTrack(42)));
+    }
+
+    #[test]
+    fn counter_on_event_track_is_rejected() {
+        let mut w = TraceWriter::new();
+        let t = w.add_track("a", None);
+        w.counter(t, 1, 1.0);
+        assert_eq!(
+            read_trace(&w.finish()),
+            Err(TraceError::TrackKindMismatch(t))
+        );
+    }
+
+    #[test]
+    fn unbalanced_slices_are_rejected() {
+        let mut w = TraceWriter::new();
+        let t = w.add_track("a", None);
+        w.slice_end(t, 1);
+        assert_eq!(
+            read_trace(&w.finish()),
+            Err(TraceError::UnbalancedSliceEnd(t))
+        );
+
+        let mut w = TraceWriter::new();
+        let t = w.add_track("a", None);
+        w.slice_begin(t, 1, "open");
+        assert_eq!(read_trace(&w.finish()), Err(TraceError::UnclosedSlices(t)));
+    }
+
+    #[test]
+    fn backwards_timestamps_are_rejected() {
+        let mut w = TraceWriter::new();
+        let t = w.add_track("a", None);
+        w.instant(t, 10, "x");
+        w.instant(t, 9, "y");
+        assert_eq!(
+            read_trace(&w.finish()),
+            Err(TraceError::TimeWentBackwards(9))
+        );
+    }
+}

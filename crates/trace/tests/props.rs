@@ -1,0 +1,99 @@
+//! Property tests for the hand-rolled protobuf layer: encode/decode
+//! roundtrips over arbitrary values, and writer output always
+//! validating under the crate's own reader.
+
+use ebrc_trace::proto::{get_len_payload, get_varint, put_len_field, put_varint, WIRE_LEN};
+use ebrc_trace::{read_trace, TraceWriter};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn varint_roundtrips_any_u64(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, v);
+        prop_assert!(buf.len() <= 10);
+        let mut pos = 0;
+        prop_assert_eq!(get_varint(&buf, &mut pos), Some(v));
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_concatenation_roundtrips(vs in proptest::collection::vec(any::<u64>(), 0..50)) {
+        let mut buf = Vec::new();
+        for &v in &vs {
+            put_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        let mut out = Vec::new();
+        while pos < buf.len() {
+            out.push(get_varint(&buf, &mut pos).expect("well-formed stream"));
+        }
+        prop_assert_eq!(out, vs);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn length_delimited_framing_roundtrips(
+        frames in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..200), 0..20),
+        field in 1u64..100,
+    ) {
+        let mut buf = Vec::new();
+        for frame in &frames {
+            put_len_field(&mut buf, field, frame);
+        }
+        let mut pos = 0;
+        let mut out: Vec<Vec<u8>> = Vec::new();
+        while pos < buf.len() {
+            let tag = get_varint(&buf, &mut pos).expect("tag");
+            assert_eq!(tag >> 3, field);
+            assert_eq!(tag & 7, WIRE_LEN);
+            out.push(get_len_payload(&buf, &mut pos).expect("payload").to_vec());
+        }
+        prop_assert_eq!(out, frames);
+    }
+
+    #[test]
+    fn truncated_varints_never_panic(raw in proptest::collection::vec(any::<u8>(), 0..12)) {
+        // Force the continuation bit on every byte, so the stream is
+        // always truncated or overlong — the decoder must refuse it.
+        let bytes: Vec<u8> = raw.iter().map(|b| b | 0x80).collect();
+        let mut pos = 0;
+        prop_assert_eq!(get_varint(&bytes, &mut pos), None);
+    }
+
+    #[test]
+    fn arbitrary_writer_scripts_validate(
+        ops in proptest::collection::vec((0u8..4, any::<u16>(), any::<i32>()), 0..60),
+    ) {
+        // Drive the writer with an arbitrary but well-formed call
+        // sequence (monotone timestamps, balanced slices) and require
+        // the reader to accept the output.
+        let mut w = TraceWriter::new();
+        let track = w.add_track("events", None);
+        let counter = w.add_counter_track("value", Some(track));
+        let mut ts = 0u64;
+        let mut open = 0u64;
+        for (op, dt, value) in &ops {
+            ts += u64::from(*dt);
+            match op {
+                0 => {
+                    w.slice_begin(track, ts, "op");
+                    open += 1;
+                }
+                1 if open > 0 => {
+                    w.slice_end(track, ts);
+                    open -= 1;
+                }
+                2 => w.instant(track, ts, "mark"),
+                _ => w.counter(counter, ts, f64::from(*value)),
+            }
+        }
+        for _ in 0..open {
+            w.slice_end(track, ts);
+        }
+        let bytes = w.finish();
+        let summary = read_trace(&bytes).expect("writer output must validate");
+        prop_assert_eq!(summary.tracks, 2);
+        prop_assert_eq!(summary.slice_begins, summary.slice_ends);
+    }
+}

@@ -16,6 +16,7 @@
 //! | [`dist`] | `ebrc-dist` | distributions & loss processes |
 //! | [`convex`] | `ebrc-convex` | convex closure, conjugation, curvature |
 //! | [`sim`] | `ebrc-sim` | discrete-event engine |
+//! | [`trace`] | `ebrc-trace` | Perfetto trace recording (std-only protobuf writer/reader) |
 //! | [`net`] | `ebrc-net` | links, queues, droppers, probes |
 //! | [`tcp`] | `ebrc-tcp` | TCP Sack1-style endpoints, AIMD fluid models |
 //! | [`tfrc`] | `ebrc-tfrc` | TFRC endpoints (incl. the audio mode) |
@@ -58,6 +59,7 @@ pub use ebrc_sim as sim;
 pub use ebrc_stats as stats;
 pub use ebrc_tcp as tcp;
 pub use ebrc_tfrc as tfrc;
+pub use ebrc_trace as trace;
 
 /// Convenience prelude: the types most sessions start with.
 ///
